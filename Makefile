@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus per-package micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (several minutes at full trial counts).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smartbulb
+	$(GO) run ./examples/threshold_calibration
+	$(GO) run ./examples/realworld
+	$(GO) run ./examples/forged_command
+
+clean:
+	$(GO) clean ./...

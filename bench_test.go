@@ -1,0 +1,347 @@
+package hideseek
+
+// One benchmark per table and figure of the paper's evaluation (Sec. VII),
+// plus the ablations from DESIGN.md. Each bench runs a reduced-size version
+// of the corresponding sim driver and reports the experiment's headline
+// quantity via b.ReportMetric, so `go test -bench=.` both exercises and
+// summarizes the reproduction. cmd/experiments runs the full-size versions.
+
+import (
+	"testing"
+
+	"hideseek/internal/sim"
+)
+
+func BenchmarkTable1SubcarrierSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Table1([]byte("000017"), 6, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Selected) != 7 {
+			b.Fatalf("selected %d bins", len(res.Table.Selected))
+		}
+	}
+}
+
+func BenchmarkTable2AttackSuccess(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Table2(int64(i+1), []float64{7, 11, 17}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.SuccessRates[len(res.SuccessRates)-1]
+	}
+	b.ReportMetric(last, "success@17dB")
+}
+
+func BenchmarkFig5WaveformEmulation(b *testing.B) {
+	var nmse float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig5(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nmse = res.TailNMSE
+	}
+	b.ReportMetric(nmse, "tailNMSE")
+}
+
+func BenchmarkFig6Constellation(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig6(int64(i+1), 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = res.RealSpread
+	}
+	b.ReportMetric(spread, "realSpread")
+}
+
+func BenchmarkFig7HammingHistogram(b *testing.B) {
+	var zeroRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig7(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zeroRate = res.Emulated.Rate(0)
+	}
+	b.ReportMetric(zeroRate, "emulZeroDistRate")
+}
+
+func BenchmarkFig8CPBaseline(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig8(int64(i+1), 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.EmulatedCP.Median - res.OriginalCP.Median
+	}
+	b.ReportMetric(gap, "cpMedianGap")
+}
+
+func BenchmarkFig9DemodBaseline(b *testing.B) {
+	var differ float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.SymbolsAgree {
+			b.Fatal("despread symbols differ")
+		}
+		differ = float64(res.ChipsDiffer)
+	}
+	b.ReportMetric(differ, "chipsDiffer")
+}
+
+func BenchmarkFig10C42(b *testing.B) {
+	var emulated float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.CumulantSweep(int64(i+1), []float64{7, 17}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emulated = res.EmulatedC42[1]
+	}
+	b.ReportMetric(emulated, "emulC42@17dB")
+}
+
+func BenchmarkFig11C40(b *testing.B) {
+	var original float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.CumulantSweep(int64(i+1), []float64{7, 17}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		original = res.OriginalC40[1]
+	}
+	b.ReportMetric(original, "origC40@17dB")
+}
+
+func BenchmarkTable4DE2(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Table4(int64(i+1), []float64{7, 12, 17}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.Emulated[2] / res.Original[2]
+	}
+	b.ReportMetric(gap, "separation@17dB")
+}
+
+func BenchmarkFig12Detection(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig12(int64(i+1), []float64{11, 14, 17}, 4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Stats.Accuracy()
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+func BenchmarkFig14DistanceSweep(b *testing.B) {
+	budget := sim.DefaultLinkBudget()
+	var usrpPER8m float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig14(int64(i+1), sim.USRPReceiver(), budget, []float64{1, 8}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		usrpPER8m = res.EmulatedPER[1]
+	}
+	b.ReportMetric(usrpPER8m, "usrpEmulPER@8m")
+}
+
+func BenchmarkFig14CommodityReceiver(b *testing.B) {
+	budget := sim.DefaultLinkBudget()
+	var ccPER8m float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Fig14(int64(i+1), sim.CC26x2R1Receiver(), budget, []float64{1, 8}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ccPER8m = res.EmulatedPER[1]
+	}
+	b.ReportMetric(ccPER8m, "ccEmulPER@8m")
+}
+
+func BenchmarkTable5RealDE2(b *testing.B) {
+	budget := sim.DefaultLinkBudget()
+	var q float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Table5(int64(i+1), budget, []float64{1, 6}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q = res.SuggestedQ
+	}
+	b.ReportMetric(q, "suggestedQ")
+}
+
+func BenchmarkAblationSubcarriers(b *testing.B) {
+	var nmse7 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AblationSubcarriers(int64(i+1), []int{5, 7, 9}, 13, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nmse7 = res.TailNMSE[1]
+	}
+	b.ReportMetric(nmse7, "tailNMSE@7bins")
+}
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	var globalErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AblationAlpha()
+		if err != nil {
+			b.Fatal(err)
+		}
+		globalErr = res.QuantError[0]
+	}
+	b.ReportMetric(globalErr, "globalQuantErr")
+}
+
+func BenchmarkAblationDefenseSource(b *testing.B) {
+	var discSep float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AblationDefenseSource(int64(i+1), 15, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		discSep = res.Separation[0]
+	}
+	b.ReportMetric(discSep, "discSeparation")
+}
+
+func BenchmarkAblationSampleCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.AblationSampleCount(int64(i+1), []int{128, 704}, 15, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectrum(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Spectrum([]byte("0000000017"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss = res.TruncationLoss
+	}
+	b.ReportMetric(loss, "truncationLoss")
+}
+
+func BenchmarkAblationInterpolation(b *testing.B) {
+	var linNMSE float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AblationInterpolation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		linNMSE = res.TailNMSE[1]
+	}
+	b.ReportMetric(linNMSE, "linearNMSE")
+}
+
+func BenchmarkAblationCoarseThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.AblationCoarseThreshold([]float64{1, 3, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccuracySweep(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AccuracySweep(int64(i+1), []float64{11, 17}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Accuracy[1]
+	}
+	b.ReportMetric(acc, "accuracy@17dB")
+}
+
+func BenchmarkAdaptiveDefense(b *testing.B) {
+	var lowSNR float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AdaptiveAccuracy(int64(i+1), []float64{9, 13, 17}, 6, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lowSNR = res.AdaptiveAccuracy[0]
+	}
+	b.ReportMetric(lowSNR, "adaptiveAcc@9dB")
+}
+
+func BenchmarkSessionReliability(b *testing.B) {
+	var acked float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.SessionReliability(int64(i+1), []float64{-6}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acked = res.AckedRate[0]
+	}
+	b.ReportMetric(acked, "ackedRate@-6dB")
+}
+
+func BenchmarkROC(b *testing.B) {
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.ROC(int64(i+1), 13, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		auc = res.AUC
+	}
+	b.ReportMetric(auc, "AUC@13dB")
+}
+
+func BenchmarkEvasion(b *testing.B) {
+	var baseD2 float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Evasion(int64(i+1), 15, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseD2 = res.MeanD2[0]
+	}
+	b.ReportMetric(baseD2, "paperAttackD2")
+}
+
+func BenchmarkAMCClassification(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.AMC(int64(i+1), []float64{15}, 2000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Matrices[0].Accuracy()
+	}
+	b.ReportMetric(acc, "accuracy@15dB")
+}
+
+func BenchmarkCSMAScenario(b *testing.B) {
+	var idleDelay float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.CSMAScenario(int64(i+1), []float64{0, 0.5}, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idleDelay = res.MeanDelayUs[0]
+	}
+	b.ReportMetric(idleDelay, "idleDelayUs")
+}

@@ -1,0 +1,20 @@
+// Package hideseek reproduces "Hide and Seek: Waveform Emulation Attack
+// and Defense in Cross-Technology Communication" (ICDCS 2019) as a pure-Go,
+// stdlib-only library.
+//
+// The implementation lives under internal/:
+//
+//   - internal/dsp      — FFT/IFFT, resampling, FIR filters, correlation
+//   - internal/bits     — bit packing, CRCs, the 802.11 scrambler
+//   - internal/zigbee   — IEEE 802.15.4 O-QPSK PHY + MAC (TX and three RX models)
+//   - internal/wifi     — IEEE 802.11g OFDM transmit chain and inverses
+//   - internal/channel  — AWGN, CFO, path loss, Rayleigh/Rician fading
+//   - internal/hos      — higher-order statistics, k-means, classifier
+//   - internal/emulation — the attack (Sec. V) and the defense (Sec. VI)
+//   - internal/sim      — one driver per table/figure of the evaluation
+//
+// Runnable entry points are cmd/ctcattack, cmd/ctcdefend, cmd/experiments,
+// and the programs under examples/. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's Sec. VII; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package hideseek

@@ -1,0 +1,89 @@
+// Forged command shows why MAC-layer replay detection cannot stop the CTC
+// emulation attack: the attacker synthesizes a brand-new ZigBee frame
+// (fresh sequence number, valid FCS) rather than replaying a recording.
+// Only the physical-layer constellation defense catches it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/zigbee"
+)
+
+func main() {
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := zigbee.NewReplayGuard(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, err := emulation.NewDetector(emulation.DefenseConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := emulation.NewEmulator(emulation.AttackConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deliver := func(label string, wave []complex128) {
+		rec, err := rx.Receive(wave)
+		if err != nil {
+			fmt.Printf("%-22s PHY rejected: %v\n", label, err)
+			return
+		}
+		frame, err := zigbee.DecodeMACFrame(rec.PSDU)
+		if err != nil {
+			fmt.Printf("%-22s MAC rejected: %v\n", label, err)
+			return
+		}
+		replay, err := guard.Check(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict, err := det.AnalyzeReception(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ACCEPTED"
+		switch {
+		case replay:
+			status = "BLOCKED by replay guard"
+		case verdict.Attack:
+			status = "BLOCKED by PHY defense"
+		}
+		fmt.Printf("%-22s seq=%d cmd=%q  D²E=%.3f  → %s\n",
+			label, frame.Seq, frame.Payload, verdict.DistanceSquared, status)
+	}
+
+	gateway := zigbee.NewTransmitter()
+	legit := &zigbee.MACFrame{Type: zigbee.FrameData, Seq: 41, PANID: 0x1234, Dst: 0xB01B, Src: 1, Payload: []byte("unlock")}
+	legitWave, err := gateway.TransmitFrame(legit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1. gateway sends a legitimate \"unlock\" (seq 41):")
+	deliver("   legitimate frame", legitWave)
+
+	fmt.Println("2. attacker replays the recorded waveform via WiFi emulation:")
+	replayed, err := attacker.Emulate(legitWave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deliver("   emulated replay", replayed.Emulated4M)
+
+	fmt.Println("3. attacker forges a FRESH frame (seq 77) and emulates it:")
+	forged := &zigbee.MACFrame{Type: zigbee.FrameData, Seq: 77, PANID: 0x1234, Dst: 0xB01B, Src: 1, Payload: []byte("unlock")}
+	res, err := emulation.ForgeFrame(attacker, forged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deliver("   forged command", res.Emulated4M)
+
+	fmt.Println("\nthe replay guard stops step 2 but not step 3; the constellation")
+	fmt.Println("defense stops both, because the footprint lives in the waveform.")
+}

@@ -1,0 +1,3 @@
+module hideseek
+
+go 1.22

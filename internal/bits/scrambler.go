@@ -1,0 +1,43 @@
+package bits
+
+// Scrambler is the IEEE 802.11 length-127 frame-synchronous scrambler with
+// generator polynomial S(x) = x^7 + x^4 + 1. Scrambling and descrambling
+// are the same self-synchronizing XOR operation, so one type serves both
+// directions.
+type Scrambler struct {
+	state byte // 7-bit LFSR state, bit 0 = x^1 ... bit 6 = x^7
+}
+
+// NewScrambler returns a scrambler seeded with the given 7-bit state.
+// A zero seed would emit an all-zero sequence, so it is coerced to the
+// standard's example seed 0b1011101.
+func NewScrambler(seed byte) *Scrambler {
+	seed &= 0x7F
+	if seed == 0 {
+		seed = 0x5D
+	}
+	return &Scrambler{state: seed}
+}
+
+// Next returns the next scrambling-sequence bit and advances the LFSR.
+func (s *Scrambler) Next() Bit {
+	// Feedback is x^7 XOR x^4: bits 6 and 3 of the state register.
+	fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | fb) & 0x7F
+	return fb
+}
+
+// Apply XORs the scrambling sequence onto bs in place and returns bs.
+func (s *Scrambler) Apply(bs []Bit) []Bit {
+	for i := range bs {
+		bs[i] ^= s.Next()
+	}
+	return bs
+}
+
+// ApplyCopy scrambles a copy of bs, leaving the input untouched.
+func (s *Scrambler) ApplyCopy(bs []Bit) []Bit {
+	out := make([]Bit, len(bs))
+	copy(out, bs)
+	return s.Apply(out)
+}

@@ -1,0 +1,127 @@
+// Package channel provides the propagation models that substitute for the
+// paper's over-the-air testbed: AWGN, carrier frequency/phase offset,
+// log-distance path loss with shadowing, Rayleigh block fading and
+// multipath, and RSSI measurement. Every stochastic model takes an explicit
+// *rand.Rand so experiments are reproducible.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"hideseek/internal/dsp"
+)
+
+// Channel transforms a transmitted baseband waveform into a received one.
+// Implementations may be chained with Chain.
+type Channel interface {
+	// Apply returns the received waveform. The input is never mutated.
+	Apply(x []complex128) []complex128
+}
+
+// AWGN adds circularly-symmetric complex Gaussian noise at a fixed SNR
+// relative to an assumed unit-power signal (the paper normalizes transmit
+// power and defines SNR = 1/σ², Sec. VII-B).
+type AWGN struct {
+	rng    *rand.Rand
+	stddev float64 // per real dimension
+}
+
+// NewAWGN builds an AWGN channel for the given SNR in dB, assuming the
+// input waveform is normalized to unit average power.
+func NewAWGN(snrDB float64, rng *rand.Rand) (*AWGN, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("channel: nil rng")
+	}
+	noisePower := dsp.FromDB(-snrDB)
+	return &AWGN{rng: rng, stddev: math.Sqrt(noisePower / 2)}, nil
+}
+
+// Apply adds noise to a copy of x.
+func (c *AWGN) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v + complex(c.rng.NormFloat64()*c.stddev, c.rng.NormFloat64()*c.stddev)
+	}
+	return out
+}
+
+// NoisePower returns the total complex noise power 2σ².
+func (c *AWGN) NoisePower() float64 { return 2 * c.stddev * c.stddev }
+
+// CFO models a carrier frequency offset plus a constant phase offset —
+// the "real scenario" impairment that pushes the defense from C40 to |C40|
+// (paper Sec. VI-C).
+type CFO struct {
+	radPerSample float64
+	phase        float64
+}
+
+// NewCFO builds an offset channel. freqOffsetHz is the residual carrier
+// offset, sampleRate the baseband clock, phaseRad a constant rotation.
+func NewCFO(freqOffsetHz, sampleRate, phaseRad float64) (*CFO, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("channel: sample rate %v must be positive", sampleRate)
+	}
+	if math.Abs(freqOffsetHz) >= sampleRate/2 {
+		return nil, fmt.Errorf("channel: frequency offset %v exceeds Nyquist of %v", freqOffsetHz, sampleRate)
+	}
+	return &CFO{radPerSample: 2 * math.Pi * freqOffsetHz / sampleRate, phase: phaseRad}, nil
+}
+
+// Apply rotates each sample by the accumulated offset.
+func (c *CFO) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v * cmplx.Rect(1, c.phase+c.radPerSample*float64(i))
+	}
+	return out
+}
+
+// Gain applies a flat complex gain (used for fading realizations and path
+// loss amplitude scaling).
+type Gain struct {
+	g complex128
+}
+
+// NewGain wraps a fixed complex gain.
+func NewGain(g complex128) *Gain { return &Gain{g: g} }
+
+// Apply scales a copy of x.
+func (c *Gain) Apply(x []complex128) []complex128 { return dsp.Scale(x, c.g) }
+
+// Chain composes channels left to right.
+type Chain struct {
+	stages []Channel
+}
+
+// NewChain builds a composite channel; nil stages are rejected.
+func NewChain(stages ...Channel) (*Chain, error) {
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("channel: stage %d is nil", i)
+		}
+	}
+	return &Chain{stages: stages}, nil
+}
+
+// Apply runs every stage in order.
+func (c *Chain) Apply(x []complex128) []complex128 {
+	out := x
+	for _, s := range c.stages {
+		out = s.Apply(out)
+	}
+	if len(c.stages) == 0 {
+		out = append([]complex128(nil), x...)
+	}
+	return out
+}
+
+// RSSI returns the received signal strength in dB relative to unit power —
+// the quantity the CC26x2R1 reports after antenna loss (paper Table V
+// discussion).
+func RSSI(x []complex128) float64 {
+	return dsp.DB(dsp.Power(x))
+}

@@ -1,0 +1,80 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestNewIQImbalanceValidation(t *testing.T) {
+	if _, err := NewIQImbalance(1.5, 0); err == nil {
+		t.Error("accepted gain error ≥ 1")
+	}
+	if _, err := NewIQImbalance(0, 2); err == nil {
+		t.Error("accepted phase error ≥ π/2")
+	}
+}
+
+func TestIQImbalanceIdentityWhenPerfect(t *testing.T) {
+	c, err := NewIQImbalance(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := unitTone(64)
+	y := c.Apply(x)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("perfect front end altered sample %d", i)
+		}
+	}
+	if !math.IsInf(c.ImageRejectionRatioDB(), 1) {
+		t.Error("perfect front end should have infinite IRR")
+	}
+}
+
+func TestIQImbalanceCreatesImage(t *testing.T) {
+	// A positive-frequency tone through an imbalanced front end leaks a
+	// negative-frequency image at the IRR level.
+	c, err := NewIQImbalance(0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*float64(8*i)/float64(n)) // bin +8
+	}
+	y := c.Apply(x)
+	// Project onto bins +8 and −8.
+	var pos, neg complex128
+	for i, v := range y {
+		pos += v * cmplx.Rect(1, -2*math.Pi*float64(8*i)/float64(n))
+		neg += v * cmplx.Rect(1, 2*math.Pi*float64(8*i)/float64(n))
+	}
+	irr := 20 * math.Log10(cmplx.Abs(pos)/cmplx.Abs(neg))
+	want := c.ImageRejectionRatioDB()
+	if math.Abs(irr-want) > 1 {
+		t.Errorf("measured IRR %g dB, model says %g dB", irr, want)
+	}
+	// 5% gain + 0.05 rad phase ⇒ IRR in the realistic 25–35 dB band.
+	if want < 20 || want > 40 {
+		t.Errorf("IRR %g dB outside the commodity range", want)
+	}
+}
+
+func TestIQImbalancePreservesApproximatePower(t *testing.T) {
+	c, err := NewIQImbalance(0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := unitTone(1000)
+	y := c.Apply(x)
+	var px, py float64
+	for i := range x {
+		px += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		py += real(y[i])*real(y[i]) + imag(y[i])*imag(y[i])
+	}
+	if math.Abs(py/px-1) > 0.05 {
+		t.Errorf("power ratio %g", py/px)
+	}
+}

@@ -1,0 +1,105 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestNewJakesFaderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewJakesFader(0, 4e6, 16, rng); err == nil {
+		t.Error("accepted zero doppler")
+	}
+	if _, err := NewJakesFader(10, 0, 16, rng); err == nil {
+		t.Error("accepted zero sample rate")
+	}
+	if _, err := NewJakesFader(3e6, 4e6, 16, rng); err == nil {
+		t.Error("accepted super-Nyquist doppler")
+	}
+	if _, err := NewJakesFader(10, 4e6, 2, rng); err == nil {
+		t.Error("accepted 2 scatterers")
+	}
+	if _, err := NewJakesFader(10, 4e6, 16, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestJakesFaderUnitPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Average over realizations AND time.
+	var power float64
+	const realizations = 40
+	const samples = 2000
+	for r := 0; r < realizations; r++ {
+		f, err := NewJakesFader(50, 4e6, 16, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < samples; n++ {
+			g := f.GainAt(n * 997) // decorrelated time points
+			power += real(g)*real(g) + imag(g)*imag(g)
+		}
+	}
+	power /= realizations * samples
+	if math.Abs(power-1) > 0.1 {
+		t.Errorf("mean power = %g, want ≈ 1", power)
+	}
+}
+
+func TestJakesFaderSlowWithinCoherenceTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f, err := NewJakesFader(15, 4e6, 16, rng) // pedestrian doppler
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over one ZigBee frame (~0.4 ms ≪ coherence time ~28 ms) the gain
+	// must be nearly constant.
+	if ct := f.CoherenceTimeUs(); math.Abs(ct-28200) > 300 {
+		t.Errorf("coherence time = %g µs, want ≈ 28200", ct)
+	}
+	g0 := f.GainAt(0)
+	gEnd := f.GainAt(1600)
+	if cmplx.Abs(g0-gEnd) > 0.05*cmplx.Abs(g0)+0.01 {
+		t.Errorf("gain drifted %g over one frame", cmplx.Abs(g0-gEnd))
+	}
+}
+
+func TestJakesFaderVariesAcrossCoherenceTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f, err := NewJakesFader(100, 4e6, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across many coherence times the gain must take materially different
+	// values.
+	var minMag, maxMag = math.Inf(1), 0.0
+	for i := 0; i < 100; i++ {
+		m := cmplx.Abs(f.GainAt(i * 400000)) // 0.1 s apart
+		minMag = math.Min(minMag, m)
+		maxMag = math.Max(maxMag, m)
+	}
+	if maxMag/math.Max(minMag, 1e-9) < 2 {
+		t.Errorf("gain hardly varies: [%g, %g]", minMag, maxMag)
+	}
+}
+
+func TestJakesFaderApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, err := NewJakesFader(20, 4e6, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := unitTone(100)
+	y := f.Apply(x)
+	if len(y) != len(x) {
+		t.Fatalf("length %d", len(y))
+	}
+	for i := range x {
+		want := x[i] * f.GainAt(i)
+		if cmplx.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}

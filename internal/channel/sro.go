@@ -1,0 +1,47 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampleRateOffset models the clock skew between transmitter and receiver
+// oscillators: the receiver samples the continuous waveform at
+// (1 + ppm·10⁻⁶) times the nominal rate, implemented by cubic-free linear
+// interpolation over a drifting time base. Over a ZigBee frame (~1800
+// samples) a ±40 ppm crystal slews timing by ~0.07 samples — the
+// disturbance the clock-recovery loop exists to track.
+type SampleRateOffset struct {
+	ratio float64
+}
+
+// NewSampleRateOffset builds the skew channel; ppm is the offset in parts
+// per million (positive = receiver clock fast, waveform appears slower).
+func NewSampleRateOffset(ppm float64) (*SampleRateOffset, error) {
+	if math.Abs(ppm) >= 1e5 {
+		return nil, fmt.Errorf("channel: |ppm| = %v too large (≥ 10%%)", math.Abs(ppm))
+	}
+	return &SampleRateOffset{ratio: 1 + ppm*1e-6}, nil
+}
+
+// Apply resamples x at the skewed rate. Output length shrinks or grows by
+// the skew factor; interior samples are linearly interpolated.
+func (c *SampleRateOffset) Apply(x []complex128) []complex128 {
+	if len(x) < 2 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	outLen := int(float64(len(x)-1)/c.ratio) + 1
+	out := make([]complex128, 0, outLen)
+	for i := 0; ; i++ {
+		t := float64(i) * c.ratio
+		idx := int(t)
+		if idx >= len(x)-1 {
+			break
+		}
+		frac := complex(t-float64(idx), 0)
+		out = append(out, x[idx]+(x[idx+1]-x[idx])*frac)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestNewSampleRateOffsetValidation(t *testing.T) {
+	if _, err := NewSampleRateOffset(2e5); err == nil {
+		t.Error("accepted 20% skew")
+	}
+}
+
+func TestSampleRateOffsetZeroPPMIsIdentity(t *testing.T) {
+	c, err := NewSampleRateOffset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := unitTone(100)
+	y := c.Apply(x)
+	if len(y) != len(x)-1 { // last sample has no right neighbor
+		t.Fatalf("length %d", len(y))
+	}
+	for i := range y {
+		if cmplx.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("sample %d changed", i)
+		}
+	}
+}
+
+func TestSampleRateOffsetSlewsTiming(t *testing.T) {
+	c, err := NewSampleRateOffset(1000) // 0.1% fast clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 10000
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i), 0) // ramp: interpolation is exact
+	}
+	y := c.Apply(x)
+	// Output sample i sits at input time i·1.001.
+	for _, i := range []int{100, 5000, len(y) - 1} {
+		want := float64(i) * 1.001
+		if math.Abs(real(y[i])-want) > 1e-9 {
+			t.Fatalf("sample %d = %g, want %g", i, real(y[i]), want)
+		}
+	}
+	// Output is shorter (the fast clock exhausts the waveform sooner).
+	if len(y) >= n {
+		t.Errorf("output length %d not shorter than input %d", len(y), n)
+	}
+}
+
+func TestSampleRateOffsetTinyInput(t *testing.T) {
+	c, err := NewSampleRateOffset(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Apply(nil); len(got) != 0 {
+		t.Error("nil input should give empty output")
+	}
+	one := c.Apply([]complex128{5})
+	if len(one) != 1 || one[0] != 5 {
+		t.Errorf("single sample: %v", one)
+	}
+}

@@ -1,0 +1,97 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// CrossCorrelate slides ref across x and returns, for each lag
+// 0 ≤ l ≤ len(x)−len(ref), the correlation Σ_n x[l+n]·conj(ref[n]).
+// It is the workhorse of preamble synchronization.
+func CrossCorrelate(x, ref []complex128) []complex128 {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return nil
+	}
+	lags := len(x) - len(ref) + 1
+	out := make([]complex128, lags)
+	for l := 0; l < lags; l++ {
+		var acc complex128
+		for n, r := range ref {
+			acc += x[l+n] * cmplx.Conj(r)
+		}
+		out[l] = acc
+	}
+	return out
+}
+
+// NormalizedCrossCorrelate returns |correlation| divided by the geometric
+// mean of the windowed signal energy and the reference energy, yielding
+// values in [0, 1] that are robust to amplitude scaling.
+func NormalizedCrossCorrelate(x, ref []complex128) []float64 {
+	if len(ref) == 0 || len(x) < len(ref) {
+		return nil
+	}
+	refEnergy := Energy(ref)
+	if refEnergy == 0 {
+		return make([]float64, len(x)-len(ref)+1)
+	}
+	lags := len(x) - len(ref) + 1
+	out := make([]float64, lags)
+	// Maintain the sliding window energy incrementally: O(N) total.
+	var winEnergy float64
+	for n := 0; n < len(ref); n++ {
+		winEnergy += sqAbs(x[n])
+	}
+	for l := 0; l < lags; l++ {
+		var acc complex128
+		for n, r := range ref {
+			acc += x[l+n] * cmplx.Conj(r)
+		}
+		denom := math.Sqrt(winEnergy * refEnergy)
+		if denom > 0 {
+			out[l] = cmplx.Abs(acc) / denom
+		}
+		if l+1 < lags {
+			winEnergy += sqAbs(x[l+len(ref)]) - sqAbs(x[l])
+			if winEnergy < 0 {
+				winEnergy = 0 // guard against rounding drift
+			}
+		}
+	}
+	return out
+}
+
+func sqAbs(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// PeakIndex returns the index of the maximum value in x, or −1 for empty
+// input.
+func PeakIndex(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SegmentCorrelation returns the normalized correlation magnitude between
+// two equal-length segments — used by the cyclic-prefix repetition detector
+// (the paper's first candidate defense, Sec. VI-A-1).
+func SegmentCorrelation(a, b []complex128) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var acc complex128
+	for i := range a {
+		acc += a[i] * cmplx.Conj(b[i])
+	}
+	denom := math.Sqrt(Energy(a) * Energy(b))
+	if denom == 0 {
+		return 0
+	}
+	return cmplx.Abs(acc) / denom
+}

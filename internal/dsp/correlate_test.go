@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossCorrelatePeakAtOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ref := randComplexSlice(rng, 32)
+	x := make([]complex128, 128)
+	offset := 40
+	copy(x[offset:], ref)
+	corr := CrossCorrelate(x, ref)
+	if len(corr) != len(x)-len(ref)+1 {
+		t.Fatalf("correlation length = %d", len(corr))
+	}
+	peak := PeakIndex(Abs(corr))
+	if peak != offset {
+		t.Errorf("peak at %d, want %d", peak, offset)
+	}
+}
+
+func TestCrossCorrelateDegenerate(t *testing.T) {
+	if got := CrossCorrelate(nil, []complex128{1}); got != nil {
+		t.Error("short signal should give nil")
+	}
+	if got := CrossCorrelate([]complex128{1}, nil); got != nil {
+		t.Error("empty ref should give nil")
+	}
+}
+
+func TestNormalizedCrossCorrelateScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ref := randComplexSlice(rng, 24)
+	x := make([]complex128, 100)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05
+	}
+	offset := 30
+	for i, v := range ref {
+		x[offset+i] = v * 10 // embedded at 10x amplitude
+	}
+	corr := NormalizedCrossCorrelate(x, ref)
+	peak := PeakIndex(corr)
+	if peak != offset {
+		t.Fatalf("peak at %d, want %d", peak, offset)
+	}
+	if corr[peak] < 0.99 || corr[peak] > 1.000001 {
+		t.Errorf("normalized peak = %g, want ≈ 1", corr[peak])
+	}
+	for i, v := range corr {
+		if v < 0 || v > 1.000001 {
+			t.Errorf("corr[%d] = %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestNormalizedCrossCorrelateZeroRef(t *testing.T) {
+	corr := NormalizedCrossCorrelate(make([]complex128, 10), make([]complex128, 4))
+	for _, v := range corr {
+		if v != 0 {
+			t.Fatal("zero-energy reference should yield zeros")
+		}
+	}
+}
+
+func TestPeakIndex(t *testing.T) {
+	if got := PeakIndex(nil); got != -1 {
+		t.Errorf("PeakIndex(nil) = %d", got)
+	}
+	if got := PeakIndex([]float64{1, 5, 3, 5}); got != 1 {
+		t.Errorf("PeakIndex = %d, want first max 1", got)
+	}
+}
+
+func TestSegmentCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randComplexSlice(rng, 16)
+
+	if c := SegmentCorrelation(a, a); math.Abs(c-1) > 1e-12 {
+		t.Errorf("self-correlation = %g, want 1", c)
+	}
+	scaled := Scale(a, 3+1i)
+	if c := SegmentCorrelation(a, scaled); math.Abs(c-1) > 1e-12 {
+		t.Errorf("scaled correlation = %g, want 1", c)
+	}
+	b := randComplexSlice(rng, 16)
+	if c := SegmentCorrelation(a, b); c > 0.8 {
+		t.Errorf("independent correlation = %g, suspiciously high", c)
+	}
+	if c := SegmentCorrelation(a, b[:8]); c != 0 {
+		t.Error("mismatched lengths should yield 0")
+	}
+	if c := SegmentCorrelation(nil, nil); c != 0 {
+		t.Error("empty segments should yield 0")
+	}
+	if c := SegmentCorrelation(make([]complex128, 4), make([]complex128, 4)); c != 0 {
+		t.Error("zero-energy segments should yield 0")
+	}
+}

@@ -1,0 +1,170 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform
+//
+//	X[k] = Σ_{n} x[n]·e^{−j2πkn/N}
+//
+// of x, returning a new slice. Power-of-two lengths use an in-place
+// iterative radix-2 algorithm; every other length is handled by Bluestein's
+// chirp-z transform so callers never need to pad.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		radix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT computes the inverse DFT with 1/N normalization, so
+// IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 runs a decimation-in-time FFT in place. inverse selects the twiddle
+// sign; normalization is left to the caller.
+func radix2(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := uint(bits.LeadingZeros32(uint32(n)) + 1)
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse32(uint32(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a convolution with a chirp,
+// using two power-of-two FFTs internally.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp c[k] = e^{sign·jπk²/n}. Use k² mod 2n to avoid precision loss on
+	// large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// FFTShift rotates a spectrum so the DC bin moves to the center,
+// i.e. output index 0 holds the most negative frequency.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// BinFrequency returns the signed frequency in Hz of FFT bin k for an
+// n-point transform at the given sample rate. Bins above n/2 map to
+// negative frequencies.
+func BinFrequency(k, n int, sampleRate float64) (float64, error) {
+	if k < 0 || k >= n {
+		return 0, fmt.Errorf("dsp: bin %d out of range for %d-point FFT", k, n)
+	}
+	if k <= n/2 {
+		return float64(k) * sampleRate / float64(n), nil
+	}
+	return float64(k-n) * sampleRate / float64(n), nil
+}
+
+// Goertzel evaluates a single DFT bin k of x, equivalent to FFT(x)[k] but in
+// O(N) with O(1) memory — the receiver-side spot checks use it.
+func Goertzel(x []complex128, k int) complex128 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := complex(2*math.Cos(w), 0)
+	ew := cmplx.Rect(1, w)
+	var s1, s2 complex128
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2, s1 = s1, s0
+	}
+	return ew*s1 - s2
+}

@@ -1,0 +1,69 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// NMSE returns the normalized mean squared error Σ|x̂−x|² / Σ|x|² between a
+// reference waveform x and its reconstruction xhat. It is the time-domain
+// distortion metric behind the paper's Eq. (2) Parseval argument.
+func NMSE(x, xhat []complex128) (float64, error) {
+	if len(x) != len(xhat) {
+		return 0, fmt.Errorf("dsp: NMSE length mismatch %d vs %d", len(x), len(xhat))
+	}
+	refEnergy := Energy(x)
+	if refEnergy == 0 {
+		return 0, fmt.Errorf("dsp: NMSE reference has zero energy")
+	}
+	var errEnergy float64
+	for i := range x {
+		d := xhat[i] - x[i]
+		errEnergy += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return errEnergy / refEnergy, nil
+}
+
+// EVMPercent returns the error-vector magnitude between measured and ideal
+// constellation points, as a percentage of the ideal RMS amplitude.
+func EVMPercent(ideal, measured []complex128) (float64, error) {
+	nmse, err := NMSE(ideal, measured)
+	if err != nil {
+		return 0, fmt.Errorf("dsp: EVM: %w", err)
+	}
+	return 100 * math.Sqrt(nmse), nil
+}
+
+// SNREstimate infers the signal-to-noise power ratio (linear) by comparing
+// a noisy observation against the known clean waveform.
+func SNREstimate(clean, noisy []complex128) (float64, error) {
+	if len(clean) != len(noisy) {
+		return 0, fmt.Errorf("dsp: SNR estimate length mismatch %d vs %d", len(clean), len(noisy))
+	}
+	var noiseEnergy float64
+	for i := range clean {
+		d := noisy[i] - clean[i]
+		noiseEnergy += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noiseEnergy == 0 {
+		return math.Inf(1), nil
+	}
+	return Energy(clean) / noiseEnergy, nil
+}
+
+// MeanStd returns the sample mean and (population) standard deviation of x.
+func MeanStd(x []float64) (mean, std float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for _, v := range x {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(x)))
+	return mean, std
+}

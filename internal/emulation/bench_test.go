@@ -1,0 +1,118 @@
+package emulation
+
+import (
+	"testing"
+
+	"hideseek/internal/wifi"
+	"hideseek/internal/zigbee"
+)
+
+func benchObservation(b *testing.B) []complex128 {
+	b.Helper()
+	tx := zigbee.NewTransmitter()
+	obs, err := tx.TransmitPSDU([]byte("00000"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obs
+}
+
+func BenchmarkEmulate(b *testing.B) {
+	obs := benchObservation(b)
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Emulate(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulateFixedBins(b *testing.B) {
+	obs := benchObservation(b)
+	em, err := NewEmulator(AttackConfig{SubcarrierIndices: DefaultSubcarrierIndices})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Emulate(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeAlpha(b *testing.B) {
+	obs := benchObservation(b)
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := em.Emulate(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := wifi.NewConstellation(wifi.QAM64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var points []complex128
+	for _, seg := range res.QAMPoints {
+		points = append(points, seg...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := OptimizeAlpha(c, points, AlphaGrid{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorAnalyze(b *testing.B) {
+	obs := benchObservation(b)
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := rx.Receive(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := NewDetector(DefenseConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.AnalyzeReception(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodedEmulation(b *testing.B) {
+	obs := benchObservation(b)
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := em.Emulate(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := wifi.NewTransmitter(wifi.QAM64, 0x5D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CodedEmulation(res, tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package emulation
+
+import (
+	"fmt"
+
+	"hideseek/internal/zigbee"
+)
+
+// ForgeFrame synthesizes a brand-new ZigBee MAC frame (the attacker is not
+// limited to replaying recordings — after observing one exchange it knows
+// the addressing and command format) and emulates its waveform. This is
+// the capability that defeats MAC-layer replay guards: the sequence number
+// is fresh, the FCS is valid, and only the physical-layer footprint
+// remains as evidence.
+func ForgeFrame(em *Emulator, frame *zigbee.MACFrame) (*Result, error) {
+	if em == nil || frame == nil {
+		return nil, fmt.Errorf("emulation: nil emulator or frame")
+	}
+	tx := zigbee.NewTransmitter()
+	wave, err := tx.TransmitFrame(frame)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: forge: %w", err)
+	}
+	return em.Emulate(wave)
+}
+
+// ForgePSDU is ForgeFrame for a raw PSDU.
+func ForgePSDU(em *Emulator, psdu []byte) (*Result, error) {
+	if em == nil {
+		return nil, fmt.Errorf("emulation: nil emulator")
+	}
+	tx := zigbee.NewTransmitter()
+	wave, err := tx.TransmitPSDU(psdu)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: forge: %w", err)
+	}
+	return em.Emulate(wave)
+}

@@ -1,0 +1,118 @@
+package emulation
+
+import (
+	"testing"
+
+	"hideseek/internal/zigbee"
+)
+
+// TestForgedFrameDefeatsReplayGuardButNotDefense walks the full argument
+// for why MAC-layer replay detection cannot stop the emulation attack:
+//  1. a replayed frame is caught by the sequence-number guard;
+//  2. a forged frame (fresh sequence number) sails through the guard and
+//     decodes at the victim;
+//  3. the constellation defense still flags the forged frame, because the
+//     footprint lives in the waveform, not the bits.
+func TestForgedFrameDefeatsReplayGuardButNotDefense(t *testing.T) {
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := zigbee.NewReplayGuard(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DefenseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gateway's legitimate command, observed by everyone.
+	legit := &zigbee.MACFrame{Type: zigbee.FrameData, Seq: 9, PANID: 1, Dst: 2, Src: 3, Payload: []byte("off")}
+	tx := zigbee.NewTransmitter()
+	legitWave, err := tx.TransmitFrame(legit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rx.Receive(legitWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := zigbee.DecodeMACFrame(rec.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay, _ := guard.Check(frame); replay {
+		t.Fatal("legitimate frame flagged as replay")
+	}
+
+	// 1. Naive replay: the emulated copy of the SAME frame trips the guard.
+	replayed, err := em.Emulate(legitWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = rx.Receive(replayed.Emulated4M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err = zigbee.DecodeMACFrame(rec.PSDU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay, _ := guard.Check(frame); !replay {
+		t.Error("replayed frame not caught by the sequence guard")
+	}
+
+	// 2. Forged frame: fresh sequence number, same command.
+	forged := &zigbee.MACFrame{Type: zigbee.FrameData, Seq: 10, PANID: 1, Dst: 2, Src: 3, Payload: []byte("off")}
+	res, err := ForgeFrame(em, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = rx.Receive(res.Emulated4M)
+	if err != nil {
+		t.Fatalf("forged frame rejected by PHY: %v", err)
+	}
+	got, err := zigbee.DecodeMACFrame(rec.PSDU)
+	if err != nil {
+		t.Fatalf("forged frame MAC decode: %v", err)
+	}
+	if got.Seq != 10 || string(got.Payload) != "off" {
+		t.Errorf("forged frame decoded as %+v", got)
+	}
+	if replay, _ := guard.Check(got); replay {
+		t.Error("forged frame with fresh sequence number flagged as replay — guard too strong")
+	}
+
+	// 3. The PHY defense still catches it.
+	verdict, err := det.AnalyzeReception(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Attack {
+		t.Errorf("forged frame not detected by the constellation defense (D² = %g)", verdict.DistanceSquared)
+	}
+}
+
+func TestForgeValidation(t *testing.T) {
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForgeFrame(nil, &zigbee.MACFrame{}); err == nil {
+		t.Error("accepted nil emulator")
+	}
+	if _, err := ForgeFrame(em, nil); err == nil {
+		t.Error("accepted nil frame")
+	}
+	if _, err := ForgePSDU(nil, []byte{1}); err == nil {
+		t.Error("accepted nil emulator")
+	}
+	if _, err := ForgePSDU(em, make([]byte, 300)); err == nil {
+		t.Error("accepted oversize PSDU")
+	}
+}

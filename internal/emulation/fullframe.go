@@ -1,0 +1,167 @@
+package emulation
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"hideseek/internal/bits"
+	"hideseek/internal/wifi"
+)
+
+// FullFrameResult is the output of the strictest attack model: a complete,
+// standards-legal 802.11g PPDU (L-STF ‖ L-LTF ‖ SIGNAL ‖ DATA) whose DATA
+// symbols approximate the emulated ZigBee waveform. Unlike CodedEmulation,
+// the frame carries the real preamble, SIGNAL field, SERVICE/tail/pad
+// bits and frame-level scrambling — every constraint a commodity WiFi card
+// imposes.
+type FullFrameResult struct {
+	// PSDU is the WiFi MAC payload handed to the card.
+	PSDU []byte
+	// Rate is the 802.11g rate used.
+	Rate wifi.Rate
+	// Frame20M is the complete PPDU at complex baseband (2440 MHz center).
+	Frame20M []complex128
+	// OnAirAtVictim4M is what the ZigBee victim's front end receives: the
+	// whole frame (including the preamble and SIGNAL, which splatter into
+	// the victim band) mixed to 2435 MHz and decimated.
+	OnAirAtVictim4M []complex128
+	// DataStartSample is where the first DATA symbol begins in Frame20M.
+	DataStartSample int
+	// TargetHitRate is the fraction of targeted QAM points reproduced
+	// exactly; SERVICE/tail/pad constraints and the convolutional code
+	// make it < 1.
+	TargetHitRate float64
+}
+
+// FullFrameEmulation embeds an emulation result into a complete 802.11g
+// frame at the given rate. The attacker recovers the ideal data-bit stream
+// from the target QAM points (deinterleave → depuncture → Viterbi →
+// descramble), then copies the PSDU-position bits into a real frame — the
+// SERVICE field, tail, and padding stay fixed, so the first and last
+// symbols deviate most.
+func FullFrameEmulation(res *Result, rate wifi.Rate, scramblerSeed byte) (*FullFrameResult, error) {
+	if res == nil {
+		return nil, fmt.Errorf("emulation: nil result")
+	}
+	ndbps, err := wifi.DataBitsPerSymbol(rate)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: full frame: %w", err)
+	}
+	constellation, err := attackConstellationFor(rate)
+	if err != nil {
+		return nil, err
+	}
+	targets, shifted, binToDataIdx, err := buildCarrierTargets(res, constellation)
+	if err != nil {
+		return nil, err
+	}
+	numSymbols := res.NumSegments
+
+	// PSDU length: everything in the frame's bit budget that is not
+	// SERVICE (16) or tail (6), rounded down to octets.
+	payloadBits := numSymbols*ndbps - 16 - 6
+	psduLen := payloadBits / 8
+	if psduLen < 1 {
+		return nil, fmt.Errorf("emulation: %d segments leave no room for a PSDU at rate %d", numSymbols, rate)
+	}
+	if psduLen > 4095 {
+		psduLen = 4095
+	}
+
+	// Ideal scrambled stream from the targets.
+	scrambled, err := recoverScrambledStream(targets, rate, numSymbols)
+	if err != nil {
+		return nil, err
+	}
+	// Descramble the PSDU-position bits with the known TX seed to get the
+	// PSDU the card must be fed.
+	scr := bits.NewScrambler(scramblerSeed)
+	for i := 0; i < 16; i++ {
+		scr.Next() // burn SERVICE positions
+	}
+	psduBits := make([]bits.Bit, psduLen*8)
+	for i := range psduBits {
+		psduBits[i] = scrambled[16+i] ^ scr.Next()
+	}
+	psdu, err := bits.BitsToBytesLSB(psduBits)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: full frame: %w", err)
+	}
+
+	frame, err := wifi.BuildFrame(psdu, rate, scramblerSeed)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: full frame: %w", err)
+	}
+
+	// Hit-rate audit over the targeted bins of every DATA symbol.
+	dataStart := len(wifi.Preamble()) + wifi.SymbolSamples // preamble + SIGNAL
+	hits, total := 0, 0
+	for s := 0; s < numSymbols; s++ {
+		off := dataStart + s*wifi.SymbolSamples
+		if off+wifi.SymbolSamples > len(frame) {
+			break
+		}
+		spec, err := wifi.AnalyzeSymbol(frame[off : off+wifi.SymbolSamples])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range shifted {
+			want := targets[s*wifi.NumDataSubcarriers+binToDataIdx[k]]
+			if cmplx.Abs(spec[k]-want) < constellation.Norm() {
+				hits++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("emulation: no targeted bins audited")
+	}
+
+	atVictim, err := ReceiveAtZigBee(OnCarrierWaveform(frame))
+	if err != nil {
+		return nil, err
+	}
+	return &FullFrameResult{
+		PSDU:            psdu,
+		Rate:            rate,
+		Frame20M:        frame,
+		OnAirAtVictim4M: atVictim,
+		DataStartSample: dataStart,
+		TargetHitRate:   float64(hits) / float64(total),
+	}, nil
+}
+
+// attackConstellationFor maps a rate to its constellation; BPSK rates are
+// rejected (one bit per subcarrier cannot address the 64-QAM grid the
+// quantizer used).
+func attackConstellationFor(rate wifi.Rate) (*wifi.Constellation, error) {
+	switch rate {
+	case wifi.Rate48, wifi.Rate54:
+		return wifi.NewConstellation(wifi.QAM64)
+	case wifi.Rate24, wifi.Rate36:
+		return wifi.NewConstellation(wifi.QAM16)
+	case wifi.Rate12, wifi.Rate18:
+		return wifi.NewConstellation(wifi.QAM4)
+	default:
+		return nil, fmt.Errorf("emulation: rate %d unsuitable for the attack (BPSK or unknown)", rate)
+	}
+}
+
+// recoverScrambledStream inverts demap → deinterleave → depuncture →
+// Viterbi for the target symbol vectors, yielding the pre-coding
+// (scrambled-domain) bit stream nearest to the targets.
+func recoverScrambledStream(targets []complex128, rate wifi.Rate, numSymbols int) ([]bits.Bit, error) {
+	hard, err := wifi.DemapDataSymbols(targets, rate)
+	if err != nil {
+		return nil, err
+	}
+	deinterleaved, err := wifi.DeinterleaveDataBits(hard, rate)
+	if err != nil {
+		return nil, err
+	}
+	coded, err := wifi.DepunctureForRate(deinterleaved, rate)
+	if err != nil {
+		return nil, err
+	}
+	return wifi.ViterbiDecode(coded)
+}

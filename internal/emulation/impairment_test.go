@@ -1,0 +1,121 @@
+package emulation
+
+import (
+	"math/rand"
+	"testing"
+
+	"hideseek/internal/channel"
+	"hideseek/internal/zigbee"
+)
+
+// TestDefenseRobustToCommodityIQImbalance checks that a victim radio with
+// realistic IQ calibration (IRR ≈ 30 dB) does not false-alarm on authentic
+// waveforms while still detecting the attack — the front-end impairment
+// every deployed defense would face.
+func TestDefenseRobustToCommodityIQImbalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	obs := observeFrame(t, []byte("0123456789"))
+	res := emulate(t, obs)
+
+	iq, err := channel.NewIQImbalance(0.05, 0.05) // IRR ≈ 31 dB
+	if err != nil {
+		t.Fatal(err)
+	}
+	awgn, err := channel.NewAWGN(15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := channel.NewChain(iq, awgn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DefenseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		recA, err := rx.Receive(chain.Apply(obs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vA, err := det.AnalyzeReception(recA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vA.Attack {
+			t.Errorf("trial %d: authentic flagged under IQ imbalance (D² = %g)", trial, vA.DistanceSquared)
+		}
+		recE, err := rx.Receive(chain.Apply(res.Emulated4M))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vE, err := det.AnalyzeReception(recE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vE.Attack {
+			t.Errorf("trial %d: attack missed under IQ imbalance (D² = %g)", trial, vE.DistanceSquared)
+		}
+	}
+}
+
+// TestDefenseDegradesGracefullyUnderSevereIQImbalance documents the
+// breaking point: a badly mis-calibrated front end (IRR ≈ 11 dB) inflates
+// authentic D², eating detection margin. The test pins that the bias is
+// visible (non-vacuous) yet still below the emulated footprint.
+func TestDefenseDegradesGracefullyUnderSevereIQImbalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	obs := observeFrame(t, []byte("0123456789"))
+	res := emulate(t, obs)
+
+	iq, err := channel.NewIQImbalance(0.3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irr := iq.ImageRejectionRatioDB(); irr > 20 {
+		t.Fatalf("test premise broken: IRR %g dB too good", irr)
+	}
+	awgn, err := channel.NewAWGN(17, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := channel.NewChain(iq, awgn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(DefenseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recA, err := rx.Receive(chain.Apply(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA, err := det.AnalyzeReception(recA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recE, err := rx.Receive(chain.Apply(res.Emulated4M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vE, err := det.AnalyzeReception(recE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vA.DistanceSquared >= vE.DistanceSquared {
+		t.Errorf("severe imbalance erased the class gap: %g vs %g",
+			vA.DistanceSquared, vE.DistanceSquared)
+	}
+	t.Logf("severe IQ imbalance: authentic D² %.4f, emulated D² %.4f",
+		vA.DistanceSquared, vE.DistanceSquared)
+}

@@ -1,0 +1,153 @@
+package emulation
+
+import (
+	"fmt"
+	"math"
+
+	"hideseek/internal/dsp"
+	"hideseek/internal/wifi"
+	"hideseek/internal/zigbee"
+)
+
+// WiFiChannelFrequency returns the center frequency of a 2.4 GHz 802.11
+// channel (1–13): 2412 + 5·(ch−1) MHz.
+func WiFiChannelFrequency(ch int) (float64, error) {
+	if ch < 1 || ch > 13 {
+		return 0, fmt.Errorf("emulation: WiFi channel %d outside [1, 13]", ch)
+	}
+	return 2412e6 + 5e6*float64(ch-1), nil
+}
+
+// CarrierPlan describes how an attacker tuned to a WiFi-style 20 MHz
+// carrier reaches one ZigBee channel — the generalization of the paper's
+// 2440 MHz → channel 17 example (Sec. V-A-4).
+type CarrierPlan struct {
+	// WiFiCenterHz is the attacker's carrier frequency.
+	WiFiCenterHz float64
+	// ZigBeeChannel is the victim's channel (11–26).
+	ZigBeeChannel int
+	// OffsetHz is f_zigbee − f_wifi.
+	OffsetHz float64
+	// OffsetBins is the (integer) subcarrier shift applied to the baseband
+	// bins.
+	OffsetBins int
+	// Bins are the shifted FFT bins carrying the ZigBee content.
+	Bins []int
+}
+
+// PlanCarrier validates an attacker center frequency against a ZigBee
+// channel: the offset must be a whole number of OFDM subcarriers and the
+// shifted bins must all be legal 802.11 data subcarriers inside the
+// occupied band.
+//
+// Standard WiFi channel centers NEVER satisfy the integer-offset condition
+// for any ZigBee channel: the center rasters differ by −7 + 5n MHz, which
+// is −22.4 + 16n subcarriers — always fractional. A commodity attacker
+// locked to channel 1/6/11 therefore suffers inter-carrier interference;
+// the paper's SDR attacker sidesteps it by tuning to 2440 MHz, a
+// non-standard center exactly 16 subcarriers above ZigBee channel 17.
+// Use BestAttackerCenters to enumerate such centers.
+func PlanCarrier(wifiCenterHz float64, zigbeeChannel int) (*CarrierPlan, error) {
+	if wifiCenterHz < 2.4e9 || wifiCenterHz > 2.5e9 {
+		return nil, fmt.Errorf("emulation: attacker center %g Hz outside the 2.4 GHz band", wifiCenterHz)
+	}
+	fz, err := zigbee.ChannelFrequency(zigbeeChannel)
+	if err != nil {
+		return nil, err
+	}
+	offset := fz - wifiCenterHz
+	binsF := offset / wifi.SubcarrierSpacing
+	bins := int(math.Round(binsF))
+	if math.Abs(binsF-float64(bins)) > 1e-9 {
+		return nil, fmt.Errorf("emulation: offset %g Hz is %.2f subcarriers — not an integer; tune the attacker to a 312.5 kHz-aligned center", offset, binsF)
+	}
+	shifted := make([]int, len(DefaultSubcarrierIndices))
+	for i, k := range DefaultSubcarrierIndices {
+		signed := signedBin(k) + bins
+		if signed < -26 || signed > 26 {
+			return nil, fmt.Errorf("emulation: ZigBee channel %d falls outside the attacker's occupied band (bin %d)", zigbeeChannel, signed)
+		}
+		shifted[i] = (signed + wifi.NumSubcarriers) % wifi.NumSubcarriers
+	}
+	if err := VerifyCarrierAllocation(shifted); err != nil {
+		return nil, fmt.Errorf("emulation: ZigBee channel %d at center %g Hz: %w", zigbeeChannel, wifiCenterHz, err)
+	}
+	return &CarrierPlan{
+		WiFiCenterHz:  wifiCenterHz,
+		ZigBeeChannel: zigbeeChannel,
+		OffsetHz:      offset,
+		OffsetBins:    bins,
+		Bins:          shifted,
+	}, nil
+}
+
+// StandardChannelPlan attempts a plan from a standard WiFi channel (1–13).
+// It always fails with the fractional-offset explanation — kept as an
+// executable record of why the attack needs an SDR-tunable center.
+func StandardChannelPlan(wifiChannel, zigbeeChannel int) (*CarrierPlan, error) {
+	fw, err := WiFiChannelFrequency(wifiChannel)
+	if err != nil {
+		return nil, err
+	}
+	return PlanCarrier(fw, zigbeeChannel)
+}
+
+// ValidShifts enumerates every integer subcarrier shift that parks all 7
+// emulation bins on legal data subcarriers within the occupied band.
+func ValidShifts() []int {
+	var out []int
+	for shift := -29; shift <= 29; shift++ {
+		ok := true
+		for _, k := range DefaultSubcarrierIndices {
+			signed := signedBin(k) + shift
+			if signed < -26 || signed > 26 {
+				ok = false
+				break
+			}
+			switch signed {
+			case -21, -7, 0, 7, 21:
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, shift)
+		}
+	}
+	return out
+}
+
+// BestAttackerCenters returns the attacker carrier frequencies (Hz) from
+// which a ZigBee channel can be attacked without inter-carrier leakage,
+// one per valid shift (center = f_zigbee − shift·Δf). The paper's
+// 2440 MHz appears here as the shift −16 entry for channel 17.
+func BestAttackerCenters(zigbeeChannel int) ([]float64, error) {
+	fz, err := zigbee.ChannelFrequency(zigbeeChannel)
+	if err != nil {
+		return nil, err
+	}
+	shifts := ValidShifts()
+	out := make([]float64, 0, len(shifts))
+	for _, s := range shifts {
+		out = append(out, fz-float64(s)*wifi.SubcarrierSpacing)
+	}
+	return out, nil
+}
+
+// MixForPlan converts a baseband-centered emulated waveform into the
+// waveform radiated from the plan's WiFi center: a shift by OffsetHz puts
+// the ZigBee content at the victim's frequency.
+func MixForPlan(emulated20M []complex128, plan *CarrierPlan) []complex128 {
+	return mix(emulated20M, plan.OffsetHz, wifi.SampleRate)
+}
+
+// ReceiveForPlan models the victim front end for an arbitrary plan: mix
+// the WiFi-centered waveform down to the ZigBee center and decimate to
+// 4 MS/s.
+func ReceiveForPlan(onCarrier20M []complex128, plan *CarrierPlan) ([]complex128, error) {
+	shifted := mix(onCarrier20M, -plan.OffsetHz, wifi.SampleRate)
+	down, err := dsp.Decimate(shifted, Interpolation)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: receive for plan: %w", err)
+	}
+	return down, nil
+}

@@ -1,0 +1,175 @@
+package emulation
+
+import (
+	"math"
+	"testing"
+
+	"hideseek/internal/wifi"
+	"hideseek/internal/zigbee"
+)
+
+func TestWiFiChannelFrequency(t *testing.T) {
+	f, err := WiFiChannelFrequency(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2437e6 {
+		t.Errorf("channel 6 = %g", f)
+	}
+	if _, err := WiFiChannelFrequency(0); err == nil {
+		t.Error("accepted channel 0")
+	}
+	if _, err := WiFiChannelFrequency(14); err == nil {
+		t.Error("accepted channel 14")
+	}
+}
+
+func TestPlanCarrierPaperSetup(t *testing.T) {
+	// The paper's exact setup: attacker at 2440 MHz, victim on channel 17.
+	plan, err := PlanCarrier(2440e6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OffsetHz != -5e6 {
+		t.Errorf("offset = %g, want −5 MHz", plan.OffsetHz)
+	}
+	if plan.OffsetBins != -16 {
+		t.Errorf("offset bins = %d, want −16", plan.OffsetBins)
+	}
+	// Sec. V-A-4: the content lands inside data subcarriers [−20, −8].
+	for _, k := range plan.Bins {
+		signed := k
+		if signed > wifi.NumSubcarriers/2 {
+			signed -= wifi.NumSubcarriers
+		}
+		if signed < -20 || signed > -8 {
+			t.Errorf("bin %d outside [−20, −8]", signed)
+		}
+	}
+	if err := VerifyCarrierAllocation(plan.Bins); err != nil {
+		t.Errorf("plan bins not legal: %v", err)
+	}
+}
+
+func TestStandardChannelsAlwaysFractional(t *testing.T) {
+	// The executable form of the 2440 MHz insight: NO standard WiFi channel
+	// has an integer-subcarrier offset to ANY ZigBee channel, so a
+	// commodity-channel attacker cannot run the clean attack.
+	for w := 1; w <= 13; w++ {
+		for z := zigbee.FirstChannel; z <= zigbee.LastChannel; z++ {
+			if plan, err := StandardChannelPlan(w, z); err == nil {
+				t.Fatalf("WiFi channel %d → ZigBee %d unexpectedly plannable: %+v", w, z, plan)
+			}
+		}
+	}
+}
+
+func TestPlanCarrierValidation(t *testing.T) {
+	if _, err := PlanCarrier(5e9, 17); err == nil {
+		t.Error("accepted out-of-band center")
+	}
+	if _, err := PlanCarrier(2440e6, 5); err == nil {
+		t.Error("accepted bad ZigBee channel")
+	}
+	// Offset beyond the occupied band: ZigBee 26 (2480) from 2440.
+	if _, err := PlanCarrier(2440e6, 26); err == nil {
+		t.Error("accepted 40 MHz offset")
+	}
+	// Integer offset but bins collide with pilots: shift −21 puts a bin on
+	// subcarrier −21… construct center accordingly.
+	fz, err := zigbee.ChannelFrequency(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := fz + 21*wifi.SubcarrierSpacing // shift −21
+	if _, err := PlanCarrier(center, 17); err == nil {
+		t.Error("accepted pilot-colliding shift")
+	}
+}
+
+func TestValidShiftsProperties(t *testing.T) {
+	shifts := ValidShifts()
+	if len(shifts) == 0 {
+		t.Fatal("no valid shifts")
+	}
+	seen := map[int]bool{}
+	for _, s := range shifts {
+		if seen[s] {
+			t.Fatalf("duplicate shift %d", s)
+		}
+		seen[s] = true
+	}
+	// The paper's ±16 must be present; 0 must not (DC collision).
+	if !seen[-16] || !seen[16] {
+		t.Error("±16 missing from valid shifts")
+	}
+	if seen[0] {
+		t.Error("shift 0 accepted despite DC collision")
+	}
+	// Pilot-colliding shifts are excluded: shift 21 puts a bin at 21±3 ∋ 21.
+	for _, bad := range []int{-21, 21, 7, -7} {
+		if seen[bad] {
+			t.Errorf("shift %d accepted despite pilot collision", bad)
+		}
+	}
+}
+
+func TestBestAttackerCentersIncludePaperChoice(t *testing.T) {
+	centers, err := BestAttackerCenters(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range centers {
+		if math.Abs(c-2440e6) < 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("2440 MHz not among the valid centers for channel 17")
+	}
+	if _, err := BestAttackerCenters(5); err == nil {
+		t.Error("accepted bad ZigBee channel")
+	}
+}
+
+func TestPlannedAttackEndToEnd(t *testing.T) {
+	// Run the attack with a non-default plan: shift +16 (attacker 5 MHz
+	// BELOW the victim) against ZigBee channel 12.
+	fz, err := zigbee.ChannelFrequency(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanCarrier(fz-5e6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OffsetBins != 16 {
+		t.Fatalf("offset bins = %d", plan.OffsetBins)
+	}
+	obs := observeFrame(t, []byte("00012"))
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Emulate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onAir := MixForPlan(res.Emulated20M, plan)
+	atVictim, err := ReceiveForPlan(onAir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rx.Receive(atVictim)
+	if err != nil {
+		t.Fatalf("victim rejected planned attack: %v", err)
+	}
+	if string(rec.PSDU) != "00012" {
+		t.Errorf("decoded %q", rec.PSDU)
+	}
+}

@@ -1,0 +1,50 @@
+package emulation
+
+import (
+	"testing"
+
+	"hideseek/internal/zigbee"
+)
+
+func TestChipsFromReceptionErrorPaths(t *testing.T) {
+	if _, err := ChipsFromReception(nil, SourceDiscriminator); err == nil {
+		t.Error("accepted nil reception")
+	}
+	empty := &zigbee.Reception{}
+	for _, src := range []ChipSource{SourceDiscriminator, SourceRecovered, SourcePeak, SourceMatched} {
+		if _, err := ChipsFromReception(empty, src); err == nil {
+			t.Errorf("source %d accepted empty reception", src)
+		}
+	}
+	if _, err := ChipsFromReception(empty, ChipSource(99)); err == nil {
+		t.Error("accepted unknown source")
+	}
+}
+
+func TestChipsFromReceptionAllSourcesPopulated(t *testing.T) {
+	obs := observeFrame(t, []byte("abc"))
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rx.Receive(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(rec.SoftChips)
+	for _, src := range []ChipSource{SourceDiscriminator, SourceRecovered, SourcePeak, SourceMatched} {
+		chips, err := ChipsFromReception(rec, src)
+		if err != nil {
+			t.Fatalf("source %d: %v", src, err)
+		}
+		if len(chips) != want {
+			t.Errorf("source %d: %d chips, want %d", src, len(chips), want)
+		}
+	}
+}
+
+func TestDefenseConfigSourceValidation(t *testing.T) {
+	if _, err := NewDetector(DefenseConfig{Source: 99}); err == nil {
+		t.Error("accepted unknown source in config")
+	}
+}

@@ -1,0 +1,127 @@
+package emulation
+
+import (
+	"math/rand"
+	"testing"
+
+	"hideseek/internal/channel"
+	"hideseek/internal/zigbee"
+)
+
+func TestNewStreamDetectorValidation(t *testing.T) {
+	if _, err := NewStreamDetector(DefenseConfig{}, 0, 5); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewStreamDetector(DefenseConfig{}, 6, 5); err == nil {
+		t.Error("accepted k>n")
+	}
+	if _, err := NewStreamDetector(DefenseConfig{}, 1, 0); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewStreamDetector(DefenseConfig{Threshold: -1}, 1, 2); err == nil {
+		t.Error("accepted bad detector config")
+	}
+}
+
+func TestStreamDetectorAlarmsOnAttackBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	obs := observeFrame(t, []byte("00000"))
+	res := emulate(t, obs)
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDetector(DefenseConfig{}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a stream of authentic frames never alarms.
+	for i := 0; i < 10; i++ {
+		rec, err := rx.Receive(ch.Apply(obs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, alarm, err := sd.Observe(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarm {
+			t.Fatalf("false alarm on authentic frame %d", i)
+		}
+	}
+
+	// Phase 2: three emulated frames in a row trip the 3-of-5 alarm.
+	alarmAt := -1
+	for i := 0; i < 5; i++ {
+		rec, err := rx.Receive(ch.Apply(res.Emulated4M))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, alarm, err := sd.Observe(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarm {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt != 2 {
+		t.Errorf("alarm after %d attack frames, want after the 3rd (index 2)", alarmAt)
+	}
+
+	// Phase 3: Reset clears everything.
+	sd.Reset()
+	if sd.Alarm() {
+		t.Error("alarm persists after reset")
+	}
+}
+
+func TestStreamDetectorWindowEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	obs := observeFrame(t, []byte("00000"))
+	res := emulate(t, obs)
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGN(17, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDetector(DefenseConfig{}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observe := func(wave []complex128) bool {
+		rec, err := rx.Receive(ch.Apply(wave))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, alarm, err := sd.Observe(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alarm
+	}
+	// One attack frame, then enough authentic frames to evict it: the
+	// single hit must age out of the 3-frame window.
+	if observe(res.Emulated4M) {
+		t.Error("alarm on a single attack frame with k=2")
+	}
+	for i := 0; i < 3; i++ {
+		if observe(obs) {
+			t.Fatalf("alarm while aging out a single hit (frame %d)", i)
+		}
+	}
+	// Two attacks back to back now alarm.
+	observe(res.Emulated4M)
+	if !observe(res.Emulated4M) {
+		t.Error("no alarm after two consecutive attack frames")
+	}
+}

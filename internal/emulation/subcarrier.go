@@ -1,0 +1,138 @@
+package emulation
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+
+	"hideseek/internal/wifi"
+)
+
+// SubcarrierEstimator implements the two-step index selection of
+// Sec. V-A-2: coarse estimation highlights frequency components whose
+// magnitude exceeds a threshold; detailed estimation keeps the indexes
+// highlighted most often across observed segments.
+type SubcarrierEstimator struct {
+	threshold float64
+	keep      int
+	votes     [wifi.NumSubcarriers]int
+	observed  int
+}
+
+// NewSubcarrierEstimator builds an estimator with the given coarse
+// threshold and number of bins to keep.
+func NewSubcarrierEstimator(threshold float64, keep int) *SubcarrierEstimator {
+	return &SubcarrierEstimator{threshold: threshold, keep: keep}
+}
+
+// Observe tallies one 64-bin segment spectrum.
+func (e *SubcarrierEstimator) Observe(spectrum []complex128) {
+	for k, v := range spectrum {
+		if k >= wifi.NumSubcarriers {
+			break
+		}
+		if cmplx.Abs(v) > e.threshold {
+			e.votes[k]++
+		}
+	}
+	e.observed++
+}
+
+// Observed returns how many segments have been tallied.
+func (e *SubcarrierEstimator) Observed() int { return e.observed }
+
+// Votes returns a copy of the per-bin highlight counts (the column sums of
+// the paper's Table I after coarse thresholding).
+func (e *SubcarrierEstimator) Votes() []int {
+	out := make([]int, wifi.NumSubcarriers)
+	copy(out, e.votes[:])
+	return out
+}
+
+// Select returns the `keep` most-voted FFT bins, sorted so negative
+// frequencies (bins > 32) precede DC and positive bins — the transmit
+// order used throughout the pipeline. Ties break toward lower |frequency|,
+// which keeps the selection contiguous around DC for band-limited input.
+func (e *SubcarrierEstimator) Select() ([]int, error) {
+	if e.observed == 0 {
+		return nil, fmt.Errorf("emulation: no segments observed")
+	}
+	if e.keep < 1 || e.keep > wifi.NumSubcarriers {
+		return nil, fmt.Errorf("emulation: keep %d outside [1, %d]", e.keep, wifi.NumSubcarriers)
+	}
+	idx := make([]int, wifi.NumSubcarriers)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if e.votes[idx[a]] != e.votes[idx[b]] {
+			return e.votes[idx[a]] > e.votes[idx[b]]
+		}
+		return absFreqBin(idx[a]) < absFreqBin(idx[b])
+	})
+	sel := append([]int(nil), idx[:e.keep]...)
+	sort.Slice(sel, func(a, b int) bool { return signedBin(sel[a]) < signedBin(sel[b]) })
+	return sel, nil
+}
+
+// signedBin maps an FFT bin to its signed subcarrier number.
+func signedBin(k int) int {
+	if k > wifi.NumSubcarriers/2 {
+		return k - wifi.NumSubcarriers
+	}
+	return k
+}
+
+func absFreqBin(k int) int {
+	s := signedBin(k)
+	if s < 0 {
+		return -s
+	}
+	return s
+}
+
+// FrequencyTable renders the per-segment FFT magnitudes for a set of
+// spectra — the raw material of the paper's Table I. Rows are FFT bins
+// (1-based, as printed in the paper), columns are segments.
+type FrequencyTable struct {
+	// Magnitudes[k][s] is |X_s(k)| for 0-based bin k and segment s.
+	Magnitudes [][]float64
+	// Highlighted[k][s] marks coarse-estimation hits.
+	Highlighted [][]bool
+	// Selected holds the final bin choice (0-based).
+	Selected []int
+}
+
+// BuildFrequencyTable runs both estimation steps over segment spectra and
+// returns the full table for reporting.
+func BuildFrequencyTable(spectra [][]complex128, threshold float64, keep int) (*FrequencyTable, error) {
+	if len(spectra) == 0 {
+		return nil, fmt.Errorf("emulation: no spectra")
+	}
+	est := NewSubcarrierEstimator(threshold, keep)
+	tbl := &FrequencyTable{
+		Magnitudes:  make([][]float64, wifi.NumSubcarriers),
+		Highlighted: make([][]bool, wifi.NumSubcarriers),
+	}
+	for k := range tbl.Magnitudes {
+		tbl.Magnitudes[k] = make([]float64, len(spectra))
+		tbl.Highlighted[k] = make([]bool, len(spectra))
+	}
+	for s, spec := range spectra {
+		if len(spec) != wifi.NumSubcarriers {
+			return nil, fmt.Errorf("emulation: spectrum %d has %d bins", s, len(spec))
+		}
+		est.Observe(spec)
+		for k, v := range spec {
+			m := cmplx.Abs(v)
+			tbl.Magnitudes[k][s] = m
+			tbl.Highlighted[k][s] = m > threshold
+		}
+	}
+	sel, err := est.Select()
+	if err != nil {
+		return nil, err
+	}
+	tbl.Selected = sel
+	return tbl, nil
+}

@@ -1,0 +1,126 @@
+package emulation
+
+import (
+	"testing"
+
+	"hideseek/internal/dsp"
+	"hideseek/internal/wifi"
+)
+
+func segmentSpectra(t *testing.T, payload []byte) [][]complex128 {
+	t.Helper()
+	obs := observeFrame(t, payload)
+	interp, err := dsp.NewInterpolator(Interpolation, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := interp.Process(obs)
+	var spectra [][]complex128
+	for off := 0; off+wifi.SymbolSamples <= len(up); off += wifi.SymbolSamples {
+		spectra = append(spectra, dsp.FFT(up[off+wifi.CPLength:off+wifi.SymbolSamples]))
+	}
+	return spectra
+}
+
+func TestSubcarrierEstimatorSelectsBand(t *testing.T) {
+	spectra := segmentSpectra(t, []byte("000990"))
+	est := NewSubcarrierEstimator(3, 7)
+	for _, s := range spectra {
+		est.Observe(s)
+	}
+	if est.Observed() != len(spectra) {
+		t.Errorf("Observed = %d", est.Observed())
+	}
+	sel, err := est.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 7 {
+		t.Fatalf("selected %d bins", len(sel))
+	}
+	want := map[int]bool{61: true, 62: true, 63: true, 0: true, 1: true, 2: true, 3: true}
+	for _, k := range sel {
+		if !want[k] {
+			t.Errorf("bin %d (signed %d) selected", k, signedBin(k))
+		}
+	}
+	// Votes must peak in-band.
+	votes := est.Votes()
+	if votes[0] == 0 || votes[1] == 0 || votes[63] == 0 {
+		t.Error("in-band bins received no votes")
+	}
+	if votes[32] > votes[0] {
+		t.Error("Nyquist bin outvoted DC")
+	}
+}
+
+func TestSubcarrierEstimatorValidation(t *testing.T) {
+	est := NewSubcarrierEstimator(3, 7)
+	if _, err := est.Select(); err == nil {
+		t.Error("selected with no observations")
+	}
+	bad := NewSubcarrierEstimator(3, 0)
+	bad.Observe(make([]complex128, wifi.NumSubcarriers))
+	if _, err := bad.Select(); err == nil {
+		t.Error("accepted keep=0")
+	}
+	bad2 := NewSubcarrierEstimator(3, 65)
+	bad2.Observe(make([]complex128, wifi.NumSubcarriers))
+	if _, err := bad2.Select(); err == nil {
+		t.Error("accepted keep=65")
+	}
+}
+
+func TestSubcarrierSelectionOrdering(t *testing.T) {
+	// Selection output is ordered negative → DC → positive so the transmit
+	// pipeline fills bins deterministically.
+	spectra := segmentSpectra(t, []byte("12345")) // any payload
+	est := NewSubcarrierEstimator(3, 7)
+	for _, s := range spectra {
+		est.Observe(s)
+	}
+	sel, err := est.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sel); i++ {
+		if signedBin(sel[i-1]) >= signedBin(sel[i]) {
+			t.Fatalf("selection not sorted by signed bin: %v", sel)
+		}
+	}
+}
+
+func TestBuildFrequencyTable(t *testing.T) {
+	spectra := segmentSpectra(t, []byte("990099"))
+	if len(spectra) < 6 {
+		t.Fatalf("only %d segments", len(spectra))
+	}
+	tbl, err := BuildFrequencyTable(spectra[:6], 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Magnitudes) != wifi.NumSubcarriers {
+		t.Fatalf("%d magnitude rows", len(tbl.Magnitudes))
+	}
+	if len(tbl.Magnitudes[0]) != 6 {
+		t.Fatalf("%d columns", len(tbl.Magnitudes[0]))
+	}
+	if len(tbl.Selected) != 7 {
+		t.Errorf("%d selected bins", len(tbl.Selected))
+	}
+	// Highlighted must agree with the threshold.
+	for k := range tbl.Magnitudes {
+		for s := range tbl.Magnitudes[k] {
+			want := tbl.Magnitudes[k][s] > 3
+			if tbl.Highlighted[k][s] != want {
+				t.Fatalf("highlight mismatch at bin %d segment %d", k, s)
+			}
+		}
+	}
+	if _, err := BuildFrequencyTable(nil, 3, 7); err == nil {
+		t.Error("accepted empty spectra")
+	}
+	if _, err := BuildFrequencyTable([][]complex128{make([]complex128, 10)}, 3, 7); err == nil {
+		t.Error("accepted wrong-size spectrum")
+	}
+}

@@ -1,0 +1,46 @@
+package hos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEstimateCumulants(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := drawConstellation("QPSK", 704, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]complex128, 352)
+	for i := range samples {
+		base := drawConstellation("QPSK", 1, rng)[0]
+		samples[i] = base + complex(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(samples, 4, 100, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyConstellation(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := drawConstellation("64-QAM", 2048, rng)
+	est, err := Estimate(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifyConstellation(est, false)
+	}
+}

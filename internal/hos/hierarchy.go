@@ -1,0 +1,101 @@
+package hos
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// HierarchicalClassify implements the Swami–Sadler style decision tree over
+// the cumulant features (the paper's ref [23]): |C20| first separates the
+// real-valued (BPSK/PAM) family from the circularly-symmetric (PSK/QAM)
+// family, then C42 resolves the member. It is the general automatic
+// modulation classification machinery of which the defense's QPSK check is
+// the specialization.
+//
+// useAbsC40 substitutes |Ĉ40| for Re(Ĉ40) to tolerate constellation
+// rotation, as in the defense's real-environment mode.
+func HierarchicalClassify(est Cumulants, useAbsC40 bool) Theoretical {
+	// Stage 1: |C20| ≈ 1 for BPSK and PAM (real constellations),
+	// ≈ 0 for PSK/QAM.
+	realFamily := cmplx.Abs(est.C20) > 0.5
+
+	best := Theoretical{}
+	bestD := -1.0
+	for _, row := range TheoreticalTable {
+		rowReal := row.C20 != 0
+		if rowReal != realFamily {
+			continue
+		}
+		d := FeatureDistance2(est, row, useAbsC40)
+		if bestD < 0 || d < bestD {
+			best, bestD = row, d
+		}
+	}
+	if bestD < 0 {
+		// Cannot happen with the stock table, but keep the zero value safe.
+		return ClassifyConstellation(est, useAbsC40)
+	}
+	return best
+}
+
+// ConfusionMatrix tallies classification outcomes: rows are true classes,
+// columns predicted.
+type ConfusionMatrix struct {
+	Labels []string
+	Counts map[string]map[string]int
+	Total  int
+}
+
+// NewConfusionMatrix prepares a matrix over the given class labels.
+func NewConfusionMatrix(labels []string) (*ConfusionMatrix, error) {
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("hos: no labels")
+	}
+	m := &ConfusionMatrix{
+		Labels: append([]string(nil), labels...),
+		Counts: make(map[string]map[string]int, len(labels)),
+	}
+	for _, l := range labels {
+		m.Counts[l] = make(map[string]int, len(labels))
+	}
+	return m, nil
+}
+
+// Record adds one (truth, predicted) outcome.
+func (m *ConfusionMatrix) Record(truth, predicted string) error {
+	row, ok := m.Counts[truth]
+	if !ok {
+		return fmt.Errorf("hos: unknown truth label %q", truth)
+	}
+	row[predicted]++
+	m.Total++
+	return nil
+}
+
+// Accuracy returns the diagonal mass fraction.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	correct := 0
+	for _, l := range m.Labels {
+		correct += m.Counts[l][l]
+	}
+	return float64(correct) / float64(m.Total)
+}
+
+// RowAccuracy returns per-class recall.
+func (m *ConfusionMatrix) RowAccuracy(label string) float64 {
+	row, ok := m.Counts[label]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, c := range row {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[label]) / float64(total)
+}

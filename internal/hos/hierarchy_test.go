@@ -1,0 +1,103 @@
+package hos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchicalClassifyCleanConstellations(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	tests := []struct {
+		draw string
+		want string
+	}{
+		{draw: "BPSK", want: "BPSK"},
+		{draw: "QPSK", want: "QPSK"},
+		{draw: "PSK8", want: "PSK(>4)"},
+		{draw: "16-QAM", want: "16-QAM"},
+		{draw: "64-QAM", want: "64-QAM"},
+	}
+	for _, tt := range tests {
+		d := drawConstellation(tt.draw, 100000, rng)
+		est, err := Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := HierarchicalClassify(est, false)
+		if got.Name != tt.want {
+			t.Errorf("%s classified as %s", tt.draw, got.Name)
+		}
+	}
+}
+
+func TestHierarchicalClassifyRespectsFamilySplit(t *testing.T) {
+	// A noisy BPSK cloud must never be classified into the complex family
+	// even if its fourth-order features drift, because |C20| pins the
+	// family first.
+	rng := rand.New(rand.NewSource(302))
+	d := drawConstellation("BPSK", 20000, rng)
+	for i := range d {
+		d[i] += complex(rng.NormFloat64()*0.4, rng.NormFloat64()*0.4)
+	}
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := HierarchicalClassify(est, false)
+	if got.C20 == 0 {
+		t.Errorf("noisy BPSK classified into complex family: %s", got.Name)
+	}
+}
+
+func TestHierarchicalClassifyWithRotation(t *testing.T) {
+	// With useAbsC40, a rotated QPSK still classifies as QPSK.
+	rng := rand.New(rand.NewSource(303))
+	d := drawConstellation("QPSK-diamond", 50000, rng)
+	est, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := HierarchicalClassify(est, true)
+	if got.Name != "QPSK" {
+		t.Errorf("rotated QPSK classified as %s", got.Name)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	if _, err := NewConfusionMatrix(nil); err == nil {
+		t.Error("accepted empty labels")
+	}
+	m, err := NewConfusionMatrix([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("a", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("b", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("c", "a"); err == nil {
+		t.Error("accepted unknown truth label")
+	}
+	if acc := m.Accuracy(); math.Abs(acc-2.0/3) > 1e-12 {
+		t.Errorf("accuracy = %g", acc)
+	}
+	if ra := m.RowAccuracy("a"); math.Abs(ra-0.5) > 1e-12 {
+		t.Errorf("row accuracy a = %g", ra)
+	}
+	if ra := m.RowAccuracy("b"); ra != 1 {
+		t.Errorf("row accuracy b = %g", ra)
+	}
+	if ra := m.RowAccuracy("zzz"); ra != 0 {
+		t.Errorf("row accuracy of unknown label = %g", ra)
+	}
+	var empty ConfusionMatrix
+	if empty.Accuracy() != 0 {
+		t.Error("empty matrix accuracy should be 0")
+	}
+}

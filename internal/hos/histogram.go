@@ -1,0 +1,92 @@
+package hos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IntHistogram counts integer-valued observations (e.g. per-symbol chip
+// Hamming distances, Fig. 7).
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations equal to v.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Rate returns the empirical probability of value v.
+func (h *IntHistogram) Rate(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Mean returns the average observation.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum int
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// String renders "v:count" pairs in ascending value order.
+func (h *IntHistogram) String() string {
+	s := ""
+	for _, v := range h.Values() {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", v, h.counts[v])
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observations.
+func (h *IntHistogram) Quantile(q float64) (int, error) {
+	if h.total == 0 {
+		return 0, fmt.Errorf("hos: empty histogram")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("hos: quantile %v outside [0,1]", q)
+	}
+	target := int(q * float64(h.total-1))
+	acc := 0
+	for _, v := range h.Values() {
+		acc += h.counts[v]
+		if acc > target {
+			return v, nil
+		}
+	}
+	vals := h.Values()
+	return vals[len(vals)-1], nil
+}

@@ -1,0 +1,139 @@
+package hos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult reports a clustering of complex samples.
+type KMeansResult struct {
+	Centers    []complex128
+	Assignment []int
+	// WithinSS is the within-cluster sum of squares (the k-means objective,
+	// paper Eq. 12).
+	WithinSS float64
+	// Iterations actually run before convergence.
+	Iterations int
+}
+
+// KMeans clusters complex samples into k groups by Lloyd's algorithm with
+// k-means++ seeding. The paper uses k=4 to expose the received QPSK
+// constellation (Fig. 6).
+func KMeans(samples []complex128, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("hos: k %d < 1", k)
+	}
+	if len(samples) < k {
+		return nil, fmt.Errorf("hos: %d samples fewer than k=%d", len(samples), k)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("hos: maxIter %d < 1", maxIter)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("hos: nil rng")
+	}
+
+	centers := seedPlusPlus(samples, k, rng)
+	assign := make([]int, len(samples))
+	var iterations int
+	for iterations = 1; iterations <= maxIter; iterations++ {
+		changed := false
+		for i, s := range samples {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := sqDist(s, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]complex128, k)
+		counts := make([]int, k)
+		for i, s := range samples {
+			sums[assign[i]] += s
+			counts[assign[i]]++
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / complex(float64(counts[c]), 0)
+			} else {
+				// Re-seed an empty cluster at the farthest sample.
+				centers[c] = farthestSample(samples, centers)
+				changed = true
+			}
+		}
+		if !changed && iterations > 1 {
+			break
+		}
+	}
+
+	var wss float64
+	for i, s := range samples {
+		wss += sqDist(s, centers[assign[i]])
+	}
+	return &KMeansResult{Centers: centers, Assignment: assign, WithinSS: wss, Iterations: iterations}, nil
+}
+
+func sqDist(a, b complex128) float64 {
+	dr := real(a) - real(b)
+	di := imag(a) - imag(b)
+	return dr*dr + di*di
+}
+
+// seedPlusPlus draws k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(samples []complex128, k int, rng *rand.Rand) []complex128 {
+	centers := make([]complex128, 0, k)
+	centers = append(centers, samples[rng.Intn(len(samples))])
+	dist := make([]float64, len(samples))
+	for len(centers) < k {
+		var total float64
+		for i, s := range samples {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if v := sqDist(s, c); v < d {
+					d = v
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All remaining samples coincide with centers; duplicate one.
+			centers = append(centers, samples[rng.Intn(len(samples))])
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(samples) - 1
+		for i, d := range dist {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, samples[pick])
+	}
+	return centers
+}
+
+func farthestSample(samples []complex128, centers []complex128) complex128 {
+	bestD := -1.0
+	best := samples[0]
+	for _, s := range samples {
+		d := math.Inf(1)
+		for _, c := range centers {
+			if v := sqDist(s, c); v < d {
+				d = v
+			}
+		}
+		if d > bestD {
+			bestD, best = d, s
+		}
+	}
+	return best
+}

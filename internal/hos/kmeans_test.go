@@ -1,0 +1,152 @@
+package hos
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	samples := []complex128{1, 2, 3, 4}
+	if _, err := KMeans(samples, 0, 10, rng); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := KMeans(samples, 5, 10, rng); err == nil {
+		t.Error("accepted k > len(samples)")
+	}
+	if _, err := KMeans(samples, 2, 0, rng); err == nil {
+		t.Error("accepted maxIter=0")
+	}
+	if _, err := KMeans(samples, 2, 10, nil); err == nil {
+		t.Error("accepted nil rng")
+	}
+}
+
+func TestKMeansRecoversQPSKClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	truth := []complex128{1 + 1i, 1 - 1i, -1 + 1i, -1 - 1i}
+	var samples []complex128
+	for _, c := range truth {
+		for i := 0; i < 250; i++ {
+			samples = append(samples, c+complex(rng.NormFloat64()*0.15, rng.NormFloat64()*0.15))
+		}
+	}
+	res, err := KMeans(samples, 4, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 4 {
+		t.Fatalf("%d centers", len(res.Centers))
+	}
+	// Each true center must have a recovered center within 0.1.
+	for _, want := range truth {
+		best := math.Inf(1)
+		for _, got := range res.Centers {
+			if d := cmplx.Abs(got - want); d < best {
+				best = d
+			}
+		}
+		if best > 0.1 {
+			t.Errorf("no center near %v (closest %g away)", want, best)
+		}
+	}
+	if res.WithinSS/float64(len(samples)) > 0.06 {
+		t.Errorf("WSS per sample = %g, too high", res.WithinSS/float64(len(samples)))
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestKMeansAssignmentConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	samples := make([]complex128, 200)
+	for i := range samples {
+		samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	res, err := KMeans(samples, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment) != len(samples) {
+		t.Fatalf("assignment length %d", len(res.Assignment))
+	}
+	// Every sample must be assigned to its nearest center.
+	for i, s := range samples {
+		a := res.Assignment[i]
+		da := sqDist(s, res.Centers[a])
+		for c := range res.Centers {
+			if sqDist(s, res.Centers[c]) < da-1e-12 {
+				t.Fatalf("sample %d assigned to %d but %d is closer", i, a, c)
+			}
+		}
+	}
+}
+
+func TestKMeansDegenerateIdenticalSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	samples := make([]complex128, 10)
+	for i := range samples {
+		samples[i] = 2 + 3i
+	}
+	res, err := KMeans(samples, 2, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithinSS > 1e-12 {
+		t.Errorf("WSS = %g for identical samples", res.WithinSS)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	if h.Total() != 0 || h.Rate(1) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if _, err := h.Quantile(0.5); err == nil {
+		t.Error("quantile of empty histogram should error")
+	}
+	for _, v := range []int{4, 5, 5, 6, 6, 6, 8} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(6) != 3 {
+		t.Errorf("Count(6) = %d", h.Count(6))
+	}
+	if math.Abs(h.Rate(5)-2.0/7) > 1e-12 {
+		t.Errorf("Rate(5) = %g", h.Rate(5))
+	}
+	if math.Abs(h.Mean()-40.0/7) > 1e-12 {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+	vals := h.Values()
+	if !sort.IntsAreSorted(vals) || len(vals) != 4 {
+		t.Errorf("Values = %v", vals)
+	}
+	if s := h.String(); s != "4:1 5:2 6:3 8:1" {
+		t.Errorf("String = %q", s)
+	}
+	med, err := h.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 6 {
+		t.Errorf("median = %d, want 6", med)
+	}
+	lo, err := h.Quantile(0)
+	if err != nil || lo != 4 {
+		t.Errorf("q0 = %d, %v", lo, err)
+	}
+	hi, err := h.Quantile(1)
+	if err != nil || hi != 8 {
+		t.Errorf("q1 = %d, %v", hi, err)
+	}
+	if _, err := h.Quantile(1.5); err == nil {
+		t.Error("accepted out-of-range quantile")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationSubcarriers(t *testing.T) {
+	res, err := AblationSubcarriers(5, []int{3, 7, 11}, 13, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More preserved bins → lower distortion.
+	if !(res.TailNMSE[0] > res.TailNMSE[1] && res.TailNMSE[1] > res.TailNMSE[2]) {
+		t.Errorf("NMSE not decreasing with kept bins: %v", res.TailNMSE)
+	}
+	// The 7-bin default must already decode well at 13 dB.
+	if res.SuccessRate[1] < 0.6 {
+		t.Errorf("7-bin success rate %g too low", res.SuccessRate[1])
+	}
+	if !strings.Contains(res.Render().Markdown(), "Ablation") {
+		t.Error("render missing title")
+	}
+	if _, err := AblationSubcarriers(5, []int{7}, 13, 0); err == nil {
+		t.Error("accepted 0 trials")
+	}
+}
+
+func TestAblationAlpha(t *testing.T) {
+	res, err := AblationAlpha()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 4 {
+		t.Fatalf("%d strategies", len(res.Strategies))
+	}
+	byName := map[string]int{}
+	for i, s := range res.Strategies {
+		byName[s] = i
+	}
+	global := res.QuantError[byName["global optimized"]]
+	perSeg := res.QuantError[byName["per-segment optimized"]]
+	bad := res.QuantError[byName["fixed α=20 (bad)"]]
+	if perSeg > global*1.0001 {
+		t.Errorf("per-segment error %g worse than global %g", perSeg, global)
+	}
+	if bad < global {
+		t.Errorf("bad α error %g beats optimized %g", bad, global)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Scaler") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationDefenseSource(t *testing.T) {
+	res, err := AblationDefenseSource(6, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != 4 {
+		t.Fatalf("%d sources", len(res.Sources))
+	}
+	byName := map[string]int{}
+	for i, s := range res.Sources {
+		byName[s] = i
+	}
+	// Every source must separate the classes...
+	for i, s := range res.Sources {
+		if res.Emulated[i] <= res.Original[i] {
+			t.Errorf("source %s does not separate: %g vs %g", s, res.Original[i], res.Emulated[i])
+		}
+	}
+	// ...and the discriminator's absolute emulated D² is the largest —
+	// the reason it is the default.
+	disc := res.Emulated[byName["discriminator"]]
+	for i, s := range res.Sources {
+		if s == "discriminator" {
+			continue
+		}
+		if res.Emulated[i] > disc {
+			t.Errorf("source %s has larger emulated D² (%g) than discriminator (%g)", s, res.Emulated[i], disc)
+		}
+	}
+	if !strings.Contains(res.Render().Markdown(), "Chip Source") {
+		t.Error("render missing title")
+	}
+	if _, err := AblationDefenseSource(6, 15, 0); err == nil {
+		t.Error("accepted 0 samples")
+	}
+}
+
+func TestAblationSampleCount(t *testing.T) {
+	// The 11-byte PPDU carries 704 chips, bounding the largest count.
+	res, err := AblationSampleCount(7, []int{128, 384, 704}, 15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Original) != 3 {
+		t.Fatalf("%d summaries", len(res.Original))
+	}
+	// With the full packet the classes must be separable.
+	last := len(res.Counts) - 1
+	if res.Original[last].Max >= res.Emulated[last].Min {
+		t.Errorf("full-packet estimate not separable: %g vs %g",
+			res.Original[last].Max, res.Emulated[last].Min)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Sample Count") {
+		t.Error("render missing title")
+	}
+	if _, err := AblationSampleCount(7, []int{128}, 15, 0); err == nil {
+		t.Error("accepted 0 trials")
+	}
+}

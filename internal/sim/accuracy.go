@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+
+	"hideseek/internal/channel"
+	"hideseek/internal/emulation"
+	"hideseek/internal/zigbee"
+)
+
+// AccuracySweepResult extends Fig. 12: detection accuracy at a FIXED
+// threshold across the whole SNR range, exposing where the single-Q
+// defense starts to fray (low SNR pushes authentic D² up toward Q).
+type AccuracySweepResult struct {
+	SNRsDB     []float64
+	Accuracy   []float64
+	FalseAlarm []float64 // authentic flagged
+	Miss       []float64 // attacks passed
+	Threshold  float64
+	Samples    int
+}
+
+// AccuracySweep evaluates the default-threshold detector per SNR.
+func AccuracySweep(seed int64, snrsDB []float64, samples int) (*AccuracySweepResult, error) {
+	d2o, d2e, err := distanceSamples(seed, snrsDB, samples)
+	if err != nil {
+		return nil, err
+	}
+	q := emulation.DefaultThreshold
+	res := &AccuracySweepResult{SNRsDB: snrsDB, Threshold: q, Samples: samples}
+	for i := range snrsDB {
+		var stats emulation.DetectionStats
+		for _, d := range d2o[i] {
+			stats.Score(false, d > q)
+		}
+		for _, d := range d2e[i] {
+			stats.Score(true, d > q)
+		}
+		res.Accuracy = append(res.Accuracy, stats.Accuracy())
+		fa := 0.0
+		if n := stats.FalsePositives + stats.TrueNegatives; n > 0 {
+			fa = float64(stats.FalsePositives) / float64(n)
+		}
+		miss := 0.0
+		if n := stats.FalseNegatives + stats.TruePositives; n > 0 {
+			miss = float64(stats.FalseNegatives) / float64(n)
+		}
+		res.FalseAlarm = append(res.FalseAlarm, fa)
+		res.Miss = append(res.Miss, miss)
+	}
+	return res, nil
+}
+
+// Render emits the accuracy sweep rows.
+func (r *AccuracySweepResult) Render() *Table {
+	t := NewTable(fmt.Sprintf("Accuracy — Fixed Q = %.2f Across SNR (%d samples/class)", r.Threshold, r.Samples),
+		"SNR (dB)", "accuracy", "false alarm", "miss")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.Accuracy[i], r.FalseAlarm[i], r.Miss[i])
+	}
+	return t
+}
+
+// AdaptiveAccuracyResult compares the fixed-Q detector against the
+// SNR-indexed adaptive detector over the same held-out waveforms.
+type AdaptiveAccuracyResult struct {
+	SNRsDB           []float64
+	FixedAccuracy    []float64
+	AdaptiveAccuracy []float64
+	Buckets          []emulation.ThresholdBucket
+	Samples          int
+}
+
+// AdaptiveAccuracy calibrates per-SNR thresholds on training receptions,
+// then scores both detectors on held-out receptions.
+func AdaptiveAccuracy(seed int64, snrsDB []float64, train, test int) (*AdaptiveAccuracyResult, error) {
+	if train < 1 || test < 1 {
+		return nil, fmt.Errorf("sim: train/test %d/%d must be positive", train, test)
+	}
+	payloads, err := Payloads(1)
+	if err != nil {
+		return nil, err
+	}
+	links, err := BuildLinks(payloads, emulation.AttackConfig{})
+	if err != nil {
+		return nil, err
+	}
+	link := links[0]
+	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	collect := func(salt int64, n int) (recsA, recsE [][]*zigbee.Reception, err error) {
+		recsA = make([][]*zigbee.Reception, len(snrsDB))
+		recsE = make([][]*zigbee.Reception, len(snrsDB))
+		for i, snr := range snrsDB {
+			rng := rngFor(seed, salt+int64(i))
+			ch, chErr := channel.NewAWGN(snr, rng)
+			if chErr != nil {
+				return nil, nil, chErr
+			}
+			for k := 0; k < n; k++ {
+				if rec, rErr := v.rx.Receive(ch.Apply(link.Original)); rErr == nil {
+					recsA[i] = append(recsA[i], rec)
+				}
+				if rec, rErr := v.rx.Receive(ch.Apply(link.Emulated)); rErr == nil {
+					recsE[i] = append(recsE[i], rec)
+				}
+			}
+		}
+		return recsA, recsE, nil
+	}
+
+	trainA, trainE, err := collect(1200, train)
+	if err != nil {
+		return nil, err
+	}
+	d2 := func(recs [][]*zigbee.Reception) [][]float64 {
+		out := make([][]float64, len(recs))
+		for i, rs := range recs {
+			for _, rec := range rs {
+				if verdict, vErr := v.det.AnalyzeReception(rec); vErr == nil {
+					out[i] = append(out[i], verdict.DistanceSquared)
+				}
+			}
+		}
+		return out
+	}
+	buckets, err := emulation.CalibrateAdaptive(snrsDB, d2(trainA), d2(trainE))
+	if err != nil {
+		return nil, fmt.Errorf("sim: adaptive calibration: %w", err)
+	}
+	adaptive, err := emulation.NewAdaptiveDetector(emulation.DefenseConfig{}, buckets)
+	if err != nil {
+		return nil, err
+	}
+
+	testA, testE, err := collect(1300, test)
+	if err != nil {
+		return nil, err
+	}
+	res := &AdaptiveAccuracyResult{SNRsDB: snrsDB, Buckets: buckets, Samples: test}
+	for i := range snrsDB {
+		var fixed, adapt emulation.DetectionStats
+		score := func(recs []*zigbee.Reception, isAttack bool) error {
+			for _, rec := range recs {
+				vf, err := v.det.AnalyzeReception(rec)
+				if err != nil {
+					continue
+				}
+				fixed.Score(isAttack, vf.Attack)
+				va, err := adaptive.Analyze(rec)
+				if err != nil {
+					continue
+				}
+				adapt.Score(isAttack, va.Attack)
+			}
+			return nil
+		}
+		if err := score(testA[i], false); err != nil {
+			return nil, err
+		}
+		if err := score(testE[i], true); err != nil {
+			return nil, err
+		}
+		res.FixedAccuracy = append(res.FixedAccuracy, fixed.Accuracy())
+		res.AdaptiveAccuracy = append(res.AdaptiveAccuracy, adapt.Accuracy())
+	}
+	return res, nil
+}
+
+// Render emits the fixed-vs-adaptive rows.
+func (r *AdaptiveAccuracyResult) Render() *Table {
+	t := NewTable(fmt.Sprintf("Adaptive Defense — Fixed vs SNR-Indexed Threshold (%d test samples/class)", r.Samples),
+		"SNR (dB)", "fixed-Q accuracy", "adaptive accuracy")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.FixedAccuracy[i], r.AdaptiveAccuracy[i])
+	}
+	return t
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveAccuracyBeatsOrMatchesFixed(t *testing.T) {
+	res, err := AdaptiveAccuracy(14, []float64{9, 13, 17}, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) == 0 {
+		t.Fatal("no calibration buckets")
+	}
+	for i, snr := range res.SNRsDB {
+		if res.AdaptiveAccuracy[i]+0.11 < res.FixedAccuracy[i] {
+			t.Errorf("at %g dB adaptive %.2f well below fixed %.2f", snr,
+				res.AdaptiveAccuracy[i], res.FixedAccuracy[i])
+		}
+	}
+	// At the lowest SNR the adaptive detector must not be worse.
+	if res.AdaptiveAccuracy[0] < res.FixedAccuracy[0] {
+		t.Errorf("adaptive %.2f below fixed %.2f at 9 dB", res.AdaptiveAccuracy[0], res.FixedAccuracy[0])
+	}
+	if !strings.Contains(res.Render().Markdown(), "Adaptive") {
+		t.Error("render missing title")
+	}
+	if _, err := AdaptiveAccuracy(14, []float64{9}, 0, 5); err == nil {
+		t.Error("accepted 0 training samples")
+	}
+}

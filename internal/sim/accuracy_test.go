@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccuracySweep(t *testing.T) {
+	res, err := AccuracySweep(13, []float64{11, 17}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accuracy) != 2 {
+		t.Fatalf("%d rows", len(res.Accuracy))
+	}
+	// In the attack-viable regime the fixed threshold is near-perfect.
+	if res.Accuracy[1] < 0.95 {
+		t.Errorf("accuracy at 17 dB = %g", res.Accuracy[1])
+	}
+	for i := range res.Accuracy {
+		if res.FalseAlarm[i] < 0 || res.FalseAlarm[i] > 1 || res.Miss[i] < 0 || res.Miss[i] > 1 {
+			t.Fatalf("rates out of range at row %d", i)
+		}
+	}
+	if !strings.Contains(res.Render().Markdown(), "Accuracy") {
+		t.Error("render missing title")
+	}
+	if _, err := AccuracySweep(13, []float64{11}, 0); err == nil {
+		t.Error("accepted 0 samples")
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"hideseek/internal/hos"
+	"hideseek/internal/zigbee"
+)
+
+// AMCResult evaluates the general automatic-modulation-classification
+// machinery (Sec. II-B background) that the defense specializes: the
+// hierarchical cumulant classifier over the full constellation family at
+// each SNR.
+type AMCResult struct {
+	SNRsDB     []float64
+	Matrices   []*hos.ConfusionMatrix
+	SamplesPer int
+}
+
+// amcClasses lists (generator label, table label) pairs.
+var amcClasses = []struct {
+	gen   string
+	table string
+}{
+	{gen: "BPSK", table: "BPSK"},
+	{gen: "QPSK", table: "QPSK"},
+	{gen: "PSK8", table: "PSK(>4)"},
+	{gen: "16-QAM", table: "16-QAM"},
+	{gen: "64-QAM", table: "64-QAM"},
+}
+
+// drawSymbols emits n unit-power symbols of a class.
+func drawSymbols(class string, n int, rng *rand.Rand) ([]complex128, error) {
+	out := make([]complex128, n)
+	switch class {
+	case "BPSK":
+		for i := range out {
+			out[i] = complex(float64(2*rng.Intn(2)-1), 0)
+		}
+	case "QPSK":
+		for i := range out {
+			out[i] = cmplx.Rect(1, math.Pi/2*float64(rng.Intn(4)))
+		}
+	case "PSK8":
+		for i := range out {
+			out[i] = cmplx.Rect(1, math.Pi/4*float64(rng.Intn(8)))
+		}
+	case "16-QAM":
+		norm := 1 / math.Sqrt(10)
+		for i := range out {
+			out[i] = complex(float64(2*rng.Intn(4)-3)*norm, float64(2*rng.Intn(4)-3)*norm)
+		}
+	case "64-QAM":
+		norm := 1 / math.Sqrt(42)
+		for i := range out {
+			out[i] = complex(float64(2*rng.Intn(8)-7)*norm, float64(2*rng.Intn(8)-7)*norm)
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown AMC class %q", class)
+	}
+	return out, nil
+}
+
+// AMC runs `trials` classifications per class per SNR with `samplesPer`
+// symbols each.
+func AMC(seed int64, snrsDB []float64, samplesPer, trials int) (*AMCResult, error) {
+	if samplesPer < 100 || trials < 1 {
+		return nil, fmt.Errorf("sim: need ≥100 samples and ≥1 trial, got %d/%d", samplesPer, trials)
+	}
+	labels := make([]string, len(amcClasses))
+	for i, c := range amcClasses {
+		labels[i] = c.table
+	}
+	res := &AMCResult{SNRsDB: snrsDB, SamplesPer: samplesPer}
+	for si, snr := range snrsDB {
+		rng := rngFor(seed, int64(900+si))
+		m, err := hos.NewConfusionMatrix(labels)
+		if err != nil {
+			return nil, err
+		}
+		sigma := math.Sqrt(math.Pow(10, -snr/10) / 2)
+		for _, c := range amcClasses {
+			for trial := 0; trial < trials; trial++ {
+				d, err := drawSymbols(c.gen, samplesPer, rng)
+				if err != nil {
+					return nil, err
+				}
+				for i := range d {
+					d[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+				}
+				est, err := hos.Estimate(d)
+				if err != nil {
+					return nil, err
+				}
+				got := hos.HierarchicalClassify(est, false)
+				if err := m.Record(c.table, got.Name); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Matrices = append(res.Matrices, m)
+	}
+	return res, nil
+}
+
+// Render emits per-class recall at each SNR.
+func (r *AMCResult) Render() *Table {
+	headers := []string{"SNR (dB)"}
+	for _, c := range amcClasses {
+		headers = append(headers, c.table)
+	}
+	headers = append(headers, "overall")
+	t := NewTable(fmt.Sprintf("AMC — Hierarchical Cumulant Classifier (%d symbols/estimate)", r.SamplesPer))
+	t.Headers = headers
+	for i, snr := range r.SNRsDB {
+		row := []string{fmt.Sprintf("%.0f", snr)}
+		for _, c := range amcClasses {
+			row = append(row, fmt.Sprintf("%.2f", r.Matrices[i].RowAccuracy(c.table)))
+		}
+		row = append(row, fmt.Sprintf("%.2f", r.Matrices[i].Accuracy()))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// CSMAScenarioResult measures the attacker's channel-access behavior from
+// Sec. IV-B: how long the CSMA/CA step delays the strike under different
+// gateway duty cycles.
+type CSMAScenarioResult struct {
+	DutyCycles  []float64
+	SuccessRate []float64
+	MeanDelayUs []float64
+	Trials      int
+}
+
+// CSMAScenario sweeps the gateway's traffic duty cycle.
+func CSMAScenario(seed int64, dutyCycles []float64, trials int) (*CSMAScenarioResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sim: trials %d < 1", trials)
+	}
+	res := &CSMAScenarioResult{DutyCycles: dutyCycles, Trials: trials}
+	for di, duty := range dutyCycles {
+		if duty < 0 || duty > 1 {
+			return nil, fmt.Errorf("sim: duty cycle %v outside [0,1]", duty)
+		}
+		rng := rngFor(seed, int64(1000+di))
+		const periodUs = 5000.0
+		medium := zigbee.PeriodicTraffic{PeriodUs: periodUs, BusyUs: duty * periodUs}
+		wins := 0
+		var delay float64
+		for trial := 0; trial < trials; trial++ {
+			r, err := zigbee.PerformCSMA(zigbee.CSMAConfig{}, medium, float64(trial)*1711, rng)
+			if err != nil {
+				return nil, err
+			}
+			if r.Success {
+				wins++
+			}
+			delay += r.DelayUs
+		}
+		res.SuccessRate = append(res.SuccessRate, float64(wins)/float64(trials))
+		res.MeanDelayUs = append(res.MeanDelayUs, delay/float64(trials))
+	}
+	return res, nil
+}
+
+// Render emits the CSMA scenario rows.
+func (r *CSMAScenarioResult) Render() *Table {
+	t := NewTable(fmt.Sprintf("CSMA — Attacker Channel Access vs Gateway Duty Cycle (%d trials)", r.Trials),
+		"duty cycle", "access success", "mean delay (µs)")
+	for i, d := range r.DutyCycles {
+		t.AddRowf(fmt.Sprintf("%.0f%%", 100*d), fmt.Sprintf("%.0f%%", 100*r.SuccessRate[i]), r.MeanDelayUs[i])
+	}
+	return t
+}

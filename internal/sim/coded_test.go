@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCodedHitRates(t *testing.T) {
+	res, err := CodedHitRates([]byte("00000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string]int{}
+	for i, m := range res.Models {
+		byModel[m] = i
+	}
+	ideal := byModel["idealized (preprocessing ignored)"]
+	half := byModel["coded 64-QAM rate 1/2"]
+	r54 := byModel["full frame @ 54 Mb/s"]
+	if res.HitRate[ideal] != 1 || !res.VictimOK[ideal] {
+		t.Errorf("idealized model: hit %g decode %v", res.HitRate[ideal], res.VictimOK[ideal])
+	}
+	// The coding constraint is real: hit rates below 1.
+	if res.HitRate[half] >= 1 || res.HitRate[r54] >= 1 {
+		t.Errorf("coded hit rates not below 1: %g / %g", res.HitRate[half], res.HitRate[r54])
+	}
+	// Puncturing freedom: rate 3/4 beats rate 1/2.
+	if res.HitRate[r54] <= res.HitRate[half] {
+		t.Errorf("rate 54 hit %g not above rate-1/2 %g", res.HitRate[r54], res.HitRate[half])
+	}
+	if !strings.Contains(res.Render().Markdown(), "Coded") {
+		t.Error("render missing title")
+	}
+}

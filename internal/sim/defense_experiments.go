@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"hideseek/internal/channel"
+	"hideseek/internal/emulation"
+	"hideseek/internal/hos"
+	"hideseek/internal/zigbee"
+)
+
+// realChannel builds the "real environment" impairment chain: multipath,
+// slow Doppler phase drift from human activity, a residual CFO, and AWGN.
+func realChannel(seed int64, salt int64, snrDB float64) (channel.Channel, error) {
+	rng := rngFor(seed, salt)
+	mp, err := channel.NewRicianMultipath(3, 0.35, 8, rng)
+	if err != nil {
+		return nil, err
+	}
+	doppler, err := channel.NewDopplerPhaseNoise(2e-4, rng)
+	if err != nil {
+		return nil, err
+	}
+	cfo, err := channel.NewCFO(60+rng.Float64()*80, zigbee.SampleRate, rng.Float64()*6.28)
+	if err != nil {
+		return nil, err
+	}
+	awgn, err := channel.NewAWGN(snrDB, rng)
+	if err != nil {
+		return nil, err
+	}
+	return channel.NewChain(mp, doppler, cfo, awgn)
+}
+
+// Fig6Result reproduces Fig. 6: the reconstructed constellation diagrams
+// under AWGN and under the real channel, with k-means cluster centers.
+type Fig6Result struct {
+	AWGNPoints  []complex128
+	RealPoints  []complex128
+	AWGNCenters []complex128
+	RealCenters []complex128
+	// CenterSpread is the mean distance of cluster centers from the ideal
+	// axis-aligned QPSK points — larger in the real environment.
+	AWGNSpread, RealSpread float64
+}
+
+// Fig6 receives one authentic frame through each channel and clusters the
+// reconstructed constellations with k = 4.
+func Fig6(seed int64, snrDB float64) (*Fig6Result, error) {
+	payloads, err := Payloads(1)
+	if err != nil {
+		return nil, err
+	}
+	tx := zigbee.NewTransmitter()
+	raw, err := tx.TransmitPSDU(payloads[0])
+	if err != nil {
+		return nil, err
+	}
+	obs := padTail(raw, 8)
+	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	awgn, err := channel.NewAWGN(snrDB, rngFor(seed, 61))
+	if err != nil {
+		return nil, err
+	}
+	realCh, err := realChannel(seed, 62, snrDB)
+	if err != nil {
+		return nil, err
+	}
+
+	extract := func(ch channel.Channel, salt int64) ([]complex128, []complex128, float64, error) {
+		rec, err := v.rx.Receive(ch.Apply(obs))
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("sim: fig6: %w", err)
+		}
+		chips, err := emulation.ChipsFromReception(rec, emulation.SourceDiscriminator)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		points, err := emulation.ReconstructConstellation(chips)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		km, err := hos.KMeans(points, 4, 100, rngFor(seed, salt))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return points, km.Centers, qpskCenterSpread(km.Centers), nil
+	}
+
+	res := &Fig6Result{}
+	res.AWGNPoints, res.AWGNCenters, res.AWGNSpread, err = extract(awgn, 63)
+	if err != nil {
+		return nil, err
+	}
+	res.RealPoints, res.RealCenters, res.RealSpread, err = extract(realCh, 64)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// qpskCenterSpread measures the mean distance from each center to its
+// nearest ideal axis-aligned QPSK point (scaled to the centers' RMS).
+func qpskCenterSpread(centers []complex128) float64 {
+	var rms float64
+	for _, c := range centers {
+		rms += real(c)*real(c) + imag(c)*imag(c)
+	}
+	if rms == 0 {
+		return 0
+	}
+	rms = cmplxSqrt(rms / float64(len(centers)))
+	ideal := []complex128{complex(rms, 0), complex(-rms, 0), complex(0, rms), complex(0, -rms)}
+	var sum float64
+	for _, c := range centers {
+		best := cmplx.Abs(c - ideal[0])
+		for _, p := range ideal[1:] {
+			if d := cmplx.Abs(c - p); d < best {
+				best = d
+			}
+		}
+		sum += best / rms
+	}
+	return sum / float64(len(centers))
+}
+
+func cmplxSqrt(v float64) float64 { return real(cmplx.Sqrt(complex(v, 0))) }
+
+// Render summarizes both clusterings.
+func (r *Fig6Result) Render() *Table {
+	t := NewTable("Fig. 6 — Constellation Diagram (k-means, k=4)",
+		"environment", "points", "relative center spread")
+	t.AddRowf("AWGN", len(r.AWGNPoints), r.AWGNSpread)
+	t.AddRowf("real", len(r.RealPoints), r.RealSpread)
+	return t
+}
+
+// PointsCSV dumps both point clouds for plotting.
+func (r *Fig6Result) PointsCSV() string {
+	out := "env,i,q\n"
+	for _, p := range r.AWGNPoints {
+		out += fmt.Sprintf("awgn,%g,%g\n", real(p), imag(p))
+	}
+	for _, p := range r.RealPoints {
+		out += fmt.Sprintf("real,%g,%g\n", real(p), imag(p))
+	}
+	return out
+}
+
+// CumulantSweepResult reproduces Figs. 10 and 11: Ĉ42 and Ĉ40 vs SNR for
+// both classes.
+type CumulantSweepResult struct {
+	SNRsDB []float64
+	// Mean estimates per SNR.
+	OriginalC42, EmulatedC42 []float64
+	OriginalC40, EmulatedC40 []float64
+	Waveforms                int
+}
+
+// CumulantSweep receives `waveforms` noisy copies per SNR per class and
+// averages the normalized cumulants.
+func CumulantSweep(seed int64, snrsDB []float64, waveforms int) (*CumulantSweepResult, error) {
+	if waveforms < 1 {
+		return nil, fmt.Errorf("sim: waveforms %d < 1", waveforms)
+	}
+	payloads, err := Payloads(1)
+	if err != nil {
+		return nil, err
+	}
+	links, err := BuildLinks(payloads, emulation.AttackConfig{})
+	if err != nil {
+		return nil, err
+	}
+	link := links[0]
+	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res := &CumulantSweepResult{SNRsDB: snrsDB, Waveforms: waveforms}
+	for i, snr := range snrsDB {
+		rng := rngFor(seed, int64(100+i))
+		ch, err := channel.NewAWGN(snr, rng)
+		if err != nil {
+			return nil, err
+		}
+		var oC42, eC42, oC40, eC40 float64
+		count := 0
+		for w := 0; w < waveforms; w++ {
+			recO, err := v.rx.Receive(ch.Apply(link.Original))
+			if err != nil {
+				continue
+			}
+			recE, err := v.rx.Receive(ch.Apply(link.Emulated))
+			if err != nil {
+				continue
+			}
+			vo, err := v.det.AnalyzeReception(recO)
+			if err != nil {
+				continue
+			}
+			ve, err := v.det.AnalyzeReception(recE)
+			if err != nil {
+				continue
+			}
+			oC42 += vo.Cumulants.C42
+			eC42 += ve.Cumulants.C42
+			oC40 += real(vo.Cumulants.C40)
+			eC40 += real(ve.Cumulants.C40)
+			count++
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("sim: no successful receptions at %g dB", snr)
+		}
+		n := float64(count)
+		res.OriginalC42 = append(res.OriginalC42, oC42/n)
+		res.EmulatedC42 = append(res.EmulatedC42, eC42/n)
+		res.OriginalC40 = append(res.OriginalC40, oC40/n)
+		res.EmulatedC40 = append(res.EmulatedC40, eC40/n)
+	}
+	return res, nil
+}
+
+// RenderC42 emits the Fig. 10 rows.
+func (r *CumulantSweepResult) RenderC42() *Table {
+	t := NewTable("Fig. 10 — Ĉ42 vs SNR (theory: −1 for QPSK)",
+		"SNR (dB)", "original Ĉ42", "emulated Ĉ42")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.OriginalC42[i], r.EmulatedC42[i])
+	}
+	return t
+}
+
+// RenderC40 emits the Fig. 11 rows.
+func (r *CumulantSweepResult) RenderC40() *Table {
+	t := NewTable("Fig. 11 — Re(Ĉ40) vs SNR (theory: +1 for QPSK)",
+		"SNR (dB)", "original Ĉ40", "emulated Ĉ40")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.OriginalC40[i], r.EmulatedC40[i])
+	}
+	return t
+}
+
+// Table4Result reproduces Table IV: averaged D²E per SNR per class, from
+// the 50-waveform training runs.
+type Table4Result struct {
+	SNRsDB   []float64
+	Original []float64
+	Emulated []float64
+	Samples  int
+}
+
+// Table4 averages D² over `samples` received waveforms per class per SNR.
+func Table4(seed int64, snrsDB []float64, samples int) (*Table4Result, error) {
+	d2o, d2e, err := distanceSamples(seed, snrsDB, samples)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{SNRsDB: snrsDB, Samples: samples}
+	for i := range snrsDB {
+		res.Original = append(res.Original, mean(d2o[i]))
+		res.Emulated = append(res.Emulated, mean(d2e[i]))
+	}
+	return res, nil
+}
+
+// distanceSamples collects per-waveform D² values for both classes.
+func distanceSamples(seed int64, snrsDB []float64, samples int) (orig, emul [][]float64, err error) {
+	if samples < 1 {
+		return nil, nil, fmt.Errorf("sim: samples %d < 1", samples)
+	}
+	payloads, err := Payloads(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	links, err := BuildLinks(payloads, emulation.AttackConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	link := links[0]
+	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	orig = make([][]float64, len(snrsDB))
+	emul = make([][]float64, len(snrsDB))
+	for i, snr := range snrsDB {
+		rng := rngFor(seed, int64(200+i))
+		ch, chErr := channel.NewAWGN(snr, rng)
+		if chErr != nil {
+			return nil, nil, chErr
+		}
+		for s := 0; s < samples; s++ {
+			recO, rErr := v.rx.Receive(ch.Apply(link.Original))
+			if rErr != nil {
+				continue
+			}
+			recE, rErr := v.rx.Receive(ch.Apply(link.Emulated))
+			if rErr != nil {
+				continue
+			}
+			vo, aErr := v.det.AnalyzeReception(recO)
+			if aErr != nil {
+				continue
+			}
+			ve, aErr := v.det.AnalyzeReception(recE)
+			if aErr != nil {
+				continue
+			}
+			orig[i] = append(orig[i], vo.DistanceSquared)
+			emul[i] = append(emul[i], ve.DistanceSquared)
+		}
+		if len(orig[i]) == 0 {
+			return nil, nil, fmt.Errorf("sim: no successful receptions at %g dB", snr)
+		}
+	}
+	return orig, emul, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Render emits the Table IV rows.
+func (r *Table4Result) Render() *Table {
+	t := NewTable(fmt.Sprintf("Table IV — Averaged D²E (%d waveforms/class/SNR)", r.Samples),
+		"SNR (dB)", "ZigBee waveform", "Emulated waveform")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.Original[i], r.Emulated[i])
+	}
+	return t
+}
+
+// Fig12Result reproduces Fig. 12: per-waveform D² for held-out test
+// waveforms of both classes against the calibrated threshold.
+type Fig12Result struct {
+	SNRsDB []float64
+	// Per-SNR summaries over the test waveforms.
+	Original []emulation.SummarizeD2
+	Emulated []emulation.SummarizeD2
+	// Threshold calibrated from an independent training run (Sec. VII-B
+	// trains on the first 50 waveforms).
+	Threshold float64
+	// Stats holds the resulting decisions.
+	Stats emulation.DetectionStats
+}
+
+// Fig12 calibrates Q on `train` waveforms, then evaluates `test` held-out
+// waveforms per class per SNR.
+func Fig12(seed int64, snrsDB []float64, train, test int) (*Fig12Result, error) {
+	trO, trE, err := distanceSamples(seed, snrsDB, train)
+	if err != nil {
+		return nil, err
+	}
+	var allTrO, allTrE []float64
+	for i := range snrsDB {
+		allTrO = append(allTrO, trO[i]...)
+		allTrE = append(allTrE, trE[i]...)
+	}
+	q, err := emulation.CalibrateThreshold(allTrO, allTrE)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fig12 calibration: %w", err)
+	}
+	teO, teE, err := distanceSamples(seed+1, snrsDB, test)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{SNRsDB: snrsDB, Threshold: q}
+	for i := range snrsDB {
+		so, err := emulation.NewSummarizeD2(teO[i])
+		if err != nil {
+			return nil, err
+		}
+		se, err := emulation.NewSummarizeD2(teE[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Original = append(res.Original, so)
+		res.Emulated = append(res.Emulated, se)
+		for _, d2 := range teO[i] {
+			res.Stats.Score(false, d2 > q)
+		}
+		for _, d2 := range teE[i] {
+			res.Stats.Score(true, d2 > q)
+		}
+	}
+	return res, nil
+}
+
+// Render emits the Fig. 12 summary.
+func (r *Fig12Result) Render() *Table {
+	t := NewTable(fmt.Sprintf("Fig. 12 — Defense Performance (Q = %.4f, accuracy %.2f%%)",
+		r.Threshold, 100*r.Stats.Accuracy()),
+		"SNR (dB)", "ZigBee max D²", "ZigBee mean D²", "Emulated min D²", "Emulated mean D²")
+	for i, snr := range r.SNRsDB {
+		t.AddRowf(snr, r.Original[i].Max, r.Original[i].Mean, r.Emulated[i].Min, r.Emulated[i].Mean)
+	}
+	return t
+}

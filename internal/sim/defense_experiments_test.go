@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6(t *testing.T) {
+	res, err := Fig6(1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AWGNCenters) != 4 || len(res.RealCenters) != 4 {
+		t.Fatalf("centers: %d / %d", len(res.AWGNCenters), len(res.RealCenters))
+	}
+	if len(res.AWGNPoints) == 0 || len(res.RealPoints) == 0 {
+		t.Fatal("missing constellation points")
+	}
+	// AWGN clusters sit close to the ideal QPSK points.
+	if res.AWGNSpread > 0.25 {
+		t.Errorf("AWGN center spread = %g, too scattered", res.AWGNSpread)
+	}
+	if !strings.Contains(res.PointsCSV(), "awgn,") {
+		t.Error("points CSV missing awgn rows")
+	}
+	if !strings.Contains(res.Render().Markdown(), "Fig. 6") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCumulantSweepShapeMatchesPaper(t *testing.T) {
+	snrs := []float64{5, 11, 17}
+	res, err := CumulantSweep(1, snrs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(snrs)
+	if len(res.OriginalC42) != n || len(res.EmulatedC42) != n {
+		t.Fatal("length mismatch")
+	}
+	// Fig. 10a: original Ĉ42 approaches −1 as SNR grows.
+	for i := 1; i < n; i++ {
+		if absf(res.OriginalC42[i]+1) > absf(res.OriginalC42[i-1]+1)+0.02 {
+			t.Errorf("original C42 not converging to −1: %v", res.OriginalC42)
+		}
+	}
+	// Fig. 10b: emulated Ĉ42 stays farther from −1 than the original at
+	// every SNR.
+	for i := 0; i < n; i++ {
+		if absf(res.EmulatedC42[i]+1) <= absf(res.OriginalC42[i]+1) {
+			t.Errorf("emulated C42 closer to theory at %g dB: %g vs %g",
+				snrs[i], res.EmulatedC42[i], res.OriginalC42[i])
+		}
+	}
+	// Fig. 11: original Ĉ40 ends near +1, emulated stays below.
+	if absf(res.OriginalC40[n-1]-1) > 0.15 {
+		t.Errorf("original C40 at 17 dB = %g, want ≈ 1", res.OriginalC40[n-1])
+	}
+	if res.EmulatedC40[n-1] > res.OriginalC40[n-1] {
+		t.Errorf("emulated C40 above original at high SNR")
+	}
+	if !strings.Contains(res.RenderC42().Markdown(), "Fig. 10") {
+		t.Error("C42 render missing title")
+	}
+	if !strings.Contains(res.RenderC40().Markdown(), "Fig. 11") {
+		t.Error("C40 render missing title")
+	}
+	if _, err := CumulantSweep(1, snrs, 0); err == nil {
+		t.Error("accepted 0 waveforms")
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTable4ShapeMatchesPaper(t *testing.T) {
+	snrs := []float64{7, 12, 17}
+	res, err := Table4(1, snrs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snrs {
+		// Large per-SNR gap between classes (paper: ~10× or more).
+		if res.Emulated[i] < 2.5*res.Original[i] {
+			t.Errorf("at %g dB gap too small: %g vs %g", snrs[i], res.Original[i], res.Emulated[i])
+		}
+	}
+	// Original D² shrinks with SNR (Table IV trend).
+	if !(res.Original[0] > res.Original[2]) {
+		t.Errorf("original D² not decreasing with SNR: %v", res.Original)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Table IV") {
+		t.Error("render missing title")
+	}
+	if _, err := Table4(1, snrs, 0); err == nil {
+		t.Error("accepted 0 samples")
+	}
+}
+
+func TestFig12DetectsPerfectly(t *testing.T) {
+	snrs := []float64{11, 14, 17}
+	res, err := Fig12(2, snrs, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold <= 0 {
+		t.Errorf("threshold = %g", res.Threshold)
+	}
+	if acc := res.Stats.Accuracy(); acc < 0.99 {
+		t.Errorf("detection accuracy = %g, want ≈ 1 (stats %+v)", acc, res.Stats)
+	}
+	// Max authentic below threshold, min emulated above — Fig. 12's visual.
+	for i := range snrs {
+		if res.Original[i].Max >= res.Threshold {
+			t.Errorf("authentic max D² %g ≥ Q %g at %g dB", res.Original[i].Max, res.Threshold, snrs[i])
+		}
+		if res.Emulated[i].Min <= res.Threshold {
+			t.Errorf("emulated min D² %g ≤ Q %g at %g dB", res.Emulated[i].Min, res.Threshold, snrs[i])
+		}
+	}
+	if !strings.Contains(res.Render().Markdown(), "Fig. 12") {
+		t.Error("render missing title")
+	}
+}

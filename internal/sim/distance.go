@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hideseek/internal/channel"
+	"hideseek/internal/emulation"
+	"hideseek/internal/zigbee"
+)
+
+// RadioConfig models one victim radio for the distance experiments.
+type RadioConfig struct {
+	// Name appears in reports ("USRP", "CC26x2R1").
+	Name string
+	// Mode selects the despreader: the USRP/GNU Radio chain decodes from
+	// the FM discriminator; the commodity chip's "stronger demodulation
+	// functions" (Sec. VII-D) are modeled as coherent soft max-correlation
+	// despreading.
+	Mode zigbee.DespreadMode
+	// FrontEndGainDB adds receiver implementation gain (better LNA and
+	// antenna on the commodity board).
+	FrontEndGainDB float64
+}
+
+// USRPReceiver models the paper's USRP N210 victim.
+func USRPReceiver() RadioConfig {
+	return RadioConfig{Name: "USRP", Mode: zigbee.FMDiscriminator}
+}
+
+// CC26x2R1Receiver models the TI LaunchPad victim.
+func CC26x2R1Receiver() RadioConfig {
+	return RadioConfig{Name: "CC26x2R1", Mode: zigbee.SoftCorrelation, FrontEndGainDB: 3}
+}
+
+// DistanceLinkBudget fixes the link parameters of the Fig. 14 / Table V
+// testbed substitute.
+type DistanceLinkBudget struct {
+	// SNRAt1mDB is the receive SNR at the 1 m reference (before front-end
+	// gain), standing in for the 0.75 USRP power gains of Sec. VII-D.
+	SNRAt1mDB float64
+	// PathLoss is the log-distance model.
+	PathLoss channel.PathLossModel
+}
+
+// DefaultLinkBudget returns values tuned so the hard-threshold receiver
+// decodes reliably to ~5 m and fails by 8 m while the commodity model
+// reaches 8 m — the paper's Fig. 14 shape.
+func DefaultLinkBudget() DistanceLinkBudget {
+	pl := channel.DefaultIndoorPathLoss()
+	pl.ShadowSigmaDB = 1
+	return DistanceLinkBudget{SNRAt1mDB: 35, PathLoss: pl}
+}
+
+// snrAt returns the per-trial receive SNR at distance d for a radio.
+func (b DistanceLinkBudget) snrAt(d float64, radio RadioConfig, rng interface {
+	NormFloat64() float64
+}) (float64, error) {
+	if d <= 0 {
+		return 0, fmt.Errorf("sim: distance %v must be positive", d)
+	}
+	loss, err := b.PathLoss.LossDB(d)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := b.PathLoss.LossDB(b.PathLoss.RefDistance)
+	if err != nil {
+		return 0, err
+	}
+	shadow := rng.NormFloat64() * b.PathLoss.ShadowSigmaDB
+	return b.SNRAt1mDB - (loss - ref) - shadow + radio.FrontEndGainDB, nil
+}
+
+// amplitudeAt converts a per-trial SNR back to the linear signal amplitude
+// against the fixed noise floor N0 = 10^(−SNRAt1m/10): the waveform is
+// attenuated rather than the noise grown, so RSSI behaves physically.
+func (b DistanceLinkBudget) amplitudeAt(snrDB float64) float64 {
+	return math.Pow(10, (snrDB-b.SNRAt1mDB)/20)
+}
+
+// Fig14Result reproduces Fig. 14: packet and symbol error rates vs
+// distance for both waveform classes at one receiver model.
+type Fig14Result struct {
+	Radio     RadioConfig
+	Distances []float64
+	// Error rates indexed by distance.
+	OriginalPER, OriginalSER []float64
+	EmulatedPER, EmulatedSER []float64
+	Packets                  int
+	// MeanRSSIdB per distance (relative to unit TX power).
+	MeanRSSIdB []float64
+}
+
+// Fig14 sweeps distance with the real-environment channel and counts
+// packet/symbol errors over `packets` transmissions per class.
+func Fig14(seed int64, radio RadioConfig, budget DistanceLinkBudget, distances []float64, packets int) (*Fig14Result, error) {
+	if packets < 1 {
+		return nil, fmt.Errorf("sim: packets %d < 1", packets)
+	}
+	payloads, err := Payloads(minInt(packets, 100))
+	if err != nil {
+		return nil, err
+	}
+	links, err := BuildLinks(payloads, emulation.AttackConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: radio.Mode, SyncThreshold: 0.3})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{Radio: radio, Distances: distances, Packets: packets}
+	for di, d := range distances {
+		rng := rngFor(seed, int64(300+di))
+		var (
+			perO, serO, perE, serE float64
+			rssiSum                float64
+			symTotal               int
+		)
+		for p := 0; p < packets; p++ {
+			link := links[p%len(links)]
+			snr, err := budget.snrAt(d, radio, rng)
+			if err != nil {
+				return nil, err
+			}
+			// Real environment: path-loss attenuation, slow LoS-dominated
+			// fading and phase drift, then the fixed receiver noise floor.
+			gain := channel.NewGain(complex(budget.amplitudeAt(snr), 0))
+			mp, err := channel.NewRicianMultipath(2, 0.25, 8, rng)
+			if err != nil {
+				return nil, err
+			}
+			doppler, err := channel.NewDopplerPhaseNoise(1e-4, rng)
+			if err != nil {
+				return nil, err
+			}
+			awgn, err := channel.NewAWGN(budget.SNRAt1mDB, rng)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := channel.NewChain(gain, mp, doppler, awgn)
+			if err != nil {
+				return nil, err
+			}
+
+			rxO := ch.Apply(link.Original)
+			rxE := ch.Apply(link.Emulated)
+			rssiSum += channel.RSSI(rxO)
+
+			pe, se, st := scoreReception(rx, rxO, link.Payload)
+			perO += pe
+			serO += se
+			symTotal += st
+			pe, se, _ = scoreReception(rx, rxE, link.Payload)
+			perE += pe
+			serE += se
+		}
+		n := float64(packets)
+		res.OriginalPER = append(res.OriginalPER, perO/n)
+		res.EmulatedPER = append(res.EmulatedPER, perE/n)
+		res.OriginalSER = append(res.OriginalSER, serO/n)
+		res.EmulatedSER = append(res.EmulatedSER, serE/n)
+		res.MeanRSSIdB = append(res.MeanRSSIdB, rssiSum/n)
+		_ = symTotal
+	}
+	return res, nil
+}
+
+// scoreReception returns (packetError, symbolErrorRate, symbolsCounted).
+func scoreReception(rx *zigbee.Receiver, wave []complex128, want []byte) (float64, float64, int) {
+	rec, err := rx.Receive(wave)
+	if err != nil || !payloadMatches(rec, want) {
+		// Packet lost; estimate symbol errors from whatever was despread.
+		ser := 1.0
+		if rec != nil && len(rec.Results) > 0 {
+			errs := 0
+			for _, r := range rec.Results {
+				if r.Dropped {
+					errs++
+				}
+			}
+			ser = float64(errs) / float64(len(rec.Results))
+			if ser == 0 {
+				// Frame failed for another reason (sync, FCS) — count the
+				// packet, but symbols were fine.
+				return 1, 0, len(rec.Results)
+			}
+		}
+		n := 0
+		if rec != nil {
+			n = len(rec.Results)
+		}
+		return 1, ser, n
+	}
+	errs := 0
+	for _, r := range rec.Results {
+		if r.Dropped {
+			errs++
+		}
+	}
+	return 0, float64(errs) / float64(len(rec.Results)), len(rec.Results)
+}
+
+// Render emits the Fig. 14 rows for this receiver.
+func (r *Fig14Result) Render() *Table {
+	t := NewTable(fmt.Sprintf("Fig. 14 — Attack Performance vs Distance (receiver: %s, %d packets)", r.Radio.Name, r.Packets),
+		"distance (m)", "orig PER", "orig SER", "emul PER", "emul SER", "mean RSSI (dB)")
+	for i, d := range r.Distances {
+		t.AddRowf(d, r.OriginalPER[i], r.OriginalSER[i], r.EmulatedPER[i], r.EmulatedSER[i], r.MeanRSSIdB[i])
+	}
+	return t
+}
+
+// Table5Result reproduces Table V: averaged D²E vs distance in the real
+// environment, with the per-class separation that admits a threshold in
+// the paper's [0.1, 1] band (ours is correspondingly lower; see
+// EXPERIMENTS.md).
+type Table5Result struct {
+	Distances []float64
+	Original  []float64
+	Emulated  []float64
+	// SuggestedQ is the midpoint threshold from these measurements.
+	SuggestedQ float64
+	Samples    int
+}
+
+// Table5 averages D² per distance over `samples` receptions per class
+// using the real-environment channel and the |C40|/mean-removed detector.
+func Table5(seed int64, budget DistanceLinkBudget, distances []float64, samples int) (*Table5Result, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("sim: samples %d < 1", samples)
+	}
+	payloads, err := Payloads(1)
+	if err != nil {
+		return nil, err
+	}
+	links, err := BuildLinks(payloads, emulation.AttackConfig{})
+	if err != nil {
+		return nil, err
+	}
+	link := links[0]
+	// Chip extraction for the defense uses the robust coherent receiver —
+	// the despread mode only matters for Fig. 14's decode comparison; the
+	// defense taps the discriminator chips regardless.
+	radio := USRPReceiver()
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: zigbee.HardThreshold, SyncThreshold: 0.3})
+	if err != nil {
+		return nil, err
+	}
+	det, err := emulation.NewDetector(emulation.DefenseConfig{RemoveMean: true, UseAbsC40: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{Distances: distances, Samples: samples}
+	var maxO, minE = 0.0, math.Inf(1)
+	for di, d := range distances {
+		rng := rngFor(seed, int64(400+di))
+		var sumO, sumE float64
+		count := 0
+		for s := 0; s < samples; s++ {
+			snr, err := budget.snrAt(d, radio, rng)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := realChannelAt(rng, snr)
+			if err != nil {
+				return nil, err
+			}
+			recO, err := rx.Receive(ch.Apply(link.Original))
+			if err != nil {
+				continue
+			}
+			recE, err := rx.Receive(ch.Apply(link.Emulated))
+			if err != nil {
+				continue
+			}
+			vo, err := det.AnalyzeReception(recO)
+			if err != nil {
+				continue
+			}
+			ve, err := det.AnalyzeReception(recE)
+			if err != nil {
+				continue
+			}
+			sumO += vo.DistanceSquared
+			sumE += ve.DistanceSquared
+			count++
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("sim: no successful receptions at %g m", d)
+		}
+		o := sumO / float64(count)
+		e := sumE / float64(count)
+		res.Original = append(res.Original, o)
+		res.Emulated = append(res.Emulated, e)
+		maxO = math.Max(maxO, o)
+		minE = math.Min(minE, e)
+	}
+	res.SuggestedQ = (maxO + minE) / 2
+	return res, nil
+}
+
+// realChannelAt builds a fresh real-environment chain from an existing RNG.
+func realChannelAt(rng *rand.Rand, snrDB float64) (channel.Channel, error) {
+	mp, err := channel.NewRicianMultipath(3, 0.35, 8, rng)
+	if err != nil {
+		return nil, err
+	}
+	doppler, err := channel.NewDopplerPhaseNoise(2e-4, rng)
+	if err != nil {
+		return nil, err
+	}
+	cfo, err := channel.NewCFO(60+rng.Float64()*80, zigbee.SampleRate, rng.Float64()*6.28)
+	if err != nil {
+		return nil, err
+	}
+	awgn, err := channel.NewAWGN(snrDB, rng)
+	if err != nil {
+		return nil, err
+	}
+	return channel.NewChain(mp, doppler, cfo, awgn)
+}
+
+// Render emits the Table V rows.
+func (r *Table5Result) Render() *Table {
+	t := NewTable(fmt.Sprintf("Table V — Averaged D²E vs Distance, Real Environment (%d samples/class)", r.Samples),
+		"distance (m)", "ZigBee waveform", "Emulated waveform")
+	for i, d := range r.Distances {
+		t.AddRowf(d, r.Original[i], r.Emulated[i])
+	}
+	t.AddRow("suggested Q", fmt.Sprintf("%.4f", r.SuggestedQ), "")
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

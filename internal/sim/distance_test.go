@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hideseek/internal/zigbee"
+)
+
+func TestFig14ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distance sweep is slow")
+	}
+	budget := DefaultLinkBudget()
+	distances := []float64{1, 5, 8}
+	const packets = 12
+
+	usrp, err := Fig14(3, USRPReceiver(), budget, distances, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := Fig14(3, CC26x2R1Receiver(), budget, distances, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Close range: everything decodes on both receivers (paper: error
+	// rates < 0.1 below 5 m).
+	if usrp.EmulatedPER[0] > 0.1 || usrp.OriginalPER[0] > 0.1 {
+		t.Errorf("USRP at 1 m: PER orig %g emul %g", usrp.OriginalPER[0], usrp.EmulatedPER[0])
+	}
+	// 8 m: the hard-threshold (USRP) receiver loses most emulated packets,
+	// the commodity model keeps decoding — the Fig. 14a/b contrast.
+	if usrp.EmulatedPER[2] < 0.5 {
+		t.Errorf("USRP at 8 m decoded too well: emulated PER %g", usrp.EmulatedPER[2])
+	}
+	if cc.EmulatedPER[2] > 0.3 {
+		t.Errorf("CC26x2R1 at 8 m: emulated PER %g, should keep working", cc.EmulatedPER[2])
+	}
+	// Emulated never beats original at the same receiver/distance by a
+	// meaningful margin.
+	for i := range distances {
+		if usrp.EmulatedPER[i]+0.2 < usrp.OriginalPER[i] {
+			t.Errorf("emulated PER %g ≪ original %g at %g m", usrp.EmulatedPER[i], usrp.OriginalPER[i], distances[i])
+		}
+	}
+	// RSSI decreases with distance.
+	if !(usrp.MeanRSSIdB[0] > usrp.MeanRSSIdB[2]) {
+		t.Errorf("RSSI not decreasing: %v", usrp.MeanRSSIdB)
+	}
+	if !strings.Contains(usrp.Render().Markdown(), "USRP") {
+		t.Error("render missing radio name")
+	}
+	if _, err := Fig14(3, USRPReceiver(), budget, distances, 0); err == nil {
+		t.Error("accepted 0 packets")
+	}
+	if _, err := Fig14(3, USRPReceiver(), budget, []float64{-1}, 2); err == nil {
+		t.Error("accepted negative distance")
+	}
+}
+
+func TestTable5ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distance sweep is slow")
+	}
+	budget := DefaultLinkBudget()
+	distances := []float64{1, 3, 6}
+	res, err := Table5(4, budget, distances, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range distances {
+		// Table V: authentic D² well below emulated D² at every distance.
+		if res.Emulated[i] < 3*res.Original[i] {
+			t.Errorf("at %g m: gap too small (%g vs %g)", distances[i], res.Original[i], res.Emulated[i])
+		}
+	}
+	if res.SuggestedQ <= 0 {
+		t.Errorf("suggested Q = %g", res.SuggestedQ)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Table V") {
+		t.Error("render missing title")
+	}
+	if _, err := Table5(4, budget, distances, 0); err == nil {
+		t.Error("accepted 0 samples")
+	}
+}
+
+func TestRadioConfigs(t *testing.T) {
+	u := USRPReceiver()
+	if u.Mode != zigbee.FMDiscriminator || u.FrontEndGainDB != 0 {
+		t.Errorf("USRP config %+v", u)
+	}
+	c := CC26x2R1Receiver()
+	if c.Mode != zigbee.SoftCorrelation || c.FrontEndGainDB <= 0 {
+		t.Errorf("CC26x2R1 config %+v", c)
+	}
+}
+
+func TestLinkBudgetSNRMonotone(t *testing.T) {
+	budget := DefaultLinkBudget()
+	budget.PathLoss.ShadowSigmaDB = 0
+	rng := rngFor(9, 9)
+	prev := 1e9
+	for _, d := range []float64{1, 2, 4, 8} {
+		snr, err := budget.snrAt(d, USRPReceiver(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snr >= prev {
+			t.Errorf("SNR at %g m = %g not decreasing", d, snr)
+		}
+		prev = snr
+	}
+	if _, err := budget.snrAt(0, USRPReceiver(), rng); err == nil {
+		t.Error("accepted zero distance")
+	}
+	// Front-end gain raises SNR.
+	a, err := budget.snrAt(4, USRPReceiver(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := budget.snrAt(4, CC26x2R1Receiver(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a-1 { // allow shadowing noise: sigma is 1 dB by default here
+		t.Errorf("commodity SNR %g not above USRP %g", b, a)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROCPoint is one operating point of the detector.
+type ROCPoint struct {
+	Threshold         float64
+	TruePositiveRate  float64
+	FalsePositiveRate float64
+}
+
+// ROCResult sweeps the decision threshold Q over the observed D² range —
+// an extension beyond the paper's single-threshold evaluation that shows
+// how much margin the defense has.
+type ROCResult struct {
+	SNRdB  float64
+	Points []ROCPoint
+	// AUC is the area under the ROC curve (1.0 = perfect detector).
+	AUC float64
+	// Samples per class.
+	Samples int
+}
+
+// ROC collects D² samples for both classes at one SNR and sweeps Q.
+func ROC(seed int64, snrDB float64, samples int) (*ROCResult, error) {
+	d2o, d2e, err := distanceSamples(seed, []float64{snrDB}, samples)
+	if err != nil {
+		return nil, err
+	}
+	return rocFromSamples(snrDB, d2o[0], d2e[0])
+}
+
+func rocFromSamples(snrDB float64, authentic, emulated []float64) (*ROCResult, error) {
+	if len(authentic) == 0 || len(emulated) == 0 {
+		return nil, fmt.Errorf("sim: empty ROC sample sets")
+	}
+	// Candidate thresholds: every observed distance (plus sentinels).
+	cands := make([]float64, 0, len(authentic)+len(emulated)+2)
+	cands = append(cands, authentic...)
+	cands = append(cands, emulated...)
+	sort.Float64s(cands)
+	cands = append([]float64{cands[0] - 1}, append(cands, cands[len(cands)-1]+1)...)
+
+	res := &ROCResult{SNRdB: snrDB, Samples: len(authentic)}
+	for _, q := range cands {
+		tp, fp := 0, 0
+		for _, d := range emulated {
+			if d > q {
+				tp++
+			}
+		}
+		for _, d := range authentic {
+			if d > q {
+				fp++
+			}
+		}
+		res.Points = append(res.Points, ROCPoint{
+			Threshold:         q,
+			TruePositiveRate:  float64(tp) / float64(len(emulated)),
+			FalsePositiveRate: float64(fp) / float64(len(authentic)),
+		})
+	}
+	// Sort by FPR ascending for AUC integration (trapezoid).
+	sort.Slice(res.Points, func(a, b int) bool {
+		if res.Points[a].FalsePositiveRate != res.Points[b].FalsePositiveRate {
+			return res.Points[a].FalsePositiveRate < res.Points[b].FalsePositiveRate
+		}
+		return res.Points[a].TruePositiveRate < res.Points[b].TruePositiveRate
+	})
+	for i := 1; i < len(res.Points); i++ {
+		dx := res.Points[i].FalsePositiveRate - res.Points[i-1].FalsePositiveRate
+		res.AUC += dx * (res.Points[i].TruePositiveRate + res.Points[i-1].TruePositiveRate) / 2
+	}
+	return res, nil
+}
+
+// Render summarizes the curve at a few operating points.
+func (r *ROCResult) Render() *Table {
+	t := NewTable(fmt.Sprintf("ROC — Detector Operating Curve (SNR %.0f dB, %d samples/class, AUC %.4f)",
+		r.SNRdB, r.Samples, r.AUC),
+		"threshold Q", "TPR", "FPR")
+	// Pick ~8 representative points across the FPR range.
+	step := len(r.Points) / 8
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Points); i += step {
+		p := r.Points[i]
+		t.AddRowf(p.Threshold, p.TruePositiveRate, p.FalsePositiveRate)
+	}
+	return t
+}
+
+// CSV dumps the full curve.
+func (r *ROCResult) CSV() string {
+	out := "threshold,tpr,fpr\n"
+	for _, p := range r.Points {
+		out += fmt.Sprintf("%g,%g,%g\n", p.Threshold, p.TruePositiveRate, p.FalsePositiveRate)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestROCNearPerfectAtHighSNR(t *testing.T) {
+	res, err := ROC(8, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUC < 0.99 {
+		t.Errorf("AUC = %g, want ≈ 1 at 15 dB", res.AUC)
+	}
+	if len(res.Points) < 10 {
+		t.Errorf("only %d ROC points", len(res.Points))
+	}
+	// Curve endpoints: (0,0) and (1,1) must both appear.
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	if first.FalsePositiveRate != 0 || last.FalsePositiveRate != 1 {
+		t.Errorf("FPR endpoints %g..%g", first.FalsePositiveRate, last.FalsePositiveRate)
+	}
+	if !strings.Contains(res.Render().Markdown(), "AUC") {
+		t.Error("render missing AUC")
+	}
+	if !strings.Contains(res.CSV(), "threshold,tpr,fpr") {
+		t.Error("CSV header missing")
+	}
+	if _, err := ROC(8, 15, 0); err == nil {
+		t.Error("accepted 0 samples")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	res, err := ROC(9, 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].TruePositiveRate < res.Points[i-1].TruePositiveRate-1e-12 {
+			t.Fatalf("TPR not monotone at %d", i)
+		}
+	}
+}
+
+func TestRocFromSamplesValidation(t *testing.T) {
+	if _, err := rocFromSamples(10, nil, []float64{1}); err == nil {
+		t.Error("accepted empty authentic set")
+	}
+	if _, err := rocFromSamples(10, []float64{0.1}, nil); err == nil {
+		t.Error("accepted empty emulated set")
+	}
+	// Perfectly separated toy data → AUC 1.
+	res, err := rocFromSamples(10, []float64{0.1, 0.2}, []float64{0.9, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUC != 1 {
+		t.Errorf("toy AUC = %g", res.AUC)
+	}
+}
+
+func TestEvasion(t *testing.T) {
+	res, err := Evasion(10, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 6 {
+		t.Fatalf("%d variants", len(res.Variants))
+	}
+	byName := map[string]int{}
+	for i, v := range res.Variants {
+		byName[v] = i
+	}
+	base := byName["paper attack (7 bins, 64-QAM)"]
+	wide := byName["25 kept bins"]
+	ideal := byName["no quantization (idealized)"]
+	// Every variant must still decode at 15 dB.
+	for i, v := range res.Variants {
+		if res.DecodeRate[i] < 0.6 {
+			t.Errorf("variant %q decode rate %g", v, res.DecodeRate[i])
+		}
+	}
+	// Better emulation shrinks the footprint.
+	if res.MeanD2[wide] >= res.MeanD2[base] {
+		t.Errorf("25-bin D² %g not below 7-bin %g", res.MeanD2[wide], res.MeanD2[base])
+	}
+	if res.MeanD2[ideal] >= res.MeanD2[base] {
+		t.Errorf("unquantized D² %g not below baseline %g", res.MeanD2[ideal], res.MeanD2[base])
+	}
+	// The paper's attack is detected.
+	if !res.Detected[base] {
+		t.Error("baseline attack not detected")
+	}
+	if !strings.Contains(res.Render().Markdown(), "Evasion") {
+		t.Error("render missing title")
+	}
+	if _, err := Evasion(10, 15, 0); err == nil {
+		t.Error("accepted 0 trials")
+	}
+}
+
+func TestAMCAccuracyImprovesWithSNR(t *testing.T) {
+	res, err := AMC(11, []float64{5, 20}, 2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := res.Matrices[0].Accuracy()
+	high := res.Matrices[1].Accuracy()
+	if high < low {
+		t.Errorf("accuracy fell with SNR: %g → %g", low, high)
+	}
+	if high < 0.8 {
+		t.Errorf("accuracy at 20 dB = %g, too low", high)
+	}
+	// BPSK (real family) is essentially never confused at high SNR.
+	if ra := res.Matrices[1].RowAccuracy("BPSK"); ra < 0.99 {
+		t.Errorf("BPSK recall at 20 dB = %g", ra)
+	}
+	if !strings.Contains(res.Render().Markdown(), "AMC") {
+		t.Error("render missing title")
+	}
+	if _, err := AMC(11, []float64{10}, 10, 4); err == nil {
+		t.Error("accepted tiny sample count")
+	}
+}
+
+func TestCSMAScenario(t *testing.T) {
+	res, err := CSMAScenario(12, []float64{0, 0.3, 0.9}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate[0] != 1 {
+		t.Errorf("idle medium success = %g", res.SuccessRate[0])
+	}
+	if res.SuccessRate[2] >= res.SuccessRate[0] {
+		t.Errorf("90%% duty success %g not below idle", res.SuccessRate[2])
+	}
+	if res.MeanDelayUs[2] <= res.MeanDelayUs[0] {
+		t.Errorf("delay did not grow with contention: %v", res.MeanDelayUs)
+	}
+	if _, err := CSMAScenario(12, []float64{2}, 10); err == nil {
+		t.Error("accepted duty cycle > 1")
+	}
+	if _, err := CSMAScenario(12, []float64{0.5}, 0); err == nil {
+		t.Error("accepted 0 trials")
+	}
+	if !strings.Contains(res.Render().Markdown(), "CSMA") {
+		t.Error("render missing title")
+	}
+}

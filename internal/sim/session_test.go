@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hideseek/internal/channel"
+)
+
+func TestNewLinkSessionValidation(t *testing.T) {
+	if _, err := NewLinkSession(nil, 1, 2, 3); err == nil {
+		t.Error("accepted nil channel")
+	}
+}
+
+func TestSessionDeliversAtHighSNR(t *testing.T) {
+	rng := rngFor(21, 1)
+	awgn, err := channel.NewAWGN(20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewLinkSession(awgn, 0x1234, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r, err := s.SendCommand([]byte("light on"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Acked || !r.Delivered || r.Attempts != 1 {
+			t.Fatalf("command %d: %+v", i, r)
+		}
+	}
+}
+
+func TestSessionRetriesRecoverMarginalLink(t *testing.T) {
+	// DSSS is robust far below 0 dB (≈15 dB processing gain + the matched
+	// filter); the marginal region sits near −6 dB, where single
+	// transmissions often fail and retries recover most exchanges.
+	single, err := SessionReliability(22, []float64{-6}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.MeanAttempts[0] <= 1.05 {
+		t.Errorf("mean attempts %g — link too clean for a retry test", single.MeanAttempts[0])
+	}
+	if single.AckedRate[0] < 0.5 {
+		t.Errorf("acked rate %g even with retries", single.AckedRate[0])
+	}
+}
+
+func TestSessionReliabilityMonotone(t *testing.T) {
+	res, err := SessionReliability(23, []float64{-8, -5, 20}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AckedRate[2] < res.AckedRate[0] {
+		t.Errorf("acked rate fell with SNR: %v", res.AckedRate)
+	}
+	if res.AckedRate[2] < 0.95 {
+		t.Errorf("acked rate at 20 dB = %g", res.AckedRate[2])
+	}
+	if res.MeanAttempts[0] < res.MeanAttempts[2] {
+		t.Errorf("attempts should shrink with SNR: %v", res.MeanAttempts)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Session") {
+		t.Error("render missing title")
+	}
+	if _, err := SessionReliability(23, []float64{10}, 0); err == nil {
+		t.Error("accepted 0 commands")
+	}
+}

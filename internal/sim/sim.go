@@ -1,0 +1,110 @@
+// Package sim wires the full stack — APP payloads, ZigBee MAC/PHY, the
+// WiFi attacker, channel models, and the defense — into reproducible
+// experiment drivers, one per table and figure of the paper's evaluation
+// (Sec. VII). Every driver takes an explicit seed and returns a structured
+// result with a markdown renderer, so cmd/experiments and the benchmarks
+// share one implementation.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/zigbee"
+)
+
+// Payloads returns the paper's APP-layer workload: the texts "00000"
+// through "000<n-1>" (Sec. VII-C-1 uses 00000–00099).
+func Payloads(n int) ([][]byte, error) {
+	if n < 1 || n > 100000 {
+		return nil, fmt.Errorf("sim: payload count %d outside [1, 100000]", n)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%05d", i))
+	}
+	return out, nil
+}
+
+// Link bundles one pre-built transmission: the authentic ZigBee waveform
+// and its emulated counterpart, both at the victim's 4 MS/s clock.
+type Link struct {
+	Payload  []byte
+	Original []complex128
+	Emulated []complex128
+	Result   *emulation.Result
+}
+
+// BuildLinks transmits every payload on the ZigBee PHY and runs the attack
+// on each observation.
+func BuildLinks(payloads [][]byte, attack emulation.AttackConfig) ([]*Link, error) {
+	tx := zigbee.NewTransmitter()
+	em, err := emulation.NewEmulator(attack)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	links := make([]*Link, 0, len(payloads))
+	for i, p := range payloads {
+		obs, err := tx.TransmitPSDU(p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: payload %d: %w", i, err)
+		}
+		res, err := em.Emulate(obs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: payload %d: %w", i, err)
+		}
+		links = append(links, &Link{
+			Payload:  p,
+			Original: padTail(obs, 8),
+			Emulated: padTail(res.Emulated4M, 8),
+			Result:   res,
+		})
+	}
+	return links, nil
+}
+
+// Receiverish wraps the pieces every experiment needs on the victim side.
+type victim struct {
+	rx  *zigbee.Receiver
+	det *emulation.Detector
+}
+
+func newVictim(mode zigbee.DespreadMode, defense emulation.DefenseConfig) (*victim, error) {
+	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: mode, SyncThreshold: 0.3})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	det, err := emulation.NewDetector(defense)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &victim{rx: rx, det: det}, nil
+}
+
+// padTail appends n zero samples so channel delay spread and timing shifts
+// cannot starve the receiver of the frame's final chips.
+func padTail(wave []complex128, n int) []complex128 {
+	out := make([]complex128, len(wave)+n)
+	copy(out, wave)
+	return out
+}
+
+// rngFor derives a child RNG so experiments stay reproducible even when
+// individual trials are reordered.
+func rngFor(seed int64, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + salt))
+}
+
+// payloadMatches reports whether a reception decoded the expected PSDU.
+func payloadMatches(rec *zigbee.Reception, want []byte) bool {
+	if rec == nil || len(rec.PSDU) != len(want) {
+		return false
+	}
+	for i := range want {
+		if rec.PSDU[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"hideseek/internal/emulation"
+)
+
+func TestPayloads(t *testing.T) {
+	p, err := Payloads(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 100 {
+		t.Fatalf("%d payloads", len(p))
+	}
+	if string(p[0]) != "00000" || string(p[99]) != "00099" {
+		t.Errorf("payload bounds: %q %q", p[0], p[99])
+	}
+	if _, err := Payloads(0); err == nil {
+		t.Error("accepted 0")
+	}
+	if _, err := Payloads(1000000); err == nil {
+		t.Error("accepted huge count")
+	}
+}
+
+func TestBuildLinks(t *testing.T) {
+	p, err := Payloads(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := BuildLinks(p, emulation.AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("%d links", len(links))
+	}
+	for i, l := range links {
+		if len(l.Original) == 0 || len(l.Emulated) == 0 || l.Result == nil {
+			t.Errorf("link %d incomplete", i)
+		}
+	}
+	if _, err := BuildLinks(p, emulation.AttackConfig{KeptSubcarriers: -3}); err == nil {
+		t.Error("accepted bad attack config")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "a", "b")
+	tbl.AddRow("1", "x,y")
+	tbl.AddRowf(2.5, "z")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "### Demo") || !strings.Contains(md, "| a | b |") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "2.5000") {
+		t.Errorf("float formatting missing:\n%s", md)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("CSV quoting broken:\n%s", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "y1"}
+	s.Add(1, 2)
+	s.Add(2, 4)
+	if !strings.Contains(s.CSV(), "x,y1\n1,2\n2,4\n") {
+		t.Errorf("series CSV:\n%s", s.CSV())
+	}
+	s2 := &Series{Name: "y2"}
+	s2.Add(1, 3)
+	s2.Add(2, 5)
+	merged, err := MergeSeriesCSV(s, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(merged, "x,y1,y2") || !strings.Contains(merged, "2,4,5") {
+		t.Errorf("merged CSV:\n%s", merged)
+	}
+	s3 := &Series{Name: "bad"}
+	s3.Add(1, 1)
+	if _, err := MergeSeriesCSV(s, s3); err == nil {
+		t.Error("accepted mismatched series")
+	}
+	if _, err := MergeSeriesCSV(); err == nil {
+		t.Error("accepted empty series list")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1([]byte("000990"), 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Segments != 6 {
+		t.Fatalf("segments = %d", res.Segments)
+	}
+	if len(res.Table.Selected) != 7 {
+		t.Errorf("selected %d bins", len(res.Table.Selected))
+	}
+	md := res.Render().Markdown()
+	if !strings.Contains(md, "Table I") {
+		t.Error("render missing title")
+	}
+	if _, err := Table1([]byte("x"), 0, 3); err == nil {
+		t.Error("accepted 0 segments")
+	}
+	if _, err := Table1([]byte("x"), 10000, 3); err == nil {
+		t.Error("accepted too many segments")
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	res, err := Table2(1, []float64{5, 11, 17}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SuccessRates) != 3 {
+		t.Fatalf("%d rates", len(res.SuccessRates))
+	}
+	// Monotone non-decreasing with SNR and saturating at the top —
+	// the Table II shape.
+	if res.SuccessRates[0] > res.SuccessRates[2] {
+		t.Errorf("success not improving with SNR: %v", res.SuccessRates)
+	}
+	if res.SuccessRates[2] < 0.95 {
+		t.Errorf("success at 17 dB = %g, want ≈ 1", res.SuccessRates[2])
+	}
+	if _, err := Table2(1, []float64{7}, 0); err == nil {
+		t.Error("accepted 0 trials")
+	}
+	if !strings.Contains(res.Render().Markdown(), "Table II") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res, err := Fig5(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OriginalI) != len(res.EmulatedI) || len(res.OriginalI) == 0 {
+		t.Fatalf("trace lengths %d vs %d", len(res.OriginalI), len(res.EmulatedI))
+	}
+	if res.TailNMSE <= 0 || res.TailNMSE > 0.15 {
+		t.Errorf("tail NMSE = %g", res.TailNMSE)
+	}
+	csv, err := res.SeriesCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "original_I") {
+		t.Error("CSV missing series")
+	}
+	if _, err := Fig5(99); err == nil {
+		t.Error("accepted invalid symbol")
+	}
+}
+
+func TestFig7ShapeMatchesPaper(t *testing.T) {
+	res, err := Fig7(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original: all distances zero. Emulated: mass concentrated in 1..10
+	// with a meaningful share ≥ 4 (the paper's 4–8 band).
+	if res.Original.Rate(0) != 1 {
+		t.Errorf("original zero-distance rate = %g", res.Original.Rate(0))
+	}
+	if res.Emulated.Rate(0) > 0.9 {
+		t.Errorf("emulated has %g mass at distance 0 — footprint missing", res.Emulated.Rate(0))
+	}
+	var high float64
+	for d := 4; d <= 10; d++ {
+		high += res.Emulated.Rate(d)
+	}
+	if high < 0.05 {
+		t.Errorf("emulated mass at distance ≥4 = %g, want a visible tail", high)
+	}
+	if _, err := Fig7(0); err == nil {
+		t.Error("accepted 0 packets")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res, err := Fig8(1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OriginalI) == 0 || len(res.EmulatedI) == 0 {
+		t.Fatal("missing traces")
+	}
+	// At the victim clock the CP statistics of the two classes overlap:
+	// the emulated median must not stand clear of the original max.
+	if res.EmulatedCP.Median > res.OriginalCP.Max {
+		t.Errorf("CP medians separate cleanly (emul %g > orig max %g) — baseline unexpectedly works",
+			res.EmulatedCP.Median, res.OriginalCP.Max)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Fig. 8") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	res, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SymbolsAgree {
+		t.Error("despread symbols differ — chip baseline claim broken")
+	}
+	if res.ChipsDiffer == 0 {
+		t.Error("no differing chips — comparison vacuous")
+	}
+	if len(res.OriginalFreq) == 0 || len(res.OriginalFreq) != len(res.EmulatedFreq) {
+		t.Error("frequency traces missing or mismatched")
+	}
+	if !strings.Contains(res.Render().Markdown(), "Fig. 9") {
+		t.Error("render missing title")
+	}
+}

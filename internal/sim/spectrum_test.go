@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpectrum(t *testing.T) {
+	res, err := Spectrum([]byte("0000000017"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Authentic O-QPSK: ~2 MHz occupied bandwidth, ≥90 % inside ±1 MHz.
+	if res.ZigBeeOccupiedBW99 < 1.2e6 || res.ZigBeeOccupiedBW99 > 3.2e6 {
+		t.Errorf("ZigBee 99%% BW = %g", res.ZigBeeOccupiedBW99)
+	}
+	if res.InBandShare < 0.9 {
+		t.Errorf("in-band share = %g", res.InBandShare)
+	}
+	// Truncation loses a small but nonzero share — the "irreversible
+	// distortion" of Sec. V-A-1.
+	if res.TruncationLoss <= 0 || res.TruncationLoss > 0.1 {
+		t.Errorf("truncation loss = %g", res.TruncationLoss)
+	}
+	// The emulated waveform is narrower (content confined to 7 bins) with
+	// bounded out-of-band regrowth.
+	if res.EmulatedOccupiedBW99 > res.ZigBeeOccupiedBW99+0.5e6 {
+		t.Errorf("emulated BW %g way above authentic %g", res.EmulatedOccupiedBW99, res.ZigBeeOccupiedBW99)
+	}
+	if res.VictimBandLeakage < 0 || res.VictimBandLeakage > 0.2 {
+		t.Errorf("leakage = %g", res.VictimBandLeakage)
+	}
+	if !strings.Contains(res.Render().Markdown(), "Spectrum") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationInterpolation(t *testing.T) {
+	res, err := AblationInterpolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 2 {
+		t.Fatalf("%d methods", len(res.Methods))
+	}
+	if res.TailNMSE[1] <= res.TailNMSE[0] {
+		t.Errorf("linear interpolation NMSE %g not worse than sinc %g",
+			res.TailNMSE[1], res.TailNMSE[0])
+	}
+	if !strings.Contains(res.Render().Markdown(), "Interpolation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationCoarseThreshold(t *testing.T) {
+	res, err := AblationCoarseThreshold([]float64{0.5, 3, 8, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTh := map[float64]int{}
+	for i, th := range res.Thresholds {
+		byTh[th] = i
+	}
+	// The paper's threshold of 3 selects the in-band bins.
+	if !res.CorrectSelection[byTh[3]] {
+		t.Error("threshold 3 failed to select the in-band bins")
+	}
+	// An absurdly high threshold highlights almost nothing, breaking the
+	// vote (ties resolved by |frequency| keep DC-adjacent bins, so the
+	// selection may remain correct, but NMSE must not improve).
+	if res.TailNMSE[byTh[30]] < res.TailNMSE[byTh[3]]-1e-9 {
+		t.Errorf("threshold 30 beat threshold 3: %g vs %g",
+			res.TailNMSE[byTh[30]], res.TailNMSE[byTh[3]])
+	}
+	if !strings.Contains(res.Render().Markdown(), "Coarse") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,58 @@
+package wifi_test
+
+import (
+	"fmt"
+	"log"
+
+	"hideseek/internal/wifi"
+)
+
+// Example builds and decodes a complete 802.11g PPDU at 54 Mb/s.
+func Example() {
+	psdu := []byte("hello wifi")
+	frame, err := wifi.BuildFrame(psdu, wifi.Rate54, 0x5D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, sig, err := wifi.DecodeFrame(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rate %d Mb/s, %d-byte PSDU: %q\n", int(sig.Rate), sig.Length, got)
+	// Output:
+	// rate 54 Mb/s, 10-byte PSDU: "hello wifi"
+}
+
+// ExampleSyncReceiver decodes a frame with unknown delay and channel gain.
+func ExampleSyncReceiver() {
+	frame, err := wifi.BuildFrame([]byte{0xCA, 0xFE}, wifi.Rate12, 0x5D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Delay by 123 samples and scale by a complex gain.
+	wave := make([]complex128, 123+len(frame)+40)
+	for i, v := range frame {
+		wave[123+i] = v * (0.4 - 0.3i)
+	}
+	rx := wifi.NewSyncReceiver()
+	psdu, sig, err := rx.Receive(wave)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found rate-%d frame: %x\n", int(sig.Rate), psdu)
+	// Output:
+	// found rate-12 frame: cafe
+}
+
+// ExampleConvEncode demonstrates the invertibility the attacker exploits.
+func ExampleConvEncode() {
+	data := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	coded := wifi.ConvEncode(data)
+	back, err := wifi.ConvInvert(coded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(coded), back)
+	// Output:
+	// 16 [1 0 1 1 0 0 1 0]
+}

@@ -1,0 +1,66 @@
+package wifi
+
+import (
+	"fmt"
+
+	"hideseek/internal/bits"
+)
+
+// Interleaver is the per-OFDM-symbol two-permutation block interleaver of
+// IEEE 802.11-2016 §17.3.5.7.
+type Interleaver struct {
+	ncbps int   // coded bits per OFDM symbol
+	perm  []int // perm[k] = output index of input bit k
+	inv   []int
+}
+
+// NewInterleaver builds the interleaver for a constellation: NCBPS =
+// 48 data subcarriers × bits per symbol.
+func NewInterleaver(c *Constellation) (*Interleaver, error) {
+	if c == nil {
+		return nil, fmt.Errorf("wifi: nil constellation")
+	}
+	ncbps := NumDataSubcarriers * c.BitsPerSymbol()
+	nbpsc := c.BitsPerSymbol()
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int, ncbps)
+	for k := 0; k < ncbps; k++ {
+		i := (ncbps/16)*(k%16) + k/16
+		j := s*(i/s) + (i+ncbps-16*i/ncbps)%s
+		perm[k] = j
+	}
+	inv := make([]int, ncbps)
+	for k, j := range perm {
+		inv[j] = k
+	}
+	return &Interleaver{ncbps: ncbps, perm: perm, inv: inv}, nil
+}
+
+// BlockSize returns NCBPS.
+func (il *Interleaver) BlockSize() int { return il.ncbps }
+
+// Interleave permutes one or more whole blocks.
+func (il *Interleaver) Interleave(in []bits.Bit) ([]bits.Bit, error) {
+	return il.apply(in, il.perm)
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(in []bits.Bit) ([]bits.Bit, error) {
+	return il.apply(in, il.inv)
+}
+
+func (il *Interleaver) apply(in []bits.Bit, perm []int) ([]bits.Bit, error) {
+	if len(in)%il.ncbps != 0 {
+		return nil, fmt.Errorf("wifi: interleaver input %d not a multiple of NCBPS %d", len(in), il.ncbps)
+	}
+	out := make([]bits.Bit, len(in))
+	for blk := 0; blk < len(in); blk += il.ncbps {
+		for k := 0; k < il.ncbps; k++ {
+			out[blk+perm[k]] = in[blk+k]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package wifi
+
+import (
+	"fmt"
+
+	"hideseek/internal/bits"
+	"hideseek/internal/dsp"
+)
+
+func buildPilotPolarity() []float64 {
+	s := bits.NewScrambler(0x7F)
+	out := make([]float64, 127)
+	for i := range out {
+		if s.Next() == 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// AssembleSpectrum places 48 data symbols plus the symbol-index-dependent
+// pilots into a 64-bin OFDM spectrum (natural FFT bin order).
+func AssembleSpectrum(data []complex128, symbolIndex int) ([]complex128, error) {
+	if len(data) != NumDataSubcarriers {
+		return nil, fmt.Errorf("wifi: need %d data symbols, got %d", NumDataSubcarriers, len(data))
+	}
+	spec := make([]complex128, NumSubcarriers)
+	for i, k := range DataSubcarrierIndices {
+		spec[SubcarrierBin(k)] = data[i]
+	}
+	pol := complex(PilotPolarity(symbolIndex), 0)
+	for i, k := range PilotSubcarrierIndices {
+		spec[SubcarrierBin(k)] = pilotBaseValues[i] * pol
+	}
+	return spec, nil
+}
+
+// DisassembleSpectrum extracts the 48 data symbols from a 64-bin spectrum.
+func DisassembleSpectrum(spec []complex128) ([]complex128, error) {
+	if len(spec) != NumSubcarriers {
+		return nil, fmt.Errorf("wifi: spectrum must have %d bins, got %d", NumSubcarriers, len(spec))
+	}
+	data := make([]complex128, NumDataSubcarriers)
+	for i, k := range DataSubcarrierIndices {
+		data[i] = spec[SubcarrierBin(k)]
+	}
+	return data, nil
+}
+
+// SynthesizeSymbol turns a 64-bin spectrum into an 80-sample time-domain
+// OFDM symbol: 64-point IFFT with the last CPLength samples repeated as the
+// cyclic prefix.
+func SynthesizeSymbol(spec []complex128) ([]complex128, error) {
+	if len(spec) != NumSubcarriers {
+		return nil, fmt.Errorf("wifi: spectrum must have %d bins, got %d", NumSubcarriers, len(spec))
+	}
+	body := dsp.IFFT(spec)
+	out := make([]complex128, 0, SymbolSamples)
+	out = append(out, body[NumSubcarriers-CPLength:]...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// AnalyzeSymbol inverts SynthesizeSymbol: it strips the cyclic prefix and
+// FFTs the 64-sample body back to the subcarrier domain.
+func AnalyzeSymbol(symbol []complex128) ([]complex128, error) {
+	if len(symbol) != SymbolSamples {
+		return nil, fmt.Errorf("wifi: symbol must have %d samples, got %d", SymbolSamples, len(symbol))
+	}
+	return dsp.FFT(symbol[CPLength:]), nil
+}
+
+// VerifyCyclicPrefix reports the normalized correlation between a symbol's
+// CP and the tail it should replicate — 1.0 for a well-formed OFDM symbol.
+func VerifyCyclicPrefix(symbol []complex128) (float64, error) {
+	if len(symbol) != SymbolSamples {
+		return 0, fmt.Errorf("wifi: symbol must have %d samples, got %d", SymbolSamples, len(symbol))
+	}
+	return dsp.SegmentCorrelation(symbol[:CPLength], symbol[SymbolSamples-CPLength:]), nil
+}

@@ -1,0 +1,205 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"hideseek/internal/dsp"
+)
+
+func TestDataSubcarrierIndices(t *testing.T) {
+	if len(DataSubcarrierIndices) != 48 {
+		t.Fatalf("got %d data subcarriers", len(DataSubcarrierIndices))
+	}
+	seen := map[int]bool{}
+	for _, k := range DataSubcarrierIndices {
+		if k == 0 || k < -26 || k > 26 {
+			t.Errorf("illegal data subcarrier %d", k)
+		}
+		switch k {
+		case -21, -7, 7, 21:
+			t.Errorf("data subcarrier %d collides with a pilot", k)
+		}
+		if seen[k] {
+			t.Errorf("duplicate subcarrier %d", k)
+		}
+		seen[k] = true
+	}
+	// Paper Sec. V-A-4 block structure: [−26,−22], [−20,−8], [−6,−1],
+	// [1,6], [8,20], [22,26].
+	if DataSubcarrierIndices[0] != -26 || DataSubcarrierIndices[47] != 26 {
+		t.Errorf("order wrong: first=%d last=%d", DataSubcarrierIndices[0], DataSubcarrierIndices[47])
+	}
+}
+
+func TestSubcarrierBin(t *testing.T) {
+	tests := []struct{ k, want int }{
+		{k: 0, want: 0}, {k: 1, want: 1}, {k: 26, want: 26},
+		{k: -1, want: 63}, {k: -26, want: 38}, {k: -32, want: 32},
+	}
+	for _, tt := range tests {
+		if got := SubcarrierBin(tt.k); got != tt.want {
+			t.Errorf("SubcarrierBin(%d) = %d, want %d", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestPilotPolarityKnownPrefix(t *testing.T) {
+	// First 16 values of the standard's p_n sequence.
+	want := []float64{1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1}
+	for i, w := range want {
+		if got := PilotPolarity(i); got != w {
+			t.Errorf("p_%d = %g, want %g", i, got, w)
+		}
+	}
+	// Periodicity with period 127.
+	for i := 0; i < 10; i++ {
+		if PilotPolarity(i) != PilotPolarity(i+127) {
+			t.Errorf("p_%d != p_%d", i, i+127)
+		}
+	}
+}
+
+func TestAssembleDisassembleSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := make([]complex128, NumDataSubcarriers)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	spec, err := AssembleSpectrum(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pilots present with symbol-3 polarity.
+	pol := PilotPolarity(3)
+	for i, k := range PilotSubcarrierIndices {
+		want := pilotBaseValues[i] * complex(pol, 0)
+		if got := spec[SubcarrierBin(k)]; got != want {
+			t.Errorf("pilot %d = %v, want %v", k, got, want)
+		}
+	}
+	// Nulls stay zero.
+	for k := 27; k <= 37; k++ {
+		if spec[k] != 0 {
+			t.Errorf("null bin %d = %v", k, spec[k])
+		}
+	}
+	if spec[0] != 0 {
+		t.Errorf("DC = %v", spec[0])
+	}
+	back, err := DisassembleSpectrum(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("data symbol %d lost", i)
+		}
+	}
+	if _, err := AssembleSpectrum(data[:5], 0); err == nil {
+		t.Error("accepted short data")
+	}
+	if _, err := DisassembleSpectrum(data); err == nil {
+		t.Error("accepted wrong spectrum size")
+	}
+}
+
+func TestSynthesizeAnalyzeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	spec := make([]complex128, NumSubcarriers)
+	for i := range spec {
+		spec[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	td, err := SynthesizeSymbol(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != SymbolSamples {
+		t.Fatalf("symbol length = %d", len(td))
+	}
+	back, err := AnalyzeSymbol(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec {
+		if cmplx.Abs(back[i]-spec[i]) > 1e-9 {
+			t.Fatalf("bin %d: %v vs %v", i, back[i], spec[i])
+		}
+	}
+	if _, err := SynthesizeSymbol(spec[:10]); err == nil {
+		t.Error("accepted wrong spectrum size")
+	}
+	if _, err := AnalyzeSymbol(td[:10]); err == nil {
+		t.Error("accepted wrong symbol size")
+	}
+}
+
+func TestCyclicPrefixStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	spec := make([]complex128, NumSubcarriers)
+	for i := 1; i < 27; i++ {
+		spec[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	td, err := SynthesizeSymbol(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < CPLength; i++ {
+		if cmplx.Abs(td[i]-td[NumSubcarriers+i]) > 1e-12 {
+			t.Fatalf("CP sample %d differs from tail", i)
+		}
+	}
+	corr, err := VerifyCyclicPrefix(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(corr-1) > 1e-9 {
+		t.Errorf("CP correlation = %g, want 1", corr)
+	}
+	if _, err := VerifyCyclicPrefix(td[:12]); err == nil {
+		t.Error("accepted wrong length")
+	}
+}
+
+func TestPreambleStructure(t *testing.T) {
+	stf := ShortTrainingField()
+	if len(stf) != 160 {
+		t.Fatalf("STF length = %d", len(stf))
+	}
+	// The STF is periodic with period 16 samples.
+	for i := 0; i+16 < len(stf); i++ {
+		if cmplx.Abs(stf[i]-stf[i+16]) > 1e-9 {
+			t.Fatalf("STF not 16-periodic at %d", i)
+		}
+	}
+	ltf := LongTrainingField()
+	if len(ltf) != 160 {
+		t.Fatalf("LTF length = %d", len(ltf))
+	}
+	// The two long training symbols repeat.
+	for i := 0; i < 64; i++ {
+		if cmplx.Abs(ltf[32+i]-ltf[96+i]) > 1e-9 {
+			t.Fatalf("LTF symbols differ at %d", i)
+		}
+	}
+	// Guard interval is the tail of the symbol.
+	for i := 0; i < 32; i++ {
+		if cmplx.Abs(ltf[i]-ltf[128+i]) > 1e-9 {
+			t.Fatalf("LTF guard mismatch at %d", i)
+		}
+	}
+	pre := Preamble()
+	if len(pre) != 320 {
+		t.Fatalf("preamble length = %d", len(pre))
+	}
+	// Analyzing the LTF symbol must recover the ±1 pattern.
+	spec := dsp.FFT(ltf[32:96])
+	for i, v := range ltfPattern {
+		k := i - 26
+		if cmplx.Abs(spec[SubcarrierBin(k)]-v) > 1e-9 {
+			t.Fatalf("LTF bin %d = %v, want %v", k, spec[SubcarrierBin(k)], v)
+		}
+	}
+}

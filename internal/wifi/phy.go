@@ -1,0 +1,147 @@
+package wifi
+
+import (
+	"fmt"
+
+	"hideseek/internal/bits"
+)
+
+// Transmitter is a rate-54 Mb/s-style 802.11g OFDM transmit chain
+// (64-QAM, rate-1/2 coding — puncturing omitted since the attack never
+// needs it): scramble → convolutional encode → interleave → QAM map →
+// pilot insertion → IFFT + CP.
+type Transmitter struct {
+	constellation *Constellation
+	interleaver   *Interleaver
+	scramblerSeed byte
+}
+
+// NewTransmitter builds a transmit chain for the given constellation.
+func NewTransmitter(order QAMOrder, scramblerSeed byte) (*Transmitter, error) {
+	c, err := NewConstellation(order)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: transmitter: %w", err)
+	}
+	il, err := NewInterleaver(c)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: transmitter: %w", err)
+	}
+	return &Transmitter{constellation: c, interleaver: il, scramblerSeed: scramblerSeed}, nil
+}
+
+// Constellation exposes the mapper (the attack pipeline reuses it).
+func (tx *Transmitter) Constellation() *Constellation { return tx.constellation }
+
+// BitsPerOFDMSymbol returns the number of *data* (pre-coding) bits carried
+// per OFDM symbol at rate 1/2.
+func (tx *Transmitter) BitsPerOFDMSymbol() int {
+	return tx.interleaver.BlockSize() / 2
+}
+
+// Transmit modulates data bits into a baseband waveform. The bit count must
+// fill a whole number of OFDM symbols (callers pad per 802.11 §17.3.5.4).
+func (tx *Transmitter) Transmit(data []bits.Bit) ([]complex128, error) {
+	per := tx.BitsPerOFDMSymbol()
+	if len(data) == 0 || len(data)%per != 0 {
+		return nil, fmt.Errorf("wifi: data length %d must be a positive multiple of %d", len(data), per)
+	}
+	scrambled := bits.NewScrambler(tx.scramblerSeed).ApplyCopy(data)
+	coded := ConvEncode(scrambled)
+	interleaved, err := tx.interleaver.Interleave(coded)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: transmit: %w", err)
+	}
+	symbols, err := tx.constellation.Map(interleaved)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: transmit: %w", err)
+	}
+	out := make([]complex128, 0, len(data)/per*SymbolSamples)
+	for n := 0; n*NumDataSubcarriers < len(symbols); n++ {
+		spec, err := AssembleSpectrum(symbols[n*NumDataSubcarriers:(n+1)*NumDataSubcarriers], n)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: transmit symbol %d: %w", n, err)
+		}
+		td, err := SynthesizeSymbol(spec)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: transmit symbol %d: %w", n, err)
+		}
+		out = append(out, td...)
+	}
+	return out, nil
+}
+
+// RecoverDataBits inverts the preprocessing for a desired sequence of data
+// subcarrier symbols: demap → deinterleave → invert the convolutional code →
+// descramble. It returns the MAC data bits a standard 802.11 transmitter
+// would need to emit exactly those QAM points. Because the rate-1/2 encoder
+// maps one input bit to two output bits, only QAM sequences that lie in the
+// code's image are exactly representable; for others the attacker transmits
+// the nearest codeword (see emulation.CodedEmulation).
+func (tx *Transmitter) RecoverDataBits(symbols []complex128) ([]bits.Bit, error) {
+	if len(symbols)%NumDataSubcarriers != 0 {
+		return nil, fmt.Errorf("wifi: symbol count %d not a multiple of %d", len(symbols), NumDataSubcarriers)
+	}
+	hard := tx.constellation.Demap(symbols)
+	coded, err := tx.interleaver.Deinterleave(hard)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: recover: %w", err)
+	}
+	// Viterbi rather than strict inversion: arbitrary QAM targets rarely sit
+	// in the code's image, so take the closest valid input sequence.
+	scrambled, err := ViterbiDecode(coded)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: recover: %w", err)
+	}
+	return bits.NewScrambler(tx.scramblerSeed).Apply(scrambled), nil
+}
+
+// Receiver is the matching minimal OFDM receiver used in tests and by the
+// attacker's self-check: CP strip → FFT → data extraction → demap →
+// deinterleave → Viterbi → descramble.
+type Receiver struct {
+	constellation *Constellation
+	interleaver   *Interleaver
+	scramblerSeed byte
+}
+
+// NewReceiver builds the inverse chain of NewTransmitter.
+func NewReceiver(order QAMOrder, scramblerSeed byte) (*Receiver, error) {
+	c, err := NewConstellation(order)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: receiver: %w", err)
+	}
+	il, err := NewInterleaver(c)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: receiver: %w", err)
+	}
+	return &Receiver{constellation: c, interleaver: il, scramblerSeed: scramblerSeed}, nil
+}
+
+// Receive demodulates a waveform of whole OFDM symbols back to data bits.
+func (rx *Receiver) Receive(waveform []complex128) ([]bits.Bit, error) {
+	if len(waveform) == 0 || len(waveform)%SymbolSamples != 0 {
+		return nil, fmt.Errorf("wifi: waveform length %d must be a positive multiple of %d", len(waveform), SymbolSamples)
+	}
+	var symbols []complex128
+	for off := 0; off < len(waveform); off += SymbolSamples {
+		spec, err := AnalyzeSymbol(waveform[off : off+SymbolSamples])
+		if err != nil {
+			return nil, fmt.Errorf("wifi: receive: %w", err)
+		}
+		data, err := DisassembleSpectrum(spec)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: receive: %w", err)
+		}
+		symbols = append(symbols, data...)
+	}
+	hard := rx.constellation.Demap(symbols)
+	coded, err := rx.interleaver.Deinterleave(hard)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: receive: %w", err)
+	}
+	scrambled, err := ViterbiDecode(coded)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: receive: %w", err)
+	}
+	return bits.NewScrambler(rx.scramblerSeed).Apply(scrambled), nil
+}

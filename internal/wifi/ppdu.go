@@ -1,0 +1,324 @@
+package wifi
+
+import (
+	"fmt"
+
+	"hideseek/internal/bits"
+)
+
+// This file assembles and parses complete 802.11g PPDUs:
+//
+//	L-STF ‖ L-LTF ‖ SIGNAL ‖ DATA₁ … DATA_N
+//
+// with the full §17.3.5 DATA-field construction: SERVICE field, scrambling
+// with receiver-side seed recovery, tail-bit zeroing, padding, puncturing,
+// per-rate interleaving and constellation mapping.
+
+// serviceBits is the SERVICE field length (7 scrambler-init + 9 reserved).
+const serviceBits = 16
+
+// tailBits terminates the convolutional code.
+const tailBits = 6
+
+// blockInterleaver unifies the NBPSC ≥ 2 interleaver and the BPSK one.
+type blockInterleaver interface {
+	Interleave([]bits.Bit) ([]bits.Bit, error)
+	Deinterleave([]bits.Bit) ([]bits.Bit, error)
+}
+
+// ratePHY bundles everything needed to (de)modulate one rate's DATA field.
+type ratePHY struct {
+	rate          Rate
+	info          rateInfo
+	constellation *Constellation // nil for BPSK rates
+	interleaver   blockInterleaver
+	ncbps         int
+	ndbps         int
+}
+
+func newRatePHY(r Rate) (*ratePHY, error) {
+	info, ok := rateTable[r]
+	if !ok {
+		return nil, fmt.Errorf("wifi: unsupported rate %d", r)
+	}
+	p := &ratePHY{rate: r, info: info}
+	if isBPSKRate(r) {
+		il, err := newBPSKInterleaver()
+		if err != nil {
+			return nil, err
+		}
+		p.interleaver = il
+		p.ncbps = NumDataSubcarriers
+	} else {
+		c, err := NewConstellation(info.order)
+		if err != nil {
+			return nil, err
+		}
+		il, err := NewInterleaver(c)
+		if err != nil {
+			return nil, err
+		}
+		p.constellation = c
+		p.interleaver = il
+		p.ncbps = NumDataSubcarriers * c.BitsPerSymbol()
+	}
+	in, out, err := CodedBitsPerPeriod(info.puncture)
+	if err != nil {
+		return nil, err
+	}
+	if p.ncbps*in%out != 0 {
+		return nil, fmt.Errorf("wifi: rate %d: NCBPS %d incompatible with puncturing %d/%d", r, p.ncbps, in, out)
+	}
+	p.ndbps = p.ncbps * in / out
+	return p, nil
+}
+
+// mapBits turns one interleaved NCBPS block into 48 subcarrier symbols.
+func (p *ratePHY) mapBits(block []bits.Bit) ([]complex128, error) {
+	if p.constellation == nil {
+		out := make([]complex128, len(block))
+		for i, b := range block {
+			out[i] = bpskPoint(b)
+		}
+		return out, nil
+	}
+	return p.constellation.Map(block)
+}
+
+// demapSymbols inverts mapBits with hard decisions.
+func (p *ratePHY) demapSymbols(symbols []complex128) []bits.Bit {
+	if p.constellation == nil {
+		out := make([]bits.Bit, len(symbols))
+		for i, v := range symbols {
+			if real(v) >= 0 {
+				out[i] = 1
+			}
+		}
+		return out
+	}
+	return p.constellation.Demap(symbols)
+}
+
+// DataBitsPerSymbol returns N_DBPS for the rate.
+func DataBitsPerSymbol(r Rate) (int, error) {
+	p, err := newRatePHY(r)
+	if err != nil {
+		return 0, err
+	}
+	return p.ndbps, nil
+}
+
+// BuildFrame assembles the complete PPDU waveform for a PSDU at the given
+// rate, using scramblerSeed as the TX scrambler initial state.
+func BuildFrame(psdu []byte, r Rate, scramblerSeed byte) ([]complex128, error) {
+	if len(psdu) < 1 || len(psdu) > 4095 {
+		return nil, fmt.Errorf("wifi: PSDU length %d outside [1, 4095]", len(psdu))
+	}
+	p, err := newRatePHY(r)
+	if err != nil {
+		return nil, err
+	}
+
+	// DATA bit stream: SERVICE ‖ PSDU ‖ tail ‖ pad.
+	payloadBits := serviceBits + 8*len(psdu) + tailBits
+	numSymbols := (payloadBits + p.ndbps - 1) / p.ndbps
+	total := numSymbols * p.ndbps
+	data := make([]bits.Bit, total)
+	copy(data[serviceBits:], bits.BytesToBitsLSB(psdu))
+
+	// Scramble everything, then zero the scrambled tail so the decoder
+	// terminates in state 0 (§17.3.5.3).
+	scrambled := bits.NewScrambler(scramblerSeed).ApplyCopy(data)
+	tailStart := serviceBits + 8*len(psdu)
+	for i := 0; i < tailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+
+	coded := ConvEncode(scrambled)
+	punctured, err := Puncture(coded, p.info.puncture)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: build frame: %w", err)
+	}
+	interleaved, err := p.interleaver.Interleave(punctured)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: build frame: %w", err)
+	}
+
+	out := Preamble()
+	signal, err := EncodeSignal(SignalField{Rate: r, Length: len(psdu)})
+	if err != nil {
+		return nil, fmt.Errorf("wifi: build frame: %w", err)
+	}
+	out = append(out, signal...)
+
+	for n := 0; n < numSymbols; n++ {
+		block := interleaved[n*p.ncbps : (n+1)*p.ncbps]
+		syms, err := p.mapBits(block)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: build frame symbol %d: %w", n, err)
+		}
+		// Pilot polarity index counts SIGNAL as symbol 0.
+		spec, err := AssembleSpectrum(syms, n+1)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: build frame symbol %d: %w", n, err)
+		}
+		td, err := SynthesizeSymbol(spec)
+		if err != nil {
+			return nil, fmt.Errorf("wifi: build frame symbol %d: %w", n, err)
+		}
+		out = append(out, td...)
+	}
+	return out, nil
+}
+
+// preambleSamples is the legacy preamble length.
+const preambleSamples = 320
+
+// DecodeFrame parses a PPDU waveform that begins at the preamble, decodes
+// SIGNAL, demodulates the DATA symbols, and returns the PSDU. The TX
+// scrambler seed is recovered from the SERVICE field, as real receivers do.
+func DecodeFrame(waveform []complex128) ([]byte, SignalField, error) {
+	if len(waveform) < preambleSamples+SymbolSamples {
+		return nil, SignalField{}, fmt.Errorf("wifi: waveform too short for preamble + SIGNAL")
+	}
+	sig, err := DecodeSignal(waveform[preambleSamples : preambleSamples+SymbolSamples])
+	if err != nil {
+		return nil, SignalField{}, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+	p, err := newRatePHY(sig.Rate)
+	if err != nil {
+		return nil, sig, err
+	}
+	payloadBits := serviceBits + 8*sig.Length + tailBits
+	numSymbols := (payloadBits + p.ndbps - 1) / p.ndbps
+	need := preambleSamples + (1+numSymbols)*SymbolSamples
+	if len(waveform) < need {
+		return nil, sig, fmt.Errorf("wifi: waveform has %d samples, need %d for %d DATA symbols", len(waveform), need, numSymbols)
+	}
+
+	spectra := make([][]complex128, numSymbols)
+	for n := 0; n < numSymbols; n++ {
+		start := preambleSamples + (1+n)*SymbolSamples
+		spec, err := AnalyzeSymbol(waveform[start : start+SymbolSamples])
+		if err != nil {
+			return nil, sig, fmt.Errorf("wifi: decode symbol %d: %w", n, err)
+		}
+		spectra[n] = spec
+	}
+	psdu, err := DecodeDataSpectra(spectra, sig)
+	if err != nil {
+		return nil, sig, err
+	}
+	return psdu, sig, nil
+}
+
+// DecodeDataSpectra decodes a frame's DATA field from per-symbol 64-bin
+// spectra (already equalized if the channel required it): demap →
+// deinterleave → depuncture → Viterbi → descramble → PSDU.
+func DecodeDataSpectra(spectra [][]complex128, sig SignalField) ([]byte, error) {
+	p, err := newRatePHY(sig.Rate)
+	if err != nil {
+		return nil, err
+	}
+	payloadBits := serviceBits + 8*sig.Length + tailBits
+	numSymbols := (payloadBits + p.ndbps - 1) / p.ndbps
+	if len(spectra) < numSymbols {
+		return nil, fmt.Errorf("wifi: %d spectra provided, need %d", len(spectra), numSymbols)
+	}
+	interleaved := make([]bits.Bit, 0, numSymbols*p.ncbps)
+	for n := 0; n < numSymbols; n++ {
+		syms, err := DisassembleSpectrum(spectra[n])
+		if err != nil {
+			return nil, err
+		}
+		interleaved = append(interleaved, p.demapSymbols(syms)...)
+	}
+	punctured, err := p.interleaver.Deinterleave(interleaved)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+	coded, err := Depuncture(punctured, p.info.puncture)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+	scrambled, err := ViterbiDecode(coded)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+
+	// The SERVICE field's first 7 bits are zero pre-scrambling, so the
+	// received values ARE the scrambler sequence; rebuild the LFSR state
+	// from them and descramble the remainder.
+	state, err := RecoverScramblerState(scrambled[:7])
+	if err != nil {
+		return nil, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+	descrambler := bits.NewScrambler(state)
+	data := make([]bits.Bit, len(scrambled))
+	copy(data, scrambled)
+	for i := 0; i < 7; i++ {
+		data[i] = 0 // known-zero scrambler-init bits
+	}
+	descrambler.Apply(data[7:])
+
+	psduBits := data[serviceBits : serviceBits+8*sig.Length]
+	psdu, err := bits.BitsToBytesLSB(psduBits)
+	if err != nil {
+		return nil, fmt.Errorf("wifi: decode frame: %w", err)
+	}
+	return psdu, nil
+}
+
+// DemapDataSymbols hard-demaps a stream of data-subcarrier symbols using
+// the rate's constellation (whole 48-symbol blocks).
+func DemapDataSymbols(symbols []complex128, r Rate) ([]bits.Bit, error) {
+	p, err := newRatePHY(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(symbols)%NumDataSubcarriers != 0 {
+		return nil, fmt.Errorf("wifi: symbol count %d not a multiple of %d", len(symbols), NumDataSubcarriers)
+	}
+	return p.demapSymbols(symbols), nil
+}
+
+// DeinterleaveDataBits inverts the rate's per-symbol interleaver over whole
+// NCBPS blocks.
+func DeinterleaveDataBits(in []bits.Bit, r Rate) ([]bits.Bit, error) {
+	p, err := newRatePHY(r)
+	if err != nil {
+		return nil, err
+	}
+	return p.interleaver.Deinterleave(in)
+}
+
+// DepunctureForRate restores the mother-code stream (with erasures) for
+// the rate's puncturing pattern.
+func DepunctureForRate(in []bits.Bit, r Rate) ([]bits.Bit, error) {
+	info, ok := rateTable[r]
+	if !ok {
+		return nil, fmt.Errorf("wifi: unsupported rate %d", r)
+	}
+	return Depuncture(in, info.puncture)
+}
+
+// RecoverScramblerState derives the LFSR state that follows seven observed
+// scrambler-sequence bits (oldest first). Feeding the returned state to
+// NewScrambler continues the sequence from bit eight onward.
+func RecoverScramblerState(first7 []bits.Bit) (byte, error) {
+	if len(first7) != 7 {
+		return 0, fmt.Errorf("wifi: need exactly 7 bits, got %d", len(first7))
+	}
+	var state byte
+	for _, b := range first7 {
+		if b > 1 {
+			return 0, fmt.Errorf("wifi: non-bit value %d in scrambler-init bits", b)
+		}
+		state = (state << 1) | b
+	}
+	state &= 0x7F
+	if state == 0 {
+		return 0, fmt.Errorf("wifi: recovered all-zero scrambler state")
+	}
+	return state, nil
+}

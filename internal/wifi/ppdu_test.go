@@ -1,0 +1,321 @@
+package wifi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hideseek/internal/bits"
+)
+
+func TestPuncturePatterns(t *testing.T) {
+	in, out, err := CodedBitsPerPeriod(Rate12Coding)
+	if err != nil || in != 1 || out != 2 {
+		t.Errorf("rate 1/2 period = %d/%d, %v", in, out, err)
+	}
+	in, out, err = CodedBitsPerPeriod(Rate23Coding)
+	if err != nil || in != 2 || out != 3 {
+		t.Errorf("rate 2/3 period = %d/%d, %v", in, out, err)
+	}
+	in, out, err = CodedBitsPerPeriod(Rate34Coding)
+	if err != nil || in != 3 || out != 4 {
+		t.Errorf("rate 3/4 period = %d/%d, %v", in, out, err)
+	}
+	if _, _, err := CodedBitsPerPeriod(99); err == nil {
+		t.Error("accepted unknown rate")
+	}
+}
+
+func TestPunctureDepunctureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, pr := range []PunctureRate{Rate12Coding, Rate23Coding, Rate34Coding} {
+		pattern, err := puncturePattern(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coded := randomBits(rng, len(pattern)*20)
+		punctured, err := Puncture(coded, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Depuncture(punctured, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(coded) {
+			t.Fatalf("rate %d: length %d, want %d", pr, len(back), len(coded))
+		}
+		for i := range coded {
+			if pattern[i%len(pattern)] {
+				if back[i] != coded[i] {
+					t.Fatalf("rate %d: kept bit %d altered", pr, i)
+				}
+			} else if back[i] != Erasure {
+				t.Fatalf("rate %d: punctured bit %d = %d, want erasure", pr, i, back[i])
+			}
+		}
+	}
+	if _, err := Puncture(make([]bits.Bit, 5), Rate23Coding); err == nil {
+		t.Error("accepted partial period")
+	}
+	if _, err := Depuncture(make([]bits.Bit, 5), Rate34Coding); err == nil {
+		t.Error("accepted partial period")
+	}
+}
+
+func TestViterbiDecodesPuncturedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for _, pr := range []PunctureRate{Rate23Coding, Rate34Coding} {
+		in := randomBits(rng, 240)
+		coded := ConvEncode(in)
+		punctured, err := Puncture(coded, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := Depuncture(punctured, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ViterbiDecode(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range in {
+			if out[i] != in[i] {
+				errs++
+			}
+		}
+		if errs != 0 {
+			t.Errorf("rate %d: %d residual errors on a clean punctured stream", pr, errs)
+		}
+	}
+}
+
+func TestSignalFieldRoundTrip(t *testing.T) {
+	for _, r := range []Rate{Rate6, Rate9, Rate12, Rate18, Rate24, Rate36, Rate48, Rate54} {
+		for _, length := range []int{1, 100, 2047, 4095} {
+			sym, err := EncodeSignal(SignalField{Rate: r, Length: length})
+			if err != nil {
+				t.Fatalf("rate %d length %d: %v", r, length, err)
+			}
+			if len(sym) != SymbolSamples {
+				t.Fatalf("SIGNAL symbol length %d", len(sym))
+			}
+			got, err := DecodeSignal(sym)
+			if err != nil {
+				t.Fatalf("rate %d length %d decode: %v", r, length, err)
+			}
+			if got.Rate != r || got.Length != length {
+				t.Errorf("round trip: got %+v, want rate %d length %d", got, r, length)
+			}
+		}
+	}
+}
+
+func TestSignalValidation(t *testing.T) {
+	if _, err := EncodeSignal(SignalField{Rate: 7, Length: 10}); err == nil {
+		t.Error("accepted unknown rate")
+	}
+	if _, err := EncodeSignal(SignalField{Rate: Rate6, Length: 0}); err == nil {
+		t.Error("accepted zero length")
+	}
+	if _, err := EncodeSignal(SignalField{Rate: Rate6, Length: 5000}); err == nil {
+		t.Error("accepted oversize length")
+	}
+	if _, err := DecodeSignal(make([]complex128, 10)); err == nil {
+		t.Error("accepted short symbol")
+	}
+}
+
+func TestDataBitsPerSymbol(t *testing.T) {
+	want := map[Rate]int{
+		Rate6: 24, Rate9: 36, Rate12: 48, Rate18: 72,
+		Rate24: 96, Rate36: 144, Rate48: 192, Rate54: 216,
+	}
+	for r, n := range want {
+		got, err := DataBitsPerSymbol(r)
+		if err != nil {
+			t.Fatalf("rate %d: %v", r, err)
+		}
+		if got != n {
+			t.Errorf("rate %d NDBPS = %d, want %d", r, got, n)
+		}
+	}
+	if _, err := DataBitsPerSymbol(11); err == nil {
+		t.Error("accepted unknown rate")
+	}
+}
+
+func TestBuildDecodeFrameAllRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for _, r := range []Rate{Rate6, Rate9, Rate12, Rate18, Rate24, Rate36, Rate48, Rate54} {
+		psdu := make([]byte, 57)
+		rng.Read(psdu)
+		wave, err := BuildFrame(psdu, r, 0x5D)
+		if err != nil {
+			t.Fatalf("rate %d build: %v", r, err)
+		}
+		if (len(wave)-preambleSamples)%SymbolSamples != 0 {
+			t.Fatalf("rate %d: non-integral symbol count", r)
+		}
+		got, sig, err := DecodeFrame(wave)
+		if err != nil {
+			t.Fatalf("rate %d decode: %v", r, err)
+		}
+		if sig.Rate != r || sig.Length != len(psdu) {
+			t.Errorf("rate %d SIGNAL = %+v", r, sig)
+		}
+		if !bytes.Equal(got, psdu) {
+			t.Errorf("rate %d PSDU mismatch", r)
+		}
+	}
+}
+
+func TestBuildFrameScramblerSeedIndependence(t *testing.T) {
+	// Any nonzero seed must decode — the receiver recovers it from the
+	// SERVICE field.
+	f := func(seed byte, payload []byte) bool {
+		if seed&0x7F == 0 {
+			seed = 1
+		}
+		if len(payload) == 0 {
+			payload = []byte{0x42}
+		}
+		if len(payload) > 200 {
+			payload = payload[:200]
+		}
+		wave, err := BuildFrame(payload, Rate54, seed)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeFrame(wave)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFrameValidation(t *testing.T) {
+	if _, err := BuildFrame(nil, Rate54, 0x5D); err == nil {
+		t.Error("accepted empty PSDU")
+	}
+	if _, err := BuildFrame(make([]byte, 5000), Rate54, 0x5D); err == nil {
+		t.Error("accepted oversize PSDU")
+	}
+	if _, err := BuildFrame([]byte{1}, 13, 0x5D); err == nil {
+		t.Error("accepted unknown rate")
+	}
+	if _, _, err := DecodeFrame(make([]complex128, 100)); err == nil {
+		t.Error("accepted truncated waveform")
+	}
+	// Truncated DATA region.
+	wave, err := BuildFrame(make([]byte, 40), Rate6, 0x5D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFrame(wave[:len(wave)-SymbolSamples]); err == nil {
+		t.Error("accepted frame with missing DATA symbols")
+	}
+}
+
+func TestRecoverScramblerState(t *testing.T) {
+	// Generate 14 bits from a known seed; recovering from the first 7 must
+	// continue the sequence exactly.
+	s := bits.NewScrambler(0x35)
+	seq := make([]bits.Bit, 14)
+	for i := range seq {
+		seq[i] = s.Next()
+	}
+	state, err := RecoverScramblerState(seq[:7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := bits.NewScrambler(state)
+	for i := 7; i < 14; i++ {
+		if got := cont.Next(); got != seq[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got, seq[i])
+		}
+	}
+	if _, err := RecoverScramblerState(seq[:6]); err == nil {
+		t.Error("accepted 6 bits")
+	}
+	if _, err := RecoverScramblerState(make([]bits.Bit, 7)); err == nil {
+		t.Error("accepted all-zero bits")
+	}
+	if _, err := RecoverScramblerState([]bits.Bit{1, 1, 1, 1, 1, 1, 3}); err == nil {
+		t.Error("accepted non-bit value")
+	}
+}
+
+func TestExportedDataHelpersRoundTrip(t *testing.T) {
+	// DemapDataSymbols → DeinterleaveDataBits → DepunctureForRate must
+	// invert the corresponding TX stages for every non-BPSK rate.
+	rng := rand.New(rand.NewSource(204))
+	for _, r := range []Rate{Rate12, Rate24, Rate54} {
+		p, err := newRatePHY(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randomBits(rng, p.ndbps*2)
+		coded := ConvEncode(data)
+		punct, err := Puncture(coded, p.info.puncture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter, err := p.interleaver.Interleave(punct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syms, err := p.mapBits(inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		hard, err := DemapDataSymbols(syms, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deinter, err := DeinterleaveDataBits(hard, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mother, err := DepunctureForRate(deinter, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ViterbiDecode(mother)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				t.Fatalf("rate %d: bit %d lost through the exported helpers", r, i)
+			}
+		}
+	}
+	if _, err := DemapDataSymbols(make([]complex128, 5), Rate54); err == nil {
+		t.Error("accepted partial symbol block")
+	}
+	if _, err := DemapDataSymbols(nil, 99); err == nil {
+		t.Error("accepted unknown rate")
+	}
+	if _, err := DeinterleaveDataBits(nil, 99); err == nil {
+		t.Error("accepted unknown rate")
+	}
+	if _, err := DepunctureForRate(nil, 99); err == nil {
+		t.Error("accepted unknown rate")
+	}
+}
+
+func TestViterbiRejectsValueThree(t *testing.T) {
+	if _, err := ViterbiDecode([]bits.Bit{3, 0}); err == nil {
+		t.Error("accepted value 3")
+	}
+	// Erasures alone decode to something without error.
+	if _, err := ViterbiDecode([]bits.Bit{Erasure, Erasure, Erasure, Erasure}); err != nil {
+		t.Errorf("all-erasure stream rejected: %v", err)
+	}
+}

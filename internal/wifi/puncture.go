@@ -1,0 +1,107 @@
+package wifi
+
+import (
+	"fmt"
+
+	"hideseek/internal/bits"
+)
+
+// PunctureRate selects the effective coding rate derived from the mother
+// rate-1/2 convolutional code by omitting (puncturing) output bits
+// (IEEE 802.11-2016 §17.3.5.7).
+type PunctureRate int
+
+// Coding rates.
+const (
+	Rate12Coding PunctureRate = iota + 1 // no puncturing
+	Rate23Coding                         // 2/3: drop b3 of every 4 coded bits
+	Rate34Coding                         // 3/4: drop b3, b4 of every 6 coded bits
+)
+
+// Erasure marks a depunctured position for the Viterbi decoder: it costs
+// nothing whichever branch bit it compares against.
+const Erasure bits.Bit = 2
+
+// puncturePattern returns the keep-mask over one period of coded bits.
+func puncturePattern(r PunctureRate) ([]bool, error) {
+	switch r {
+	case Rate12Coding:
+		return []bool{true, true}, nil
+	case Rate23Coding:
+		// Mother output a0 b0 a1 b1 → keep a0 b0 a1, drop b1.
+		return []bool{true, true, true, false}, nil
+	case Rate34Coding:
+		// a0 b0 a1 b1 a2 b2 → keep a0 b0 a1, drop b1, drop a2, keep b2.
+		return []bool{true, true, true, false, false, true}, nil
+	default:
+		return nil, fmt.Errorf("wifi: unknown puncture rate %d", r)
+	}
+}
+
+// Puncture removes the punctured positions from a mother-code stream. The
+// stream length must be a whole number of puncturing periods.
+func Puncture(coded []bits.Bit, r PunctureRate) ([]bits.Bit, error) {
+	pattern, err := puncturePattern(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(coded)%len(pattern) != 0 {
+		return nil, fmt.Errorf("wifi: coded length %d not a multiple of puncture period %d", len(coded), len(pattern))
+	}
+	out := make([]bits.Bit, 0, len(coded))
+	for i, b := range coded {
+		if pattern[i%len(pattern)] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Depuncture re-inserts Erasure marks at the punctured positions, restoring
+// the mother-code stream length for Viterbi decoding.
+func Depuncture(punctured []bits.Bit, r PunctureRate) ([]bits.Bit, error) {
+	pattern, err := puncturePattern(r)
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for _, k := range pattern {
+		if k {
+			kept++
+		}
+	}
+	if len(punctured)%kept != 0 {
+		return nil, fmt.Errorf("wifi: punctured length %d not a multiple of %d kept bits per period", len(punctured), kept)
+	}
+	periods := len(punctured) / kept
+	out := make([]bits.Bit, 0, periods*len(pattern))
+	idx := 0
+	for p := 0; p < periods; p++ {
+		for _, keep := range pattern {
+			if keep {
+				out = append(out, punctured[idx])
+				idx++
+			} else {
+				out = append(out, Erasure)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CodedBitsPerPeriod reports (input bits, output bits) per puncturing
+// period — e.g. (3, 4) for rate 3/4... strictly (inputs, coded outputs):
+// rate 1/2 → (1, 2), 2/3 → (2, 3), 3/4 → (3, 4).
+func CodedBitsPerPeriod(r PunctureRate) (in, out int, err error) {
+	pattern, err := puncturePattern(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	kept := 0
+	for _, k := range pattern {
+		if k {
+			kept++
+		}
+	}
+	return len(pattern) / 2, kept, nil
+}

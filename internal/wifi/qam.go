@@ -1,0 +1,192 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"hideseek/internal/bits"
+)
+
+// QAMOrder identifies a square constellation size.
+type QAMOrder int
+
+// Supported constellations.
+const (
+	QAM4  QAMOrder = 4  // QPSK as used by 802.11 rate 12/18 Mb/s
+	QAM16 QAMOrder = 16 // 24/36 Mb/s
+	QAM64 QAMOrder = 64 // 48/54 Mb/s — the paper's attack constellation
+)
+
+// qamAxisLevels returns the per-axis Gray-coded level table: index = the
+// axis bit group interpreted MSB-first, value = amplitude level. For 64-QAM
+// this is the standard 000→−7 ... 100→+7 mapping.
+func qamAxisLevels(bitsPerAxis int) []float64 {
+	n := 1 << uint(bitsPerAxis)
+	levels := make([]float64, n)
+	for v := 0; v < n; v++ {
+		g := int(bits.GrayDecode(uint32(v)))
+		levels[v] = float64(2*g - (n - 1))
+	}
+	return levels
+}
+
+// Constellation is a Gray-mapped square QAM constellation with unit average
+// power.
+type Constellation struct {
+	order       QAMOrder
+	bitsPerSym  int
+	bitsPerAxis int
+	levels      []float64 // axis levels indexed by bit group
+	norm        float64   // 1/sqrt(meanPower) scale
+	points      []complex128
+}
+
+// NewConstellation builds the constellation for the given order.
+func NewConstellation(order QAMOrder) (*Constellation, error) {
+	var bitsPerSym int
+	switch order {
+	case QAM4:
+		bitsPerSym = 2
+	case QAM16:
+		bitsPerSym = 4
+	case QAM64:
+		bitsPerSym = 6
+	default:
+		return nil, fmt.Errorf("wifi: unsupported QAM order %d", order)
+	}
+	bitsPerAxis := bitsPerSym / 2
+	levels := qamAxisLevels(bitsPerAxis)
+	// Mean symbol power of the unnormalized grid: E[I²+Q²] = 2·E[level²].
+	var p float64
+	for _, l := range levels {
+		p += l * l
+	}
+	p = 2 * p / float64(len(levels))
+	c := &Constellation{
+		order:       order,
+		bitsPerSym:  bitsPerSym,
+		bitsPerAxis: bitsPerAxis,
+		levels:      levels,
+		norm:        1 / math.Sqrt(p),
+	}
+	c.points = c.buildPoints()
+	return c, nil
+}
+
+func (c *Constellation) buildPoints() []complex128 {
+	out := make([]complex128, 0, int(c.order))
+	for i := 0; i < 1<<uint(c.bitsPerAxis); i++ {
+		for q := 0; q < 1<<uint(c.bitsPerAxis); q++ {
+			out = append(out, complex(c.levels[i]*c.norm, c.levels[q]*c.norm))
+		}
+	}
+	return out
+}
+
+// Order returns the constellation size.
+func (c *Constellation) Order() QAMOrder { return c.order }
+
+// BitsPerSymbol returns log2(order).
+func (c *Constellation) BitsPerSymbol() int { return c.bitsPerSym }
+
+// Norm returns the unit-power scale factor (1/√42 for 64-QAM).
+func (c *Constellation) Norm() float64 { return c.norm }
+
+// Points returns a copy of all constellation points (unit average power).
+func (c *Constellation) Points() []complex128 {
+	out := make([]complex128, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// Map converts a bit stream into constellation symbols. len(b) must be a
+// multiple of BitsPerSymbol. The first half of each group drives I, the
+// second half Q, each MSB-first (IEEE 802.11 Table 17-14 ordering).
+func (c *Constellation) Map(b []bits.Bit) ([]complex128, error) {
+	if len(b)%c.bitsPerSym != 0 {
+		return nil, fmt.Errorf("wifi: bit count %d not a multiple of %d", len(b), c.bitsPerSym)
+	}
+	out := make([]complex128, 0, len(b)/c.bitsPerSym)
+	for off := 0; off < len(b); off += c.bitsPerSym {
+		iIdx, err := bitsToIndex(b[off : off+c.bitsPerAxis])
+		if err != nil {
+			return nil, err
+		}
+		qIdx, err := bitsToIndex(b[off+c.bitsPerAxis : off+c.bitsPerSym])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, complex(c.levels[iIdx]*c.norm, c.levels[qIdx]*c.norm))
+	}
+	return out, nil
+}
+
+// Demap hard-slices symbols back to bits by nearest constellation point.
+func (c *Constellation) Demap(symbols []complex128) []bits.Bit {
+	out := make([]bits.Bit, 0, len(symbols)*c.bitsPerSym)
+	for _, s := range symbols {
+		iIdx := c.nearestAxisIndex(real(s))
+		qIdx := c.nearestAxisIndex(imag(s))
+		out = append(out, indexToBits(iIdx, c.bitsPerAxis)...)
+		out = append(out, indexToBits(qIdx, c.bitsPerAxis)...)
+	}
+	return out
+}
+
+// nearestAxisIndex finds the bit-group index whose level is closest to the
+// (normalized) coordinate v.
+func (c *Constellation) nearestAxisIndex(v float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for idx, l := range c.levels {
+		d := math.Abs(v - l*c.norm)
+		if d < bestDist {
+			best, bestDist = idx, d
+		}
+	}
+	return best
+}
+
+// Quantize returns the nearest constellation point (unit-power grid scaled
+// by alpha) to v, along with the squared quantization error. It is the
+// inner step of the paper's Eq. (4) optimization.
+func (c *Constellation) Quantize(v complex128, alpha float64) (complex128, float64) {
+	if alpha <= 0 {
+		return 0, real(v)*real(v) + imag(v)*imag(v)
+	}
+	i := nearestOddLevel(real(v)/alpha, c.levels)
+	q := nearestOddLevel(imag(v)/alpha, c.levels)
+	p := complex(i*alpha, q*alpha)
+	d := v - p
+	return p, real(d)*real(d) + imag(d)*imag(d)
+}
+
+// nearestOddLevel clamps x to the closest level in the axis table.
+func nearestOddLevel(x float64, levels []float64) float64 {
+	best, bestDist := levels[0], math.Abs(x-levels[0])
+	for _, l := range levels[1:] {
+		if d := math.Abs(x - l); d < bestDist {
+			best, bestDist = l, d
+		}
+	}
+	return best
+}
+
+func bitsToIndex(b []bits.Bit) (int, error) {
+	v := 0
+	for _, bit := range b {
+		if bit > 1 {
+			return 0, fmt.Errorf("wifi: invalid bit value %d", bit)
+		}
+		v = v<<1 | int(bit)
+	}
+	return v, nil
+}
+
+func indexToBits(v, n int) []bits.Bit {
+	out := make([]bits.Bit, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = bits.Bit(v & 1)
+		v >>= 1
+	}
+	return out
+}

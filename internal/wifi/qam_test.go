@@ -1,0 +1,259 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hideseek/internal/bits"
+)
+
+func TestNewConstellationValidation(t *testing.T) {
+	if _, err := NewConstellation(32); err == nil {
+		t.Error("accepted unsupported order")
+	}
+	for _, order := range []QAMOrder{QAM4, QAM16, QAM64} {
+		c, err := NewConstellation(order)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if c.Order() != order {
+			t.Errorf("Order = %d", c.Order())
+		}
+		if got, want := c.BitsPerSymbol(), bitsFor(order); got != want {
+			t.Errorf("order %d BitsPerSymbol = %d, want %d", order, got, want)
+		}
+	}
+}
+
+func bitsFor(o QAMOrder) int {
+	switch o {
+	case QAM4:
+		return 2
+	case QAM16:
+		return 4
+	default:
+		return 6
+	}
+}
+
+func TestConstellationUnitPower(t *testing.T) {
+	for _, order := range []QAMOrder{QAM4, QAM16, QAM64} {
+		c, err := NewConstellation(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := c.Points()
+		if len(pts) != int(order) {
+			t.Fatalf("order %d: %d points", order, len(pts))
+		}
+		var p float64
+		for _, pt := range pts {
+			p += real(pt)*real(pt) + imag(pt)*imag(pt)
+		}
+		p /= float64(len(pts))
+		if math.Abs(p-1) > 1e-12 {
+			t.Errorf("order %d mean power = %g, want 1", order, p)
+		}
+	}
+}
+
+func TestQAM64NormIsSqrt42(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Norm(), 1/math.Sqrt(42); math.Abs(got-want) > 1e-15 {
+		t.Errorf("norm = %g, want %g", got, want)
+	}
+}
+
+func TestQAM64StandardMapping(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IEEE 802.11 Table 17-16: b0b1b2 → I level.
+	axisTests := []struct {
+		bits []bits.Bit
+		want float64
+	}{
+		{bits: []bits.Bit{0, 0, 0}, want: -7},
+		{bits: []bits.Bit{0, 0, 1}, want: -5},
+		{bits: []bits.Bit{0, 1, 1}, want: -3},
+		{bits: []bits.Bit{0, 1, 0}, want: -1},
+		{bits: []bits.Bit{1, 1, 0}, want: 1},
+		{bits: []bits.Bit{1, 1, 1}, want: 3},
+		{bits: []bits.Bit{1, 0, 1}, want: 5},
+		{bits: []bits.Bit{1, 0, 0}, want: 7},
+	}
+	for _, tt := range axisTests {
+		group := append(append([]bits.Bit{}, tt.bits...), 0, 0, 0) // Q = 000 → −7
+		sym, err := c.Map(group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := real(sym[0]) / c.Norm(); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("bits %v → I = %g, want %g", tt.bits, got, tt.want)
+		}
+		if got := imag(sym[0]) / c.Norm(); math.Abs(got+7) > 1e-12 {
+			t.Errorf("bits %v → Q = %g, want −7", tt.bits, got)
+		}
+	}
+}
+
+func TestMapDemapRoundTrip(t *testing.T) {
+	for _, order := range []QAMOrder{QAM4, QAM16, QAM64} {
+		c, err := NewConstellation(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(order)))
+		n := c.BitsPerSymbol() * 100
+		in := make([]bits.Bit, n)
+		for i := range in {
+			in[i] = bits.Bit(rng.Intn(2))
+		}
+		syms, err := c.Map(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := c.Demap(syms)
+		for i := range in {
+			if back[i] != in[i] {
+				t.Fatalf("order %d: bit %d flipped", order, i)
+			}
+		}
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Map(make([]bits.Bit, 5)); err == nil {
+		t.Error("accepted non-multiple bit count")
+	}
+	if _, err := c.Map([]bits.Bit{2, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("accepted invalid bit")
+	}
+}
+
+func TestDemapNoisyGrayProperty(t *testing.T) {
+	// With noise below half the minimum distance, demapping is exact.
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfMin := c.Norm() // min distance = 2·norm
+	rng := rand.New(rand.NewSource(51))
+	in := make([]bits.Bit, 6*200)
+	for i := range in {
+		in[i] = bits.Bit(rng.Intn(2))
+	}
+	syms, err := c.Map(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		dx := (rng.Float64()*2 - 1) * 0.49 * halfMin
+		dy := (rng.Float64()*2 - 1) * 0.49 * halfMin
+		syms[i] += complex(dx, dy)
+	}
+	back := c.Demap(syms)
+	for i := range in {
+		if back[i] != in[i] {
+			t.Fatalf("bit %d flipped under sub-threshold noise", i)
+		}
+	}
+}
+
+func TestQuantizeSnapsToGrid(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 2.0
+	pt, e := c.Quantize(complex(2.1*alpha, -6.8*alpha), alpha)
+	if real(pt) != 3*alpha || imag(pt) != -7*alpha {
+		t.Errorf("quantized to %v", pt)
+	}
+	wantErr := math.Pow(0.9*alpha, 2) + math.Pow(0.2*alpha, 2)
+	if math.Abs(e-wantErr) > 1e-9 {
+		t.Errorf("error = %g, want %g", e, wantErr)
+	}
+	// Out-of-range values clamp to ±7.
+	pt, _ = c.Quantize(complex(100, 100), alpha)
+	if real(pt) != 7*alpha || imag(pt) != 7*alpha {
+		t.Errorf("clamp failed: %v", pt)
+	}
+	// Non-positive alpha degenerates to zero with full error.
+	pt, e = c.Quantize(3+4i, 0)
+	if pt != 0 || math.Abs(e-25) > 1e-12 {
+		t.Errorf("alpha=0: %v, %g", pt, e)
+	}
+}
+
+func TestQuantizeErrorProperty(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(re, im float64, alphaSeed uint8) bool {
+		re = math.Mod(re, 20)
+		im = math.Mod(im, 20)
+		alpha := 0.1 + float64(alphaSeed)/32
+		pt, e := c.Quantize(complex(re, im), alpha)
+		// The reported error must equal the actual squared distance, and the
+		// point must be on the α-scaled odd grid within [−7α, 7α].
+		d := complex(re, im) - pt
+		if math.Abs(e-(real(d)*real(d)+imag(d)*imag(d))) > 1e-9 {
+			return false
+		}
+		li := real(pt) / alpha
+		lq := imag(pt) / alpha
+		for _, l := range []float64{li, lq} {
+			r := math.Abs(math.Mod(l, 2))
+			if math.Abs(r-1) > 1e-9 || math.Abs(l) > 7+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeIsNearestPoint(t *testing.T) {
+	c, err := NewConstellation(QAM64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	alpha := 0.7
+	for trial := 0; trial < 200; trial++ {
+		v := complex(rng.NormFloat64()*5, rng.NormFloat64()*5)
+		got, gotErr := c.Quantize(v, alpha)
+		// Brute force over the grid.
+		best := complex(0, 0)
+		bestD := math.Inf(1)
+		for i := -7; i <= 7; i += 2 {
+			for q := -7; q <= 7; q += 2 {
+				p := complex(float64(i)*alpha, float64(q)*alpha)
+				if d := cmplx.Abs(v - p); d < bestD {
+					best, bestD = p, d
+				}
+			}
+		}
+		if cmplx.Abs(got-best) > 1e-12 {
+			t.Fatalf("trial %d: Quantize(%v) = %v, brute force = %v", trial, v, got, best)
+		}
+		if math.Abs(gotErr-bestD*bestD) > 1e-9 {
+			t.Fatalf("trial %d: error %g vs %g", trial, gotErr, bestD*bestD)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package wifi
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"hideseek/internal/dsp"
+)
+
+// SyncReceiver is the full OFDM receiver: Schmidl&Cox-style frame
+// detection on the L-STF's 16-sample periodicity, fine timing by L-LTF
+// cross-correlation, per-subcarrier channel estimation from the two long
+// training symbols, one-tap equalization, and pilot-driven common-phase
+// tracking across DATA symbols. It decodes frames that arrive with unknown
+// delay, complex channel gain, mild multipath, and residual phase drift —
+// none of which DecodeFrame tolerates.
+type SyncReceiver struct {
+	// DetectionThreshold is the minimum normalized STF periodicity metric
+	// (default 0.8).
+	DetectionThreshold float64
+	// MinChannelMagnitude guards equalization against spectral nulls: bins
+	// whose |H| falls below this fraction of the median are zeroed instead
+	// of amplified (default 0.1).
+	MinChannelMagnitude float64
+}
+
+// NewSyncReceiver returns a receiver with default thresholds.
+func NewSyncReceiver() *SyncReceiver {
+	return &SyncReceiver{DetectionThreshold: 0.8, MinChannelMagnitude: 0.1}
+}
+
+// stfPeriod is the short-training-field repetition interval in samples.
+const stfPeriod = 16
+
+// DetectFrame locates the start of a PPDU. It slides the classic delay-
+// and-correlate metric M(d) = |P(d)|²/R(d)² over the waveform, finds the
+// STF plateau, and refines timing with an L-LTF cross-correlation. The
+// returned index points at the first STF sample.
+func (rx *SyncReceiver) DetectFrame(waveform []complex128) (int, float64, error) {
+	window := 4 * stfPeriod // average over a quarter of the STF
+	if len(waveform) < preambleSamples+SymbolSamples {
+		return 0, 0, fmt.Errorf("wifi: waveform too short to hold a frame")
+	}
+	best, bestMetric := -1, 0.0
+	var p complex128
+	var r float64
+	limit := len(waveform) - window - stfPeriod
+	for d := 0; d < limit; d++ {
+		if d == 0 {
+			for m := 0; m < window; m++ {
+				p += waveform[m] * cmplx.Conj(waveform[m+stfPeriod])
+				r += sqMag(waveform[m+stfPeriod])
+			}
+		} else {
+			// Slide incrementally.
+			p += waveform[d+window-1] * cmplx.Conj(waveform[d+window-1+stfPeriod])
+			p -= waveform[d-1] * cmplx.Conj(waveform[d-1+stfPeriod])
+			r += sqMag(waveform[d+window-1+stfPeriod])
+			r -= sqMag(waveform[d-1+stfPeriod])
+		}
+		if r <= 0 {
+			continue
+		}
+		metric := cmplx.Abs(p) / r
+		if metric > bestMetric {
+			best, bestMetric = d, metric
+		}
+	}
+	if best < 0 || bestMetric < rx.DetectionThreshold {
+		return 0, bestMetric, fmt.Errorf("wifi: no frame detected (best metric %.3f)", bestMetric)
+	}
+	// The metric plateaus across the whole STF; refine with the LTF
+	// cross-correlation in a neighborhood of the coarse estimate.
+	ltfRef := LongTrainingField()[32:96] // one clean long training symbol
+	searchLo := best - 2*stfPeriod
+	if searchLo < 0 {
+		searchLo = 0
+	}
+	searchHi := best + 192
+	if searchHi+len(ltfRef) > len(waveform) {
+		searchHi = len(waveform) - len(ltfRef)
+	}
+	if searchHi <= searchLo {
+		return 0, bestMetric, fmt.Errorf("wifi: frame truncated before the LTF")
+	}
+	corr := dsp.NormalizedCrossCorrelate(waveform[searchLo:searchHi+len(ltfRef)], ltfRef)
+	peak := dsp.PeakIndex(corr)
+	if peak < 0 {
+		return 0, bestMetric, fmt.Errorf("wifi: LTF correlation failed")
+	}
+	// The first LTF symbol starts 192 samples after the frame start
+	// (160 STF + 32 guard).
+	frameStart := searchLo + peak - 192
+	if frameStart < 0 {
+		return 0, bestMetric, fmt.Errorf("wifi: implausible frame start %d", frameStart)
+	}
+	return frameStart, bestMetric, nil
+}
+
+func sqMag(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// EstimateChannel averages the two long training symbols and divides by
+// the known LTF pattern, returning the 64-bin channel estimate (zero on
+// unused bins).
+func (rx *SyncReceiver) EstimateChannel(waveform []complex128, frameStart int) ([]complex128, error) {
+	ltfStart := frameStart + 160 + 32
+	if ltfStart+128 > len(waveform) {
+		return nil, fmt.Errorf("wifi: waveform too short for the LTF")
+	}
+	sum := make([]complex128, NumSubcarriers)
+	for rep := 0; rep < 2; rep++ {
+		spec := dsp.FFT(waveform[ltfStart+64*rep : ltfStart+64*(rep+1)])
+		for i := range sum {
+			sum[i] += spec[i]
+		}
+	}
+	h := make([]complex128, NumSubcarriers)
+	for i, v := range ltfPattern {
+		k := i - 26
+		if v == 0 {
+			continue
+		}
+		bin := SubcarrierBin(k)
+		h[bin] = sum[bin] / (2 * v)
+	}
+	return h, nil
+}
+
+// Receive detects, synchronizes, equalizes, and decodes one frame.
+func (rx *SyncReceiver) Receive(waveform []complex128) ([]byte, SignalField, error) {
+	start, _, err := rx.DetectFrame(waveform)
+	if err != nil {
+		return nil, SignalField{}, err
+	}
+	h, err := rx.EstimateChannel(waveform, start)
+	if err != nil {
+		return nil, SignalField{}, err
+	}
+
+	// Guard threshold for equalization.
+	med := medianMagnitude(h)
+	floor := rx.MinChannelMagnitude * med
+
+	equalize := func(symbol []complex128, symbolIndex int) ([]complex128, error) {
+		spec, err := AnalyzeSymbol(symbol)
+		if err != nil {
+			return nil, err
+		}
+		eq := make([]complex128, NumSubcarriers)
+		for bin := range spec {
+			if cmplx.Abs(h[bin]) > floor {
+				eq[bin] = spec[bin] / h[bin]
+			}
+		}
+		// Pilot-driven common phase error correction.
+		var acc complex128
+		pol := complex(PilotPolarity(symbolIndex), 0)
+		for i, k := range PilotSubcarrierIndices {
+			want := pilotBaseValues[i] * pol
+			acc += eq[SubcarrierBin(k)] * cmplx.Conj(want)
+		}
+		if cmplx.Abs(acc) > 0 {
+			rot := cmplx.Rect(1, -cmplx.Phase(acc))
+			for bin := range eq {
+				eq[bin] *= rot
+			}
+		}
+		return eq, nil
+	}
+
+	sigStart := start + preambleSamples
+	if sigStart+SymbolSamples > len(waveform) {
+		return nil, SignalField{}, fmt.Errorf("wifi: frame truncated before SIGNAL")
+	}
+	sigSpec, err := equalize(waveform[sigStart:sigStart+SymbolSamples], 0)
+	if err != nil {
+		return nil, SignalField{}, err
+	}
+	sig, err := decodeSignalSpectrum(sigSpec)
+	if err != nil {
+		return nil, SignalField{}, fmt.Errorf("wifi: sync receive: %w", err)
+	}
+
+	p, err := newRatePHY(sig.Rate)
+	if err != nil {
+		return nil, sig, err
+	}
+	payloadBits := serviceBits + 8*sig.Length + tailBits
+	numSymbols := (payloadBits + p.ndbps - 1) / p.ndbps
+	need := sigStart + (1+numSymbols)*SymbolSamples
+	if len(waveform) < need {
+		return nil, sig, fmt.Errorf("wifi: waveform has %d samples, need %d", len(waveform), need)
+	}
+	spectra := make([][]complex128, numSymbols)
+	for n := 0; n < numSymbols; n++ {
+		off := sigStart + (1+n)*SymbolSamples
+		spec, err := equalize(waveform[off:off+SymbolSamples], n+1)
+		if err != nil {
+			return nil, sig, err
+		}
+		spectra[n] = spec
+	}
+	psdu, err := DecodeDataSpectra(spectra, sig)
+	if err != nil {
+		return nil, sig, err
+	}
+	return psdu, sig, nil
+}
+
+// decodeSignalSpectrum decodes the SIGNAL field from an equalized spectrum.
+func decodeSignalSpectrum(spec []complex128) (SignalField, error) {
+	td, err := SynthesizeSymbol(spec)
+	if err != nil {
+		return SignalField{}, err
+	}
+	return DecodeSignal(td)
+}
+
+func medianMagnitude(h []complex128) float64 {
+	mags := make([]float64, 0, len(h))
+	for _, v := range h {
+		if m := cmplx.Abs(v); m > 0 {
+			mags = append(mags, m)
+		}
+	}
+	if len(mags) == 0 {
+		return 0
+	}
+	// Insertion-free selection: simple sort of ≤ 64 values.
+	for i := 1; i < len(mags); i++ {
+		for j := i; j > 0 && mags[j] < mags[j-1]; j-- {
+			mags[j], mags[j-1] = mags[j-1], mags[j]
+		}
+	}
+	return mags[len(mags)/2]
+}

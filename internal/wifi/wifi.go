@@ -1,0 +1,70 @@
+// Package wifi implements the IEEE 802.11g (ERP-OFDM, clause 17/18) transmit
+// chain the attacker rides on: scrambling, rate-1/2 K=7 convolutional
+// coding, block interleaving, Gray-mapped QAM, pilot/null subcarrier
+// allocation, 64-point IFFT and cyclic prefix — plus the inverse of each
+// stage so a desired set of QAM points can be turned back into MAC data
+// bits ("the preprocessing is invertible", paper Sec. V-A-4).
+package wifi
+
+// OFDM numerology for the 20 MHz 802.11g PHY.
+const (
+	// SampleRate is the baseband sample rate in Hz.
+	SampleRate = 20e6
+	// NumSubcarriers is the IFFT size.
+	NumSubcarriers = 64
+	// NumDataSubcarriers per OFDM symbol.
+	NumDataSubcarriers = 48
+	// NumPilots per OFDM symbol.
+	NumPilots = 4
+	// CPLength is the 0.8 µs cyclic prefix in samples.
+	CPLength = 16
+	// SymbolSamples is the full 4 µs symbol: CP + IFFT output.
+	SymbolSamples = CPLength + NumSubcarriers
+	// SubcarrierSpacing in Hz.
+	SubcarrierSpacing = SampleRate / NumSubcarriers
+)
+
+// DataSubcarrierIndices lists the logical (signed) subcarrier numbers that
+// carry data, in the order coded bits fill them: −26..−1 then +1..+26,
+// skipping the pilot positions ±7 and ±21 and DC.
+var DataSubcarrierIndices = buildDataIndices()
+
+// PilotSubcarrierIndices lists the pilot positions.
+var PilotSubcarrierIndices = [NumPilots]int{-21, -7, 7, 21}
+
+// pilotBaseValues holds the per-position pilot amplitudes before the
+// polarity sequence is applied (+1, +1, +1, −1 per the standard).
+var pilotBaseValues = [NumPilots]complex128{1, 1, 1, -1}
+
+func buildDataIndices() [NumDataSubcarriers]int {
+	var out [NumDataSubcarriers]int
+	n := 0
+	for k := -26; k <= 26; k++ {
+		switch k {
+		case -21, -7, 0, 7, 21:
+			continue
+		}
+		out[n] = k
+		n++
+	}
+	return out
+}
+
+// SubcarrierBin converts a signed subcarrier number (−32..31) into the FFT
+// bin index (0..63): non-negative numbers map directly, negative numbers
+// wrap to the top of the spectrum.
+func SubcarrierBin(k int) int {
+	if k >= 0 {
+		return k
+	}
+	return NumSubcarriers + k
+}
+
+// PilotPolarity returns p_n, the pilot polarity for OFDM symbol n. The
+// sequence is the length-127 scrambler output seeded with all ones, with
+// 0 → +1 and 1 → −1 (IEEE 802.11-2016 Eq. 17-25).
+func PilotPolarity(n int) float64 {
+	return pilotPolaritySeq[n%len(pilotPolaritySeq)]
+}
+
+var pilotPolaritySeq = buildPilotPolarity()

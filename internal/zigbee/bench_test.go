@@ -1,0 +1,110 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchWaveform(b *testing.B) []complex128 {
+	b.Helper()
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("00000"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return wave
+}
+
+func BenchmarkTransmitPSDU(b *testing.B) {
+	tx := NewTransmitter()
+	payload := []byte("00000")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.TransmitPSDU(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiveHard(b *testing.B) {
+	wave := benchWaveform(b)
+	rx, err := NewReceiver(ReceiverConfig{Mode: HardThreshold})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rx.Receive(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiveSoft(b *testing.B) {
+	wave := benchWaveform(b)
+	rx, err := NewReceiver(ReceiverConfig{Mode: SoftCorrelation})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rx.Receive(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiveFMDiscriminator(b *testing.B) {
+	wave := benchWaveform(b)
+	rx, err := NewReceiver(ReceiverConfig{Mode: FMDiscriminator})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rx.Receive(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	chips := randomChips(rng, 704)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Modulate(chips); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDespreadHard(b *testing.B) {
+	chips, err := Spread([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DespreadHard(chips, DefaultHammingThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClockRecovery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	chips := randomChips(rng, 704)
+	wave, err := Modulate(chips)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cr := DefaultClockRecovery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cr.Recover(wave, len(chips)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package zigbee
+
+import (
+	"fmt"
+)
+
+// BuildPPDU assembles the PHY protocol data unit: 4 zero preamble octets,
+// the SFD (0xA7), a PHR whose low 7 bits carry the PSDU length, then the
+// PSDU itself.
+func BuildPPDU(psdu []byte) ([]byte, error) {
+	if len(psdu) > MaxPSDULength {
+		return nil, fmt.Errorf("zigbee: PSDU length %d exceeds %d", len(psdu), MaxPSDULength)
+	}
+	out := make([]byte, 0, PreambleBytes+2+len(psdu))
+	out = append(out, make([]byte, PreambleBytes)...)
+	out = append(out, SFD)
+	out = append(out, byte(len(psdu)))
+	out = append(out, psdu...)
+	return out, nil
+}
+
+// ParsePPDU validates the SHR and PHR of a raw PPDU byte stream and returns
+// the PSDU.
+func ParsePPDU(ppdu []byte) ([]byte, error) {
+	if len(ppdu) < PreambleBytes+2 {
+		return nil, fmt.Errorf("zigbee: PPDU too short: %d bytes", len(ppdu))
+	}
+	for i := 0; i < PreambleBytes; i++ {
+		if ppdu[i] != 0 {
+			return nil, fmt.Errorf("zigbee: preamble byte %d is %#x, want 0", i, ppdu[i])
+		}
+	}
+	if ppdu[PreambleBytes] != SFD {
+		return nil, fmt.Errorf("zigbee: SFD is %#x, want %#x", ppdu[PreambleBytes], SFD)
+	}
+	length := int(ppdu[PreambleBytes+1] & 0x7F)
+	body := ppdu[PreambleBytes+2:]
+	if len(body) < length {
+		return nil, fmt.Errorf("zigbee: PHR says %d PSDU bytes, only %d present", length, len(body))
+	}
+	return body[:length], nil
+}
+
+// shrSymbols returns the symbol stream of the synchronization header
+// (preamble + SFD) — the deterministic prefix the receiver correlates on.
+func shrSymbols() []byte {
+	hdr := make([]byte, PreambleBytes+1)
+	hdr[PreambleBytes] = SFD
+	return BytesToSymbols(hdr)
+}

@@ -1,0 +1,141 @@
+package zigbee
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParsePPDURoundTrip(t *testing.T) {
+	f := func(psdu []byte) bool {
+		if len(psdu) > MaxPSDULength {
+			psdu = psdu[:MaxPSDULength]
+		}
+		ppdu, err := BuildPPDU(psdu)
+		if err != nil {
+			return false
+		}
+		back, err := ParsePPDU(ppdu)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, psdu)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPPDURejectsOversize(t *testing.T) {
+	if _, err := BuildPPDU(make([]byte, MaxPSDULength+1)); err == nil {
+		t.Error("accepted oversized PSDU")
+	}
+}
+
+func TestParsePPDUErrors(t *testing.T) {
+	good, err := BuildPPDU([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePPDU(good[:3]); err == nil {
+		t.Error("accepted truncated PPDU")
+	}
+	badPreamble := append([]byte(nil), good...)
+	badPreamble[1] = 0xFF
+	if _, err := ParsePPDU(badPreamble); err == nil {
+		t.Error("accepted corrupt preamble")
+	}
+	badSFD := append([]byte(nil), good...)
+	badSFD[PreambleBytes] = 0x12
+	if _, err := ParsePPDU(badSFD); err == nil {
+		t.Error("accepted corrupt SFD")
+	}
+	badLen := append([]byte(nil), good...)
+	badLen[PreambleBytes+1] = 100
+	if _, err := ParsePPDU(badLen); err == nil {
+		t.Error("accepted PHR length beyond body")
+	}
+}
+
+func TestMACFrameRoundTrip(t *testing.T) {
+	frame := &MACFrame{
+		Type:    FrameData,
+		Seq:     42,
+		PANID:   0x1234,
+		Dst:     0xBEEF,
+		Src:     0xCAFE,
+		Payload: []byte("light off"),
+		AckReq:  true,
+	}
+	psdu, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMACFrame(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != frame.Type || got.Seq != frame.Seq || got.PANID != frame.PANID ||
+		got.Dst != frame.Dst || got.Src != frame.Src || got.AckReq != frame.AckReq ||
+		got.Security != frame.Security || !bytes.Equal(got.Payload, frame.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, frame)
+	}
+}
+
+func TestMACFrameRoundTripProperty(t *testing.T) {
+	f := func(seq byte, pan, dst, src uint16, payload []byte, ftype byte) bool {
+		if len(payload) > MaxPSDULength-macHeaderLen-macFCSLen {
+			payload = payload[:MaxPSDULength-macHeaderLen-macFCSLen]
+		}
+		frame := &MACFrame{
+			Type:    FrameType(ftype % 4),
+			Seq:     seq,
+			PANID:   pan,
+			Dst:     dst,
+			Src:     src,
+			Payload: payload,
+		}
+		psdu, err := frame.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMACFrame(psdu)
+		if err != nil {
+			return false
+		}
+		return got.Type == frame.Type && got.Seq == seq && got.PANID == pan &&
+			got.Dst == dst && got.Src == src && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACFrameFCSDetectsCorruption(t *testing.T) {
+	frame := &MACFrame{Type: FrameData, Payload: []byte("unlock")}
+	psdu, err := frame.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range psdu {
+		corrupt := append([]byte(nil), psdu...)
+		corrupt[i] ^= 0x01
+		if _, err := DecodeMACFrame(corrupt); err == nil {
+			t.Fatalf("bit flip in byte %d undetected", i)
+		}
+	}
+}
+
+func TestMACFrameValidation(t *testing.T) {
+	tooBig := &MACFrame{Type: FrameData, Payload: make([]byte, 200)}
+	if _, err := tooBig.Encode(); err == nil {
+		t.Error("accepted oversized payload")
+	}
+	badType := &MACFrame{Type: 9}
+	if _, err := badType.Encode(); err == nil {
+		t.Error("accepted invalid type")
+	}
+	if _, err := DecodeMACFrame([]byte{1, 2, 3}); err == nil {
+		t.Error("accepted undersized PSDU")
+	}
+}

@@ -1,0 +1,102 @@
+package zigbee
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hideseek/internal/bits"
+)
+
+// FrameType distinguishes the 802.15.4 MAC frame classes we model.
+type FrameType byte
+
+// MAC frame types (FCF bits 0–2).
+const (
+	FrameBeacon FrameType = iota
+	FrameData
+	FrameAck
+	FrameCommand
+)
+
+// MACFrame is a simplified IEEE 802.15.4 data frame with 16-bit short
+// addressing: FCF(2) | Seq(1) | PAN(2) | Dst(2) | Src(2) | Payload | FCS(2).
+type MACFrame struct {
+	Type     FrameType
+	Seq      byte
+	PANID    uint16
+	Dst      uint16
+	Src      uint16
+	Payload  []byte
+	AckReq   bool
+	Security bool
+}
+
+// macHeaderLen is the fixed MHR size for the addressing mode we use.
+const macHeaderLen = 9
+
+// macFCSLen is the 16-bit frame check sequence size.
+const macFCSLen = 2
+
+// Encode serializes the frame into a PSDU including the CRC-16 FCS.
+func (f *MACFrame) Encode() ([]byte, error) {
+	if int(f.Type) > int(FrameCommand) {
+		return nil, fmt.Errorf("zigbee: invalid frame type %d", f.Type)
+	}
+	if len(f.Payload) > MaxPSDULength-macHeaderLen-macFCSLen {
+		return nil, fmt.Errorf("zigbee: payload length %d too large", len(f.Payload))
+	}
+	// FCF: type in bits 0–2, security bit 3, ack-request bit 5,
+	// dst/src addressing mode = short (0b10) in bits 10–11 and 14–15,
+	// PAN-ID compression bit 6 set (single PAN field).
+	fcf := uint16(f.Type)
+	if f.Security {
+		fcf |= 1 << 3
+	}
+	if f.AckReq {
+		fcf |= 1 << 5
+	}
+	fcf |= 1 << 6
+	fcf |= 0b10 << 10
+	fcf |= 0b10 << 14
+
+	out := make([]byte, 0, macHeaderLen+len(f.Payload)+macFCSLen)
+	var scratch [2]byte
+	binary.LittleEndian.PutUint16(scratch[:], fcf)
+	out = append(out, scratch[:]...)
+	out = append(out, f.Seq)
+	binary.LittleEndian.PutUint16(scratch[:], f.PANID)
+	out = append(out, scratch[:]...)
+	binary.LittleEndian.PutUint16(scratch[:], f.Dst)
+	out = append(out, scratch[:]...)
+	binary.LittleEndian.PutUint16(scratch[:], f.Src)
+	out = append(out, scratch[:]...)
+	out = append(out, f.Payload...)
+	fcs := bits.CRC16(out)
+	binary.LittleEndian.PutUint16(scratch[:], fcs)
+	out = append(out, scratch[:]...)
+	return out, nil
+}
+
+// DecodeMACFrame parses a PSDU and verifies its FCS.
+func DecodeMACFrame(psdu []byte) (*MACFrame, error) {
+	if len(psdu) < macHeaderLen+macFCSLen {
+		return nil, fmt.Errorf("zigbee: PSDU of %d bytes shorter than MHR+FCS", len(psdu))
+	}
+	body := psdu[:len(psdu)-macFCSLen]
+	wantFCS := binary.LittleEndian.Uint16(psdu[len(psdu)-macFCSLen:])
+	if got := bits.CRC16(body); got != wantFCS {
+		return nil, fmt.Errorf("zigbee: FCS mismatch: computed %#04x, frame carries %#04x", got, wantFCS)
+	}
+	fcf := binary.LittleEndian.Uint16(body[0:2])
+	f := &MACFrame{
+		Type:     FrameType(fcf & 0x7),
+		Security: fcf&(1<<3) != 0,
+		AckReq:   fcf&(1<<5) != 0,
+		Seq:      body[2],
+		PANID:    binary.LittleEndian.Uint16(body[3:5]),
+		Dst:      binary.LittleEndian.Uint16(body[5:7]),
+		Src:      binary.LittleEndian.Uint16(body[7:9]),
+	}
+	f.Payload = append([]byte(nil), body[macHeaderLen:]...)
+	return f, nil
+}

@@ -1,0 +1,95 @@
+package zigbee
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestReceiveAllFindsEveryFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	tx := NewTransmitter()
+	var capture []complex128
+	var wants []string
+	gap := func(n int) {
+		for i := 0; i < n; i++ {
+			capture = append(capture, complex(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01))
+		}
+	}
+	gap(200)
+	for i := 0; i < 4; i++ {
+		payload := fmt.Sprintf("cmd%02d", i)
+		wants = append(wants, payload)
+		wave, err := tx.TransmitPSDU([]byte(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		capture = append(capture, wave...)
+		gap(150 + i*37)
+	}
+
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rx.ReceiveAll(capture, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(wants) {
+		t.Fatalf("found %d frames, want %d", len(recs), len(wants))
+	}
+	prevStart := -1
+	for i, rec := range recs {
+		if string(rec.PSDU) != wants[i] {
+			t.Errorf("frame %d = %q, want %q", i, rec.PSDU, wants[i])
+		}
+		if rec.StartSample <= prevStart {
+			t.Errorf("frame %d start %d not increasing", i, rec.StartSample)
+		}
+		prevStart = rec.StartSample
+	}
+}
+
+func TestReceiveAllRespectsLimit(t *testing.T) {
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("xx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := append(append([]complex128{}, wave...), wave...)
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rx.ReceiveAll(capture, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("limit ignored: %d frames", len(recs))
+	}
+}
+
+func TestReceiveAllEmptyAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	rx, err := NewReceiver(ReceiverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rx.ReceiveAll(nil, 0)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty capture: %d frames, %v", len(recs), err)
+	}
+	noise := make([]complex128, 3000)
+	for i := range noise {
+		noise[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	recs, err = rx.ReceiveAll(noise, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("noise yielded %d frames", len(recs))
+	}
+}

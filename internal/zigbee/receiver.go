@@ -1,0 +1,400 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"hideseek/internal/dsp"
+)
+
+// DespreadMode selects the receiver's DSSS decision rule.
+type DespreadMode int
+
+// Receiver models. HardThreshold makes hard chip decisions on the coherent
+// matched-filter output with a Hamming-distance drop threshold.
+// SoftCorrelation despreads the matched-filter output by maximum
+// correlation — the strongest model, standing in for the commodity
+// CC26x2R1 demodulator that decodes reliably at longer range (Fig. 14b).
+// FMDiscriminator decodes from the FM quadrature-discriminator chip stream
+// with differential chip patterns, the structure of the USRP + GNU Radio
+// receiver used in the paper's experiments; it inherits the FM front end's
+// poor low-SNR behavior (Table II, Fig. 14a).
+const (
+	HardThreshold DespreadMode = iota + 1
+	SoftCorrelation
+	FMDiscriminator
+)
+
+// ReceiverConfig parameterizes a Receiver.
+type ReceiverConfig struct {
+	// Mode selects hard-threshold or soft-correlation despreading.
+	// Defaults to HardThreshold.
+	Mode DespreadMode
+	// HammingThreshold is the drop threshold for HardThreshold mode.
+	// Defaults to DefaultHammingThreshold.
+	HammingThreshold int
+	// SyncThreshold is the minimum normalized preamble correlation needed
+	// to declare a frame. Defaults to 0.5.
+	SyncThreshold float64
+}
+
+// Receiver demodulates baseband waveforms back into frames and exposes the
+// intermediate chip samples that the defense consumes.
+type Receiver struct {
+	cfg     ReceiverConfig
+	syncRef []complex128 // modulated SHR used for preamble correlation
+}
+
+// NewReceiver builds a receiver, applying config defaults.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = HardThreshold
+	}
+	if cfg.Mode < HardThreshold || cfg.Mode > FMDiscriminator {
+		return nil, fmt.Errorf("zigbee: unknown despread mode %d", cfg.Mode)
+	}
+	if cfg.HammingThreshold == 0 {
+		cfg.HammingThreshold = DefaultHammingThreshold
+	}
+	if cfg.HammingThreshold < 0 || cfg.HammingThreshold > ChipsPerSymbol {
+		return nil, fmt.Errorf("zigbee: hamming threshold %d outside [0, %d]", cfg.HammingThreshold, ChipsPerSymbol)
+	}
+	if cfg.SyncThreshold == 0 {
+		cfg.SyncThreshold = 0.5
+	}
+	if cfg.SyncThreshold < 0 || cfg.SyncThreshold > 1 {
+		return nil, fmt.Errorf("zigbee: sync threshold %v outside [0, 1]", cfg.SyncThreshold)
+	}
+	chips, err := Spread(shrSymbols())
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
+	}
+	ref, err := Modulate(chips)
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
+	}
+	// Drop the Q tail so the reference length is a whole number of symbols.
+	ref = ref[:len(ref)-QOffsetSamples]
+	return &Receiver{cfg: cfg, syncRef: ref}, nil
+}
+
+// Reception captures everything the receiver extracted from one waveform.
+type Reception struct {
+	// PSDU is the decoded MAC-layer payload (nil if decoding failed).
+	PSDU []byte
+	// StartSample is where the frame's first chip begins in the input.
+	StartSample int
+	// SyncPeak is the normalized preamble correlation at the sync point.
+	SyncPeak float64
+	// PhaseEstimate is the carrier phase (radians) estimated from the
+	// preamble correlation and removed before demodulation.
+	PhaseEstimate float64
+	// NoisePowerEstimate is the per-sample noise power measured from the
+	// preamble residual (received SHR minus the best-fit scaled reference).
+	// Emulation distortion inflates this residual, so on attack waveforms
+	// it over-reports noise.
+	NoisePowerEstimate float64
+	// SNREstimateDB is the receiver's working SNR estimate: the larger of
+	// the preamble-residual estimate and the out-of-band estimate. The
+	// out-of-band leg measures noise where the 2 MHz signal has (almost)
+	// no energy, making it robust to in-band waveform distortion — an
+	// attacker cannot talk this estimate *down* without radiating extra
+	// out-of-band power.
+	SNREstimateDB float64
+	// SoftChips are the matched-filter chip samples for the whole PPDU —
+	// the values the despreader decodes from.
+	SoftChips []float64
+	// PeakChips are one-sample-per-chip values taken at each ideal pulse
+	// center (perfect timing).
+	PeakChips []float64
+	// RecoveredChips is the output of the early–late clock-recovery loop —
+	// a one-sample-per-chip stream with realistic timing jitter.
+	RecoveredChips *RecoveredChips
+	// DiscriminatorChips is the chip-rate output of the FM quadrature
+	// discriminator front end (the GNU Radio receiver structure of the
+	// paper's ref [22]). This is the defense's input: phase distortion in
+	// the received waveform appears here undiluted.
+	DiscriminatorChips []float64
+	// Results holds per-symbol despreading outcomes.
+	Results []DespreadResult
+	// SymbolErrors counts dropped symbol windows.
+	SymbolErrors int
+}
+
+// OutOfBandSNREstimate infers the SNR by measuring the noise floor in the
+// 1.2–1.9 MHz guard bands (both signs) where the 2 MHz O-QPSK signal has
+// almost no energy: for white noise every Welch PSD bin reads the total
+// noise power, so the guard-band mean IS the noise power. The estimate
+// saturates near ~17 dB (residual signal sidelobes set a floor), which is
+// harmless for threshold indexing.
+func OutOfBandSNREstimate(waveform []complex128) (float64, error) {
+	const segment = 256
+	if len(waveform) < segment {
+		return 0, fmt.Errorf("zigbee: waveform too short for a PSD estimate")
+	}
+	psd, err := dsp.WelchPSD(waveform, segment, dsp.Hann)
+	if err != nil {
+		return 0, fmt.Errorf("zigbee: out-of-band estimate: %w", err)
+	}
+	var noise, total float64
+	noiseBins := 0
+	for k, p := range psd {
+		total += p
+		f, err := dsp.BinFrequency(k, len(psd), SampleRate)
+		if err != nil {
+			return 0, err
+		}
+		if af := math.Abs(f); af >= 1.2e6 && af <= 1.9e6 {
+			noise += p
+			noiseBins++
+		}
+	}
+	if noiseBins == 0 {
+		return 0, fmt.Errorf("zigbee: no guard-band bins")
+	}
+	noisePower := noise / float64(noiseBins)
+	totalPower := total / float64(len(psd))
+	if noisePower <= 0 || totalPower <= noisePower {
+		return 60, nil
+	}
+	return dsp.DB((totalPower - noisePower) / noisePower), nil
+}
+
+// Synchronize finds the frame start by normalized correlation against the
+// modulated SHR. It returns the start sample and the correlation peak.
+func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
+	corr := dsp.NormalizedCrossCorrelate(waveform, rx.syncRef)
+	if corr == nil {
+		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
+	}
+	peak := dsp.PeakIndex(corr)
+	if corr[peak] < rx.cfg.SyncThreshold {
+		return 0, corr[peak], fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", corr[peak], rx.cfg.SyncThreshold)
+	}
+	return peak, corr[peak], nil
+}
+
+// SynchronizeFirst finds the EARLIEST frame start: the first index where
+// the normalized preamble correlation crosses the threshold, refined to
+// the local maximum within the following symbol period. Use it when a
+// capture may hold several frames; Synchronize picks the global best.
+func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error) {
+	corr := dsp.NormalizedCrossCorrelate(waveform, rx.syncRef)
+	if corr == nil {
+		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
+	}
+	for i, v := range corr {
+		if v < rx.cfg.SyncThreshold {
+			continue
+		}
+		// Partial-overlap correlation crosses the threshold well before the
+		// true start; the peak lies within one reference length.
+		best, bestV := i, v
+		for j := i + 1; j < len(corr) && j <= i+len(rx.syncRef); j++ {
+			if corr[j] > bestV {
+				best, bestV = j, corr[j]
+			}
+		}
+		return best, bestV, nil
+	}
+	peak := dsp.PeakIndex(corr)
+	return 0, corr[peak], fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", corr[peak], rx.cfg.SyncThreshold)
+}
+
+// Receive synchronizes, demodulates, despreads, and parses one frame from
+// the waveform. A Reception is returned even on decode failure (with as
+// much diagnostic state as was extracted) alongside the error.
+func (rx *Receiver) Receive(waveform []complex128) (*Reception, error) {
+	start, peak, err := rx.Synchronize(waveform)
+	if err != nil {
+		return &Reception{SyncPeak: peak}, err
+	}
+	return rx.decodeFrom(waveform, start, peak)
+}
+
+// decodeFrom runs the post-synchronization receive pipeline.
+func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (*Reception, error) {
+	rec := &Reception{StartSample: start, SyncPeak: peak}
+
+	// Carrier phase recovery: the complex preamble correlation's argument
+	// is the channel's constant phase rotation; remove it so the I/Q arms
+	// demodulate coherently (real receivers derive this from the SHR).
+	var acc complex128
+	for i, r := range rx.syncRef {
+		acc += waveform[start+i] * complex(real(r), -imag(r))
+	}
+	phase := cmplx.Phase(acc)
+	rec.PhaseEstimate = phase
+	derot := cmplx.Rect(1, -phase)
+
+	// Noise estimation from the preamble residual: project the received
+	// SHR onto the reference (complex gain g), subtract, and measure what
+	// is left. SNR = |g|²·P_ref / P_residual.
+	refEnergy := dsp.Energy(rx.syncRef)
+	if refEnergy > 0 {
+		g := acc / complex(refEnergy, 0)
+		var resid float64
+		for i, r := range rx.syncRef {
+			d := waveform[start+i] - g*r
+			resid += real(d)*real(d) + imag(d)*imag(d)
+		}
+		n := float64(len(rx.syncRef))
+		rec.NoisePowerEstimate = resid / n
+		sigPower := (real(g)*real(g) + imag(g)*imag(g)) * refEnergy / n
+		if rec.NoisePowerEstimate > 0 {
+			rec.SNREstimateDB = dsp.DB(sigPower / rec.NoisePowerEstimate)
+		} else {
+			rec.SNREstimateDB = 60 // effectively noiseless
+		}
+		if oob, err := OutOfBandSNREstimate(waveform[start:]); err == nil && oob > rec.SNREstimateDB {
+			rec.SNREstimateDB = oob
+		}
+	}
+
+	// Demodulate SHR+PHR first to learn the PSDU length.
+	hdrSymbols := (PreambleBytes + 2) * SymbolsPerByte // preamble+SFD+PHR
+	hdrChips := hdrSymbols * ChipsPerSymbol
+	avail := make([]complex128, len(waveform)-start)
+	for i := range avail {
+		avail[i] = waveform[start+i] * derot
+	}
+	if maxChipsIn(len(avail)) < hdrChips {
+		return rec, fmt.Errorf("zigbee: header demodulation: waveform too short")
+	}
+	hdrBytes, _, symErrs, err := rx.decodeChips(avail, hdrChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: header decode: %w", err)
+	}
+	if symErrs > 0 {
+		return rec, fmt.Errorf("zigbee: %d dropped symbols in header", symErrs)
+	}
+	psduLen := int(hdrBytes[PreambleBytes+1] & 0x7F)
+
+	totalSymbols := hdrSymbols + psduLen*SymbolsPerByte
+	totalChips := totalSymbols * ChipsPerSymbol
+	soft, err := Demodulate(avail, totalChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: frame demodulation: %w", err)
+	}
+	rec.SoftChips = soft
+	peaks, err := PeakChips(avail, totalChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: peak sampling: %w", err)
+	}
+	rec.PeakChips = peaks
+	recovered, err := DefaultClockRecovery().Recover(avail, totalChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: clock recovery: %w", err)
+	}
+	rec.RecoveredChips = recovered
+	disc, err := DiscriminatorChips(avail, totalChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: discriminator: %w", err)
+	}
+	rec.DiscriminatorChips = disc
+
+	allBytes, results, symErrs, err := rx.decodeChips(avail, totalChips)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: frame decode: %w", err)
+	}
+	rec.Results = results
+	rec.SymbolErrors = symErrs
+	if symErrs > 0 {
+		return rec, fmt.Errorf("zigbee: %d symbol windows dropped", symErrs)
+	}
+	psdu, err := ParsePPDU(allBytes)
+	if err != nil {
+		return rec, fmt.Errorf("zigbee: %w", err)
+	}
+	rec.PSDU = psdu
+	return rec, nil
+}
+
+// ReceiveAll extracts successive frames from one capture: after each
+// decoded frame the search resumes past its end, so a long recording with
+// several transmissions yields them all (in order). Decode failures after
+// a successful sync advance past the bad sync point rather than aborting.
+// maxFrames bounds the output (0 = no bound).
+func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Reception, error) {
+	var out []*Reception
+	offset := 0
+	for {
+		if maxFrames > 0 && len(out) >= maxFrames {
+			return out, nil
+		}
+		if offset >= len(waveform) || len(waveform)-offset < len(rx.syncRef) {
+			return out, nil
+		}
+		start, peak, err := rx.SynchronizeFirst(waveform[offset:])
+		if err != nil {
+			return out, nil // no further preambles
+		}
+		rec, err := rx.decodeFrom(waveform[offset:], start, peak)
+		if err != nil {
+			// Bad frame: skip past this sync point and keep searching.
+			offset += start + len(rx.syncRef)
+			continue
+		}
+		rec.StartSample += offset
+		out = append(out, rec)
+		// Advance past the decoded frame: SHR+PHR+PSDU symbols.
+		frameSamples := (len(rec.SoftChips) / 2) * SamplesPerPulse
+		offset = rec.StartSample + frameSamples
+	}
+}
+
+// decodeChips demodulates numChips from the phase-corrected waveform and
+// despreads them using the configured mode.
+func (rx *Receiver) decodeChips(avail []complex128, numChips int) ([]byte, []DespreadResult, int, error) {
+	var (
+		results []DespreadResult
+		err     error
+	)
+	switch rx.cfg.Mode {
+	case HardThreshold:
+		soft, dErr := Demodulate(avail, numChips)
+		if dErr != nil {
+			return nil, nil, 0, dErr
+		}
+		results, err = DespreadHard(HardChips(soft), rx.cfg.HammingThreshold)
+	case SoftCorrelation:
+		soft, dErr := Demodulate(avail, numChips)
+		if dErr != nil {
+			return nil, nil, 0, dErr
+		}
+		results, err = DespreadSoft(soft)
+	case FMDiscriminator:
+		disc, dErr := DiscriminatorChips(avail, numChips)
+		if dErr != nil {
+			return nil, nil, 0, dErr
+		}
+		results, err = DespreadDiscriminator(disc, rx.cfg.HammingThreshold)
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	symbols := make([]byte, len(results))
+	errs := 0
+	for i, r := range results {
+		symbols[i] = r.Symbol
+		if r.Dropped {
+			errs++
+		}
+	}
+	data, err := SymbolsToBytes(symbols)
+	if err != nil {
+		return nil, results, errs, err
+	}
+	return data, results, errs, nil
+}
+
+// maxChipsIn returns how many whole chips fit in n samples, accounting for
+// the Q-arm tail.
+func maxChipsIn(n int) int {
+	pairs := (n - QOffsetSamples) / SamplesPerPulse
+	if pairs < 0 {
+		return 0
+	}
+	return pairs * 2
+}

@@ -1,0 +1,57 @@
+package zigbee
+
+import (
+	"fmt"
+)
+
+// ReplayGuard is a MAC-layer countermeasure candidate: reject frames whose
+// (source, sequence number) pair repeats within a window. It catches the
+// naive record-and-replay attacker, but NOT the paper's emulation attacker,
+// who can synthesize a fresh ZigBee frame (new sequence number, same
+// command) and emulate that instead — the forged-command path demonstrated
+// in emulation's tests and the forged_command example. The guard exists to
+// make that limitation concrete.
+type ReplayGuard struct {
+	window  int
+	history map[uint16][]byte // src → recent sequence numbers (ring)
+	next    map[uint16]int
+}
+
+// NewReplayGuard tracks the last `window` sequence numbers per source.
+func NewReplayGuard(window int) (*ReplayGuard, error) {
+	if window < 1 || window > 1024 {
+		return nil, fmt.Errorf("zigbee: replay window %d outside [1, 1024]", window)
+	}
+	return &ReplayGuard{
+		window:  window,
+		history: make(map[uint16][]byte),
+		next:    make(map[uint16]int),
+	}, nil
+}
+
+// Check records the frame and reports true when its sequence number was
+// already seen recently from the same source (a replay).
+func (g *ReplayGuard) Check(frame *MACFrame) (bool, error) {
+	if frame == nil {
+		return false, fmt.Errorf("zigbee: nil frame")
+	}
+	hist := g.history[frame.Src]
+	for _, seq := range hist {
+		if seq == frame.Seq {
+			return true, nil
+		}
+	}
+	if len(hist) < g.window {
+		g.history[frame.Src] = append(hist, frame.Seq)
+	} else {
+		hist[g.next[frame.Src]%g.window] = frame.Seq
+		g.next[frame.Src]++
+	}
+	return false, nil
+}
+
+// Reset clears all state.
+func (g *ReplayGuard) Reset() {
+	g.history = make(map[uint16][]byte)
+	g.next = make(map[uint16]int)
+}

@@ -1,0 +1,87 @@
+package zigbee
+
+import "testing"
+
+func TestNewReplayGuardValidation(t *testing.T) {
+	if _, err := NewReplayGuard(0); err == nil {
+		t.Error("accepted window 0")
+	}
+	if _, err := NewReplayGuard(5000); err == nil {
+		t.Error("accepted huge window")
+	}
+}
+
+func TestReplayGuardCatchesReplay(t *testing.T) {
+	g, err := NewReplayGuard(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := &MACFrame{Type: FrameData, Seq: 42, Src: 0x0001, Payload: []byte("off")}
+	replay, err := g.Check(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay {
+		t.Error("first sight flagged as replay")
+	}
+	replay, err = g.Check(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay {
+		t.Error("identical frame not flagged")
+	}
+	if _, err := g.Check(nil); err == nil {
+		t.Error("accepted nil frame")
+	}
+}
+
+func TestReplayGuardPerSource(t *testing.T) {
+	g, err := NewReplayGuard(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &MACFrame{Seq: 7, Src: 1}
+	b := &MACFrame{Seq: 7, Src: 2}
+	if r, _ := g.Check(a); r {
+		t.Error("fresh frame flagged")
+	}
+	if r, _ := g.Check(b); r {
+		t.Error("same seq from different source flagged")
+	}
+}
+
+func TestReplayGuardWindowEviction(t *testing.T) {
+	g, err := NewReplayGuard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := byte(0); seq < 4; seq++ {
+		if r, _ := g.Check(&MACFrame{Seq: seq, Src: 1}); r {
+			t.Fatalf("seq %d flagged", seq)
+		}
+	}
+	// Seq 0 has been evicted from the 2-deep window: re-accepted.
+	if r, _ := g.Check(&MACFrame{Seq: 0, Src: 1}); r {
+		t.Error("evicted sequence still flagged")
+	}
+	// Seq 3 is still in the window.
+	if r, _ := g.Check(&MACFrame{Seq: 3, Src: 1}); !r {
+		t.Error("in-window sequence not flagged")
+	}
+}
+
+func TestReplayGuardReset(t *testing.T) {
+	g, err := NewReplayGuard(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &MACFrame{Seq: 1, Src: 1}
+	if _, err := g.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	g.Reset()
+	if r, _ := g.Check(f); r {
+		t.Error("flagged after reset")
+	}
+}

@@ -1,0 +1,100 @@
+package zigbee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReceiverNeverPanicsOnGarbage hurls random complex soup at the full
+// receiver; any outcome but a panic is acceptable.
+func TestReceiverNeverPanicsOnGarbage(t *testing.T) {
+	rx, err := NewReceiver(ReceiverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, lenSel uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(lenSel%4096) + 1
+		w := make([]complex128, n)
+		for i := range w {
+			w[i] = complex(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		}
+		_, _ = rx.Receive(w) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReceiverHandlesNonFiniteSamples covers NaN/Inf contamination (a real
+// SDR driver can emit these on overflow).
+func TestReceiverHandlesNonFiniteSamples(t *testing.T) {
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, poison := range []complex128{
+		complex(math.NaN(), 0),
+		complex(math.Inf(1), 0),
+		complex(0, math.Inf(-1)),
+	} {
+		contaminated := append([]complex128(nil), wave...)
+		contaminated[len(contaminated)/2] = poison
+		// Either an error or a (possibly wrong) decode — never a panic.
+		_, _ = rx.Receive(contaminated)
+	}
+}
+
+// TestDecodeMACFrameNeverPanics fuzzes the MAC parser.
+func TestDecodeMACFrameNeverPanics(t *testing.T) {
+	f := func(psdu []byte) bool {
+		_, _ = DecodeMACFrame(psdu)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsePPDUNeverPanics fuzzes the PHY framing parser.
+func TestParsePPDUNeverPanics(t *testing.T) {
+	f := func(ppdu []byte) bool {
+		_, _ = ParsePPDU(ppdu)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTruncatedWaveformsAtEveryBoundary slices a valid frame at
+// awkward offsets; the receiver must fail cleanly on all of them.
+func TestTruncatedWaveformsAtEveryBoundary(t *testing.T) {
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("xy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(wave); cut += 37 {
+		rec, err := rx.Receive(wave[:cut])
+		if err == nil && string(rec.PSDU) == "xy" {
+			// Only acceptable once the cut preserves the whole frame.
+			need := len(wave) - QOffsetSamples
+			if cut < need {
+				t.Fatalf("decoded full PSDU from %d/%d samples", cut, len(wave))
+			}
+		}
+	}
+}

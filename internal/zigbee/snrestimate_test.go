@@ -1,0 +1,53 @@
+package zigbee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOutOfBandSNREstimateValidation(t *testing.T) {
+	if _, err := OutOfBandSNREstimate(make([]complex128, 10)); err == nil {
+		t.Error("accepted short waveform")
+	}
+}
+
+func TestOutOfBandSNREstimateTracksAWGN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snr := range []float64{3, 8, 12} {
+		sigma := math.Sqrt(math.Pow(10, -snr/10) / 2)
+		noisy := make([]complex128, len(wave))
+		for i, v := range wave {
+			noisy[i] = v + complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+		est, err := OutOfBandSNREstimate(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-snr) > 3 {
+			t.Errorf("true %g dB estimated as %g dB", snr, est)
+		}
+	}
+}
+
+func TestOutOfBandSNREstimateSaturatesClean(t *testing.T) {
+	tx := NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := OutOfBandSNREstimate(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise-free input: the estimate saturates at the sidelobe floor,
+	// at the top of the attack-viable range.
+	if est < 12 {
+		t.Errorf("clean-waveform estimate %g dB too low", est)
+	}
+}

@@ -1,0 +1,49 @@
+package zigbee
+
+import (
+	"fmt"
+)
+
+// Transmitter turns payload bytes into baseband waveforms: framing → symbol
+// expansion → DSSS spreading → half-sine O-QPSK modulation.
+type Transmitter struct{}
+
+// NewTransmitter returns a ready transmitter. It is stateless; the type
+// exists so future options (e.g. power scaling) have a home.
+func NewTransmitter() *Transmitter { return &Transmitter{} }
+
+// TransmitPSDU modulates a raw PSDU (already including any MAC FCS).
+func (tx *Transmitter) TransmitPSDU(psdu []byte) ([]complex128, error) {
+	ppdu, err := BuildPPDU(psdu)
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: transmit: %w", err)
+	}
+	chips, err := Spread(BytesToSymbols(ppdu))
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: transmit: %w", err)
+	}
+	wave, err := Modulate(chips)
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: transmit: %w", err)
+	}
+	return wave, nil
+}
+
+// TransmitFrame encodes a MAC frame and modulates it.
+func (tx *Transmitter) TransmitFrame(frame *MACFrame) ([]complex128, error) {
+	psdu, err := frame.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: transmit: %w", err)
+	}
+	return tx.TransmitPSDU(psdu)
+}
+
+// SymbolWaveform modulates a single data symbol in isolation — the unit the
+// attack pipeline emulates (one 16 µs, 64-sample piece plus the Q-arm tail).
+func SymbolWaveform(symbol byte) ([]complex128, error) {
+	chips, err := ChipSequence(symbol)
+	if err != nil {
+		return nil, err
+	}
+	return Modulate(chips)
+}
