@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench experiments examples clean
+.PHONY: all build vet test race bench experiments examples clean
 
 all: build vet test
 
@@ -12,6 +12,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detect the concurrent trial runner and everything built on it.
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus per-package micro-benches.
 bench:

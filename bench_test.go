@@ -7,10 +7,50 @@ package hideseek
 // summarizes the reproduction. cmd/experiments runs the full-size versions.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
+	"hideseek/internal/runner"
 	"hideseek/internal/sim"
 )
+
+// BenchmarkParallelSweep measures the trial-runner's scaling on a reduced
+// Table II sweep at 1, 4, and GOMAXPROCS workers, reporting throughput as
+// trials/sec per width.
+func BenchmarkParallelSweep(b *testing.B) {
+	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range widths {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := runner.DefaultWorkers()
+			runner.SetDefaultWorkers(workers)
+			defer runner.SetDefaultWorkers(prev)
+			var trials int64
+			var elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := runner.TrialsExecuted()
+				start := time.Now()
+				if _, err := sim.Table2(int64(i+1), []float64{9, 13, 17}, 40); err != nil {
+					b.Fatal(err)
+				}
+				elapsed += time.Since(start)
+				trials += runner.TrialsExecuted() - before
+			}
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(trials)/elapsed.Seconds(), "trials/s")
+			}
+		})
+	}
+}
 
 func BenchmarkTable1SubcarrierSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -17,8 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/sim"
 )
 
@@ -38,9 +41,25 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	trials := fs.Int("trials", 0, "override trial/sample count (0 = experiment default)")
 	csvPath := fs.String("csv", "", "write figure series to this CSV file")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per sweep (results are identical at any count)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	runner.SetDefaultWorkers(*workers)
+	effective := runner.DefaultWorkers()
+
+	start := time.Now()
+	trialsBefore := runner.TrialsExecuted()
+	defer func() {
+		elapsed := time.Since(start)
+		executed := runner.TrialsExecuted() - trialsBefore
+		if executed > 0 {
+			// stderr, so table output stays byte-identical across -workers.
+			fmt.Fprintf(os.Stderr, "— %d trials in %s (%.0f trials/s, %d workers)\n",
+				executed, elapsed.Round(time.Millisecond),
+				float64(executed)/elapsed.Seconds(), effective)
+		}
+	}()
 
 	switch cmd {
 	case "all":

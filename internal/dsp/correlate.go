@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 )
@@ -31,12 +32,28 @@ func NormalizedCrossCorrelate(x, ref []complex128) []float64 {
 	if len(ref) == 0 || len(x) < len(ref) {
 		return nil
 	}
+	return NormalizedCrossCorrelateInto(make([]float64, len(x)-len(ref)+1), x, ref)
+}
+
+// NormalizedCrossCorrelateInto is NormalizedCrossCorrelate writing into a
+// caller-provided buffer of length len(x)−len(ref)+1, allocating nothing.
+// It returns dst for call-site convenience.
+func NormalizedCrossCorrelateInto(dst []float64, x, ref []complex128) []float64 {
+	lags := len(x) - len(ref) + 1
+	if len(ref) == 0 || lags < 1 {
+		panic("dsp: NormalizedCrossCorrelateInto on undersized input")
+	}
+	if len(dst) != lags {
+		panic(fmt.Sprintf("dsp: correlate into %d-lag buffer, want %d", len(dst), lags))
+	}
 	refEnergy := Energy(ref)
 	if refEnergy == 0 {
-		return make([]float64, len(x)-len(ref)+1)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
-	lags := len(x) - len(ref) + 1
-	out := make([]float64, lags)
+	out := dst
 	// Maintain the sliding window energy incrementally: O(N) total.
 	var winEnergy float64
 	for n := 0; n < len(ref); n++ {

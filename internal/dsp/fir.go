@@ -93,14 +93,43 @@ func (f *FIR) Filter(x []complex128) []complex128 {
 // FilterSame convolves and trims the result to len(x), compensating the
 // group delay so the output is time-aligned with the input.
 func (f *FIR) FilterSame(x []complex128) []complex128 {
-	full := f.Filter(x)
-	if full == nil {
+	if len(x) == 0 {
 		return nil
 	}
-	d := f.GroupDelay()
 	out := make([]complex128, len(x))
-	copy(out, full[d:d+len(x)])
+	f.FilterSameInto(out, x)
 	return out
+}
+
+// FilterSameInto is FilterSame with a caller-provided destination
+// (len(dst) == len(x), dst must not alias x). It convolves directly into
+// the output window, allocating nothing — the form the per-worker DSP
+// scratch paths use.
+func (f *FIR) FilterSameInto(dst, x []complex128) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: FilterSameInto dst %d != src %d", len(dst), len(x)))
+	}
+	d := f.GroupDelay()
+	for i := range dst {
+		// same[i] = Σ_j taps[j]·x[i+d−j] over valid input indices.
+		var acc complex128
+		lo := i + d - (len(f.taps) - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + d
+		if hi > len(x)-1 {
+			hi = len(x) - 1
+		}
+		for k := lo; k <= hi; k++ {
+			v := x[k]
+			if v == 0 {
+				continue
+			}
+			acc += v * complex(f.taps[i+d-k], 0)
+		}
+		dst[i] = acc
+	}
 }
 
 // FrequencyResponse evaluates H(e^{j2πf}) at the given normalized frequency

@@ -6,9 +6,14 @@ import "fmt"
 // using zero-stuffing followed by a windowed-sinc anti-imaging filter. The
 // attacker uses factor 5 to lift the 4 MS/s ZigBee capture to WiFi's
 // 20 MS/s clock.
+//
+// Process allocates per call and is safe for concurrent use; ProcessInto
+// reuses an internal zero-stuffing scratch buffer and is NOT — give each
+// worker goroutine its own Interpolator.
 type Interpolator struct {
-	factor int
-	lp     *FIR
+	factor  int
+	lp      *FIR
+	stuffed []complex128 // ProcessInto scratch
 }
 
 // NewInterpolator builds an interpolator for the given factor. tapsPerPhase
@@ -46,35 +51,106 @@ func (ip *Interpolator) Process(x []complex128) []complex128 {
 	if len(x) == 0 {
 		return nil
 	}
-	stuffed := make([]complex128, len(x)*ip.factor)
+	out := make([]complex128, len(x)*ip.factor)
+	ip.processInto(out, x, make([]complex128, len(x)*ip.factor))
+	return out
+}
+
+// ProcessInto is Process with a caller-provided destination of length
+// len(x)·factor (dst must not alias x). The zero-stuffing stage reuses an
+// internal scratch buffer, so repeated same-size calls allocate nothing —
+// and the Interpolator is therefore not goroutine-safe through this path.
+func (ip *Interpolator) ProcessInto(dst, x []complex128) {
+	if len(dst) != len(x)*ip.factor {
+		panic(fmt.Sprintf("dsp: interpolate %d samples into %d-sample buffer, want %d", len(x), len(dst), len(x)*ip.factor))
+	}
+	if ip.factor == 1 {
+		copy(dst, x)
+		return
+	}
+	if len(x) == 0 {
+		return
+	}
+	if cap(ip.stuffed) < len(dst) {
+		ip.stuffed = make([]complex128, len(dst))
+	}
+	ip.processInto(dst, x, ip.stuffed[:len(dst)])
+}
+
+func (ip *Interpolator) processInto(dst, x, stuffed []complex128) {
 	gain := complex(float64(ip.factor), 0) // compensate zero-stuffing energy loss
+	for i := range stuffed {
+		stuffed[i] = 0
+	}
 	for i, v := range x {
 		stuffed[i*ip.factor] = v * gain
 	}
-	return ip.lp.FilterSame(stuffed)
+	ip.lp.FilterSameInto(dst, stuffed)
 }
 
 // Decimate keeps every factor-th sample of x after low-pass filtering to
 // suppress aliasing. It inverts Interpolator.Process for band-limited input.
+// It redesigns the anti-alias filter on every call; hot paths should hold a
+// Decimator instead.
 func Decimate(x []complex128, factor int) ([]complex128, error) {
+	d, err := NewDecimator(factor)
+	if err != nil {
+		return nil, err
+	}
+	return d.Process(x), nil
+}
+
+// Decimator caches the anti-alias low-pass design and a filtering scratch
+// buffer so repeated decimations of one stream shape cost only the output
+// allocation. The scratch makes it NOT safe for concurrent use.
+type Decimator struct {
+	factor   int
+	lp       *FIR
+	filtered []complex128 // Process scratch
+}
+
+// NewDecimator builds a decimator for the given integer factor.
+func NewDecimator(factor int) (*Decimator, error) {
 	if factor < 1 {
 		return nil, fmt.Errorf("dsp: decimation factor %d < 1", factor)
 	}
+	d := &Decimator{factor: factor}
 	if factor == 1 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		return out, nil
+		return d, nil
 	}
 	lp, err := DesignLowPass(0.5/float64(factor), 8*factor+1, Blackman)
 	if err != nil {
 		return nil, fmt.Errorf("dsp: decimation filter design: %w", err)
 	}
-	filtered := lp.FilterSame(x)
-	out := make([]complex128, 0, (len(x)+factor-1)/factor)
-	for i := 0; i < len(filtered); i += factor {
+	d.lp = lp
+	return d, nil
+}
+
+// Factor returns the downsampling ratio.
+func (d *Decimator) Factor() int { return d.factor }
+
+// Process low-pass filters and downsamples x. The returned slice is freshly
+// allocated (it is the only per-call allocation); the intermediate filtered
+// stream lives in the reused scratch buffer.
+func (d *Decimator) Process(x []complex128) []complex128 {
+	if d.factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	if len(x) == 0 {
+		return nil
+	}
+	if cap(d.filtered) < len(x) {
+		d.filtered = make([]complex128, len(x))
+	}
+	filtered := d.filtered[:len(x)]
+	d.lp.FilterSameInto(filtered, x)
+	out := make([]complex128, 0, (len(x)+d.factor-1)/d.factor)
+	for i := 0; i < len(filtered); i += d.factor {
 		out = append(out, filtered[i])
 	}
-	return out, nil
+	return out
 }
 
 // LinearInterpolate performs factor-times linear interpolation — the cheap

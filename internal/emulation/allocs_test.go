@@ -1,0 +1,85 @@
+package emulation
+
+import (
+	"testing"
+
+	"hideseek/internal/zigbee"
+)
+
+// Emulate necessarily allocates its Result (every field escapes to the
+// caller), but with warm scratch the interpolation, per-segment FFT/IFFT,
+// and decimation stages must not add per-call garbage. Pin an allocation
+// budget well below the unoptimized pipeline (which allocated per segment:
+// spectra, synthesized symbols, and a freshly designed decimation FIR) so
+// buffer-reuse wins can't silently regress.
+func TestEmulateAllocsWithWarmScratch(t *testing.T) {
+	tx := zigbee.NewTransmitter()
+	observed, err := tx.TransmitPSDU([]byte("00000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.Emulate(observed); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+
+	res, err := em.Emulate(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~18 result-escaping allocations + map/slice noise inside quantization;
+	// the unoptimized pipeline ran into the thousands for this frame size.
+	const budget = 200
+	n := testing.AllocsPerRun(5, func() {
+		r, err := em.Emulate(observed)
+		if err != nil || r == nil {
+			t.Fatal(err)
+		}
+	})
+	if n > budget {
+		t.Fatalf("Emulate allocated %v per run with warm scratch, budget %d", n, budget)
+	}
+	if res.NumSegments == 0 || len(res.Emulated4M) == 0 {
+		t.Fatal("degenerate emulation result")
+	}
+}
+
+// Scratch reuse must never leak into results: two consecutive Emulate calls
+// on different observations must leave the first result intact.
+func TestEmulateResultsDoNotAliasScratch(t *testing.T) {
+	tx := zigbee.NewTransmitter()
+	a, err := tx.TransmitPSDU([]byte("frameA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tx.TransmitPSDU([]byte("another-frame-B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewEmulator(AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := em.Emulate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := append([]complex128(nil), resA.Observed20M...)
+	emu := append([]complex128(nil), resA.Emulated20M...)
+	if _, err := em.Emulate(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range obs {
+		if resA.Observed20M[i] != obs[i] {
+			t.Fatalf("Observed20M[%d] mutated by later Emulate call", i)
+		}
+	}
+	for i := range emu {
+		if resA.Emulated20M[i] != emu[i] {
+			t.Fatalf("Emulated20M[%d] mutated by later Emulate call", i)
+		}
+	}
+}

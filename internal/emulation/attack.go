@@ -80,10 +80,22 @@ func (c *AttackConfig) applyDefaults() error {
 }
 
 // Emulator runs the waveform emulation attack of Sec. V.
+//
+// An Emulator reuses internal interpolation/spectral scratch buffers across
+// Emulate calls and is therefore NOT safe for concurrent use; give each
+// worker goroutine its own instance (the runner package's per-worker
+// scratch hook exists for exactly this). Result fields are always freshly
+// allocated and never alias the scratch.
 type Emulator struct {
 	cfg           AttackConfig
 	constellation *wifi.Constellation
 	interp        *dsp.Interpolator
+	dec           *dsp.Decimator
+	// Emulate scratch, grown on demand:
+	up      []complex128 // interpolated + symbol-padded observation
+	specBuf []complex128 // numSegments × 64 per-segment tail spectra
+	chosen  []complex128 // numSegments × len(bins) kept frequency points
+	symSpec []complex128 // 64-bin spectrum under synthesis
 }
 
 // NewEmulator validates the configuration and builds the attack pipeline.
@@ -99,7 +111,11 @@ func NewEmulator(cfg AttackConfig) (*Emulator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emulation: %w", err)
 	}
-	return &Emulator{cfg: cfg, constellation: constellation, interp: interp}, nil
+	dec, err := dsp.NewDecimator(Interpolation)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: %w", err)
+	}
+	return &Emulator{cfg: cfg, constellation: constellation, interp: interp, dec: dec}, nil
 }
 
 // Result captures the emulated waveform and the attack's internal state for
@@ -136,25 +152,42 @@ func (e *Emulator) Emulate(observed []complex128) (*Result, error) {
 	if len(observed) == 0 {
 		return nil, fmt.Errorf("emulation: empty observation")
 	}
-	up := e.interp.Process(observed)
-	// Pad to whole WiFi symbols.
-	if rem := len(up) % wifi.SymbolSamples; rem != 0 {
-		up = append(up, make([]complex128, wifi.SymbolSamples-rem)...)
+	// Interpolate into the reusable scratch, padded to whole WiFi symbols.
+	n := len(observed) * Interpolation
+	total := n
+	if rem := total % wifi.SymbolSamples; rem != 0 {
+		total += wifi.SymbolSamples - rem
 	}
-	numSegments := len(up) / wifi.SymbolSamples
+	if cap(e.up) < total {
+		e.up = make([]complex128, total)
+	}
+	up := e.up[:total]
+	e.interp.ProcessInto(up[:n], observed)
+	for i := n; i < total; i++ {
+		up[i] = 0
+	}
+	numSegments := total / wifi.SymbolSamples
 
-	// Per-segment spectra of the 3.2 µs tails (the CP position is dropped).
-	spectra := make([][]complex128, numSegments)
+	// Per-segment spectra of the 3.2 µs tails (the CP position is dropped),
+	// packed into one flat scratch buffer.
+	if cap(e.specBuf) < numSegments*wifi.NumSubcarriers {
+		e.specBuf = make([]complex128, numSegments*wifi.NumSubcarriers)
+	}
+	segSpec := func(s int) []complex128 {
+		return e.specBuf[s*wifi.NumSubcarriers : (s+1)*wifi.NumSubcarriers]
+	}
 	for s := 0; s < numSegments; s++ {
 		seg := up[s*wifi.SymbolSamples : (s+1)*wifi.SymbolSamples]
-		spectra[s] = dsp.FFT(seg[wifi.CPLength:])
+		if err := wifi.AnalyzeSymbolInto(segSpec(s), seg); err != nil {
+			return nil, fmt.Errorf("emulation: segment %d: %w", s, err)
+		}
 	}
 
 	bins := e.cfg.SubcarrierIndices
 	if bins == nil {
 		est := NewSubcarrierEstimator(e.cfg.CoarseThreshold, e.cfg.KeptSubcarriers)
-		for _, spec := range spectra {
-			est.Observe(spec)
+		for s := 0; s < numSegments; s++ {
+			est.Observe(segSpec(s))
 		}
 		var err error
 		bins, err = est.Select()
@@ -164,53 +197,64 @@ func (e *Emulator) Emulate(observed []complex128) (*Result, error) {
 	}
 
 	res := &Result{
-		Observed20M: up,
+		Observed20M: append([]complex128(nil), up...), // up is scratch; copy
 		Bins:        append([]int(nil), bins...),
 		NumSegments: numSegments,
-		Emulated20M: make([]complex128, 0, numSegments*wifi.SymbolSamples),
+		Emulated20M: make([]complex128, numSegments*wifi.SymbolSamples),
 	}
 
-	// Collect the chosen frequency points for α optimization.
-	chosen := make([][]complex128, numSegments)
-	for s, spec := range spectra {
-		pts := make([]complex128, len(bins))
+	// Collect the chosen frequency points for α optimization, packed flat so
+	// the global pass can see all of them without re-gathering.
+	if cap(e.chosen) < numSegments*len(bins) {
+		e.chosen = make([]complex128, numSegments*len(bins))
+	}
+	chosen := func(s int) []complex128 {
+		return e.chosen[s*len(bins) : (s+1)*len(bins)]
+	}
+	for s := 0; s < numSegments; s++ {
+		spec, pts := segSpec(s), chosen(s)
 		for i, k := range bins {
 			pts[i] = spec[k]
 		}
-		chosen[s] = pts
 	}
 
 	var globalAlpha float64
 	if !e.cfg.PerSegmentAlpha && !e.cfg.SkipQuantization {
-		all := make([]complex128, 0, numSegments*len(bins))
-		for _, pts := range chosen {
-			all = append(all, pts...)
-		}
 		var err error
-		globalAlpha, _, err = OptimizeAlpha(e.constellation, all, e.cfg.Alpha)
+		globalAlpha, _, err = OptimizeAlpha(e.constellation, e.chosen[:numSegments*len(bins)], e.cfg.Alpha)
 		if err != nil {
 			return nil, fmt.Errorf("emulation: %w", err)
 		}
 	}
 
+	if cap(e.symSpec) < wifi.NumSubcarriers {
+		e.symSpec = make([]complex128, wifi.NumSubcarriers)
+	}
+	res.Alphas = make([]float64, 0, numSegments)
+	if !e.cfg.SkipQuantization {
+		res.QAMPoints = make([][]complex128, 0, numSegments)
+	}
 	for s := 0; s < numSegments; s++ {
-		spec := make([]complex128, wifi.NumSubcarriers)
+		spec := e.symSpec[:wifi.NumSubcarriers]
+		for i := range spec {
+			spec[i] = 0
+		}
 		var segPts []complex128
 		alpha := globalAlpha
 		switch {
 		case e.cfg.SkipQuantization:
-			segPts = chosen[s]
+			segPts = chosen(s)
 			alpha = 0
 		case e.cfg.PerSegmentAlpha:
 			var err error
-			alpha, _, err = OptimizeAlpha(e.constellation, chosen[s], e.cfg.Alpha)
+			alpha, _, err = OptimizeAlpha(e.constellation, chosen(s), e.cfg.Alpha)
 			if err != nil {
 				return nil, fmt.Errorf("emulation: segment %d: %w", s, err)
 			}
 			fallthrough
 		default:
 			segPts = make([]complex128, len(bins))
-			for i, v := range chosen[s] {
+			for i, v := range chosen(s) {
 				q, errSq := e.constellation.Quantize(v, alpha)
 				segPts[i] = q
 				res.QuantError += errSq
@@ -219,22 +263,17 @@ func (e *Emulator) Emulate(observed []complex128) (*Result, error) {
 		for i, k := range bins {
 			spec[k] = segPts[i]
 		}
-		sym, err := wifi.SynthesizeSymbol(spec)
-		if err != nil {
+		sym := res.Emulated20M[s*wifi.SymbolSamples : (s+1)*wifi.SymbolSamples]
+		if err := wifi.SynthesizeSymbolInto(sym, spec); err != nil {
 			return nil, fmt.Errorf("emulation: segment %d: %w", s, err)
 		}
-		res.Emulated20M = append(res.Emulated20M, sym...)
 		res.Alphas = append(res.Alphas, alpha)
 		if !e.cfg.SkipQuantization {
 			res.QAMPoints = append(res.QAMPoints, segPts)
 		}
 	}
 
-	down, err := dsp.Decimate(res.Emulated20M, Interpolation)
-	if err != nil {
-		return nil, fmt.Errorf("emulation: %w", err)
-	}
-	res.Emulated4M = down
+	res.Emulated4M = e.dec.Process(res.Emulated20M)
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"hideseek/internal/channel"
 	"hideseek/internal/dsp"
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -34,10 +35,6 @@ func AblationSubcarriers(seed int64, kept []int, snrDB float64, trials int) (*Ab
 	if err != nil {
 		return nil, err
 	}
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
-	}
 	res := &AblationSubcarriersResult{Kept: kept, SNRdB: snrDB, Trials: trials}
 	for ki, k := range kept {
 		em, err := emulation.NewEmulator(emulation.AttackConfig{KeptSubcarriers: k})
@@ -54,15 +51,24 @@ func AblationSubcarriers(seed int64, kept []int, snrDB float64, trials int) (*Ab
 		}
 		res.TailNMSE = append(res.TailNMSE, nmse)
 
-		rng := rngFor(seed, int64(500+ki))
-		ch, err := channel.NewAWGN(snrDB, rng)
+		hits, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionAblSubcarriers, ki)}, trials,
+			func() (*zigbee.Receiver, error) {
+				return zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+			},
+			func(t runner.Trial, rx *zigbee.Receiver) (bool, error) {
+				ch, err := channel.NewAWGN(snrDB, t.RNG)
+				if err != nil {
+					return false, err
+				}
+				rec, err := rx.Receive(ch.Apply(er.Emulated4M))
+				return err == nil && payloadMatches(rec, payloads[0]), nil
+			})
 		if err != nil {
 			return nil, err
 		}
 		ok := 0
-		for trial := 0; trial < trials; trial++ {
-			rec, err := rx.Receive(ch.Apply(er.Emulated4M))
-			if err == nil && payloadMatches(rec, payloads[0]) {
+		for _, hit := range hits {
+			if hit {
 				ok++
 			}
 		}
@@ -315,10 +321,6 @@ func AblationDefenseSource(seed int64, snrDB float64, samples int) (*AblationDef
 		return nil, err
 	}
 	link := links[0]
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
-	}
 	sources := []struct {
 		name string
 		src  emulation.ChipSource
@@ -328,38 +330,51 @@ func AblationDefenseSource(seed int64, snrDB float64, samples int) (*AblationDef
 		{name: "peak-sampled", src: emulation.SourcePeak},
 		{name: "matched-filter", src: emulation.SourceMatched},
 	}
+	type d2Pair struct {
+		o, e float64
+		ok   bool
+	}
 	res := &AblationDefenseSourceResult{SNRdB: snrDB, Samples: samples}
 	for si, s := range sources {
-		det, err := emulation.NewDetector(emulation.DefenseConfig{Source: s.src})
-		if err != nil {
-			return nil, err
-		}
-		rng := rngFor(seed, int64(600+si))
-		ch, err := channel.NewAWGN(snrDB, rng)
+		s := s
+		pairs, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionAblDefenseSource, si)}, samples,
+			func() (*victim, error) {
+				return newVictim(zigbee.HardThreshold, emulation.DefenseConfig{Source: s.src})
+			},
+			func(t runner.Trial, v *victim) (d2Pair, error) {
+				ch, err := channel.NewAWGN(snrDB, t.RNG)
+				if err != nil {
+					return d2Pair{}, err
+				}
+				recO, err := v.rx.Receive(ch.Apply(link.Original))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				recE, err := v.rx.Receive(ch.Apply(link.Emulated))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				vo, err := v.det.AnalyzeReception(recO)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				ve, err := v.det.AnalyzeReception(recE)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				return d2Pair{o: vo.DistanceSquared, e: ve.DistanceSquared, ok: true}, nil
+			})
 		if err != nil {
 			return nil, err
 		}
 		var sumO, sumE float64
 		count := 0
-		for i := 0; i < samples; i++ {
-			recO, err := rx.Receive(ch.Apply(link.Original))
-			if err != nil {
+		for _, p := range pairs {
+			if !p.ok {
 				continue
 			}
-			recE, err := rx.Receive(ch.Apply(link.Emulated))
-			if err != nil {
-				continue
-			}
-			vo, err := det.AnalyzeReception(recO)
-			if err != nil {
-				continue
-			}
-			ve, err := det.AnalyzeReception(recE)
-			if err != nil {
-				continue
-			}
-			sumO += vo.DistanceSquared
-			sumE += ve.DistanceSquared
+			sumO += p.o
+			sumE += p.e
 			count++
 		}
 		if count == 0 {
@@ -414,49 +429,58 @@ func AblationSampleCount(seed int64, counts []int, snrDB float64, trials int) (*
 		return nil, err
 	}
 	link := links[0]
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
-	}
-	det, err := emulation.NewDetector(emulation.DefenseConfig{})
-	if err != nil {
-		return nil, err
+	type d2Pair struct {
+		o, e float64
+		ok   bool
 	}
 	res := &AblationSampleCountResult{Counts: counts, SNRdB: snrDB, Trials: trials}
 	for ci, count := range counts {
-		rng := rngFor(seed, int64(700+ci))
-		ch, err := channel.NewAWGN(snrDB, rng)
+		count := count
+		pairs, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionAblSampleCount, ci)}, trials,
+			func() (*victim, error) {
+				return newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+			},
+			func(t runner.Trial, v *victim) (d2Pair, error) {
+				ch, err := channel.NewAWGN(snrDB, t.RNG)
+				if err != nil {
+					return d2Pair{}, err
+				}
+				recO, err := v.rx.Receive(ch.Apply(link.Original))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				recE, err := v.rx.Receive(ch.Apply(link.Emulated))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				co, err := emulation.ChipsFromReception(recO, emulation.SourceDiscriminator)
+				if err != nil || len(co) < count {
+					return d2Pair{}, nil
+				}
+				ce, err := emulation.ChipsFromReception(recE, emulation.SourceDiscriminator)
+				if err != nil || len(ce) < count {
+					return d2Pair{}, nil
+				}
+				vo, err := v.det.Analyze(co[:count])
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				ve, err := v.det.Analyze(ce[:count])
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				return d2Pair{o: vo.DistanceSquared, e: ve.DistanceSquared, ok: true}, nil
+			})
 		if err != nil {
 			return nil, err
 		}
 		var d2o, d2e []float64
-		for trial := 0; trial < trials; trial++ {
-			recO, err := rx.Receive(ch.Apply(link.Original))
-			if err != nil {
+		for _, p := range pairs {
+			if !p.ok {
 				continue
 			}
-			recE, err := rx.Receive(ch.Apply(link.Emulated))
-			if err != nil {
-				continue
-			}
-			co, err := emulation.ChipsFromReception(recO, emulation.SourceDiscriminator)
-			if err != nil || len(co) < count {
-				continue
-			}
-			ce, err := emulation.ChipsFromReception(recE, emulation.SourceDiscriminator)
-			if err != nil || len(ce) < count {
-				continue
-			}
-			vo, err := det.Analyze(co[:count])
-			if err != nil {
-				continue
-			}
-			ve, err := det.Analyze(ce[:count])
-			if err != nil {
-				continue
-			}
-			d2o = append(d2o, vo.DistanceSquared)
-			d2e = append(d2e, ve.DistanceSquared)
+			d2o = append(d2o, p.o)
+			d2e = append(d2e, p.e)
 		}
 		so, err := emulation.NewSummarizeD2(d2o)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -91,28 +92,48 @@ func AdaptiveAccuracy(seed int64, snrsDB []float64, train, test int) (*AdaptiveA
 		return nil, err
 	}
 
-	collect := func(salt int64, n int) (recsA, recsE [][]*zigbee.Reception, err error) {
+	type recPair struct {
+		orig, emul *zigbee.Reception // nil when that reception failed
+	}
+	collect := func(region, n int) (recsA, recsE [][]*zigbee.Reception, err error) {
 		recsA = make([][]*zigbee.Reception, len(snrsDB))
 		recsE = make([][]*zigbee.Reception, len(snrsDB))
 		for i, snr := range snrsDB {
-			rng := rngFor(seed, salt+int64(i))
-			ch, chErr := channel.NewAWGN(snr, rng)
-			if chErr != nil {
-				return nil, nil, chErr
+			snr := snr
+			pairs, mErr := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(region, i)}, n,
+				func() (*zigbee.Receiver, error) {
+					return zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: zigbee.HardThreshold, SyncThreshold: 0.3})
+				},
+				func(t runner.Trial, rx *zigbee.Receiver) (recPair, error) {
+					ch, chErr := channel.NewAWGN(snr, t.RNG)
+					if chErr != nil {
+						return recPair{}, chErr
+					}
+					var p recPair
+					if rec, rErr := rx.Receive(ch.Apply(link.Original)); rErr == nil {
+						p.orig = rec
+					}
+					if rec, rErr := rx.Receive(ch.Apply(link.Emulated)); rErr == nil {
+						p.emul = rec
+					}
+					return p, nil
+				})
+			if mErr != nil {
+				return nil, nil, mErr
 			}
-			for k := 0; k < n; k++ {
-				if rec, rErr := v.rx.Receive(ch.Apply(link.Original)); rErr == nil {
-					recsA[i] = append(recsA[i], rec)
+			for _, p := range pairs {
+				if p.orig != nil {
+					recsA[i] = append(recsA[i], p.orig)
 				}
-				if rec, rErr := v.rx.Receive(ch.Apply(link.Emulated)); rErr == nil {
-					recsE[i] = append(recsE[i], rec)
+				if p.emul != nil {
+					recsE[i] = append(recsE[i], p.emul)
 				}
 			}
 		}
 		return recsA, recsE, nil
 	}
 
-	trainA, trainE, err := collect(1200, train)
+	trainA, trainE, err := collect(regionAdaptiveTrain, train)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +157,7 @@ func AdaptiveAccuracy(seed int64, snrsDB []float64, train, test int) (*AdaptiveA
 		return nil, err
 	}
 
-	testA, testE, err := collect(1300, test)
+	testA, testE, err := collect(regionAdaptiveTest, test)
 	if err != nil {
 		return nil, err
 	}

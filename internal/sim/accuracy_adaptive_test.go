@@ -6,7 +6,7 @@ import (
 )
 
 func TestAdaptiveAccuracyBeatsOrMatchesFixed(t *testing.T) {
-	res, err := AdaptiveAccuracy(14, []float64{9, 13, 17}, 10, 10)
+	res, err := AdaptiveAccuracy(14, []float64{9, 13, 17}, 20, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

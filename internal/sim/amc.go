@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"hideseek/internal/hos"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -74,31 +75,41 @@ func AMC(seed int64, snrsDB []float64, samplesPer, trials int) (*AMCResult, erro
 	for i, c := range amcClasses {
 		labels[i] = c.table
 	}
+	type amcTrial struct {
+		want, got string
+	}
 	res := &AMCResult{SNRsDB: snrsDB, SamplesPer: samplesPer}
 	for si, snr := range snrsDB {
-		rng := rngFor(seed, int64(900+si))
 		m, err := hos.NewConfusionMatrix(labels)
 		if err != nil {
 			return nil, err
 		}
 		sigma := math.Sqrt(math.Pow(10, -snr/10) / 2)
-		for _, c := range amcClasses {
-			for trial := 0; trial < trials; trial++ {
-				d, err := drawSymbols(c.gen, samplesPer, rng)
+		// Flatten classes × trials into one index space (class-major).
+		outcomes, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionAMC, si)}, len(amcClasses)*trials,
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(t runner.Trial, _ struct{}) (amcTrial, error) {
+				c := amcClasses[t.Index/trials]
+				d, err := drawSymbols(c.gen, samplesPer, t.RNG)
 				if err != nil {
-					return nil, err
+					return amcTrial{}, err
 				}
 				for i := range d {
-					d[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+					d[i] += complex(t.RNG.NormFloat64()*sigma, t.RNG.NormFloat64()*sigma)
 				}
 				est, err := hos.Estimate(d)
 				if err != nil {
-					return nil, err
+					return amcTrial{}, err
 				}
 				got := hos.HierarchicalClassify(est, false)
-				if err := m.Record(c.table, got.Name); err != nil {
-					return nil, err
-				}
+				return amcTrial{want: c.table, got: got.Name}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range outcomes {
+			if err := m.Record(o.want, o.got); err != nil {
+				return nil, err
 			}
 		}
 		res.Matrices = append(res.Matrices, m)
@@ -146,20 +157,31 @@ func CSMAScenario(seed int64, dutyCycles []float64, trials int) (*CSMAScenarioRe
 		if duty < 0 || duty > 1 {
 			return nil, fmt.Errorf("sim: duty cycle %v outside [0,1]", duty)
 		}
-		rng := rngFor(seed, int64(1000+di))
 		const periodUs = 5000.0
 		medium := zigbee.PeriodicTraffic{PeriodUs: periodUs, BusyUs: duty * periodUs}
+		type csmaTrial struct {
+			success bool
+			delayUs float64
+		}
+		outcomes, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionCSMA, di)}, trials,
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(t runner.Trial, _ struct{}) (csmaTrial, error) {
+				r, err := zigbee.PerformCSMA(zigbee.CSMAConfig{}, medium, float64(t.Index)*1711, t.RNG)
+				if err != nil {
+					return csmaTrial{}, err
+				}
+				return csmaTrial{success: r.Success, delayUs: r.DelayUs}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		wins := 0
 		var delay float64
-		for trial := 0; trial < trials; trial++ {
-			r, err := zigbee.PerformCSMA(zigbee.CSMAConfig{}, medium, float64(trial)*1711, rng)
-			if err != nil {
-				return nil, err
-			}
-			if r.Success {
+		for _, o := range outcomes {
+			if o.success {
 				wins++
 			}
-			delay += r.DelayUs
+			delay += o.delayUs
 		}
 		res.SuccessRate = append(res.SuccessRate, float64(wins)/float64(trials))
 		res.MeanDelayUs = append(res.MeanDelayUs, delay/float64(trials))

@@ -6,6 +6,7 @@ import (
 	"hideseek/internal/channel"
 	"hideseek/internal/dsp"
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/wifi"
 	"hideseek/internal/zigbee"
 )
@@ -109,23 +110,27 @@ func Table2(seed int64, snrsDB []float64, trials int) (*Table2Result, error) {
 		return nil, err
 	}
 	link := links[0]
-	// The paper's receiving test runs on the USRP receiver, whose GNU Radio
-	// chain decodes from the FM discriminator (Sec. V-B).
-	v, err := newVictim(zigbee.FMDiscriminator, emulation.DefenseConfig{})
-	if err != nil {
-		return nil, err
-	}
 	res := &Table2Result{SNRsDB: snrsDB, Trials: trials}
 	for i, snr := range snrsDB {
-		rng := rngFor(seed, int64(i))
-		ch, err := channel.NewAWGN(snr, rng)
+		snr := snr
+		// The paper's receiving test runs on the USRP receiver, whose GNU
+		// Radio chain decodes from the FM discriminator (Sec. V-B).
+		oks, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionTable2, i)}, trials,
+			func() (*victim, error) { return newVictim(zigbee.FMDiscriminator, emulation.DefenseConfig{}) },
+			func(t runner.Trial, v *victim) (bool, error) {
+				ch, err := channel.NewAWGN(snr, t.RNG)
+				if err != nil {
+					return false, err
+				}
+				rec, err := v.rx.Receive(ch.Apply(link.Emulated))
+				return err == nil && payloadMatches(rec, link.Payload), nil
+			})
 		if err != nil {
 			return nil, err
 		}
 		ok := 0
-		for trial := 0; trial < trials; trial++ {
-			rec, err := v.rx.Receive(ch.Apply(link.Emulated))
-			if err == nil && payloadMatches(rec, link.Payload) {
+		for _, hit := range oks {
+			if hit {
 				ok++
 			}
 		}
@@ -240,8 +245,30 @@ func Fig7(numPackets int) (*Fig7Result, error) {
 		return nil, err
 	}
 	// Chip distances are measured at the USRP (FM discriminator) receiver,
-	// matching the paper's Fig. 7 setup.
-	v, err := newVictim(zigbee.FMDiscriminator, emulation.DefenseConfig{})
+	// matching the paper's Fig. 7 setup. The noiseless links are independent,
+	// so decode them across the pool (one receiver per worker).
+	type linkDists struct{ orig, emul []int }
+	dists, err := runner.Map(pool(), runner.Sweep{}, len(links),
+		func() (*victim, error) { return newVictim(zigbee.FMDiscriminator, emulation.DefenseConfig{}) },
+		func(t runner.Trial, v *victim) (linkDists, error) {
+			link := links[t.Index]
+			recO, err := v.rx.Receive(link.Original)
+			if err != nil {
+				return linkDists{}, fmt.Errorf("sim: fig7 original: %w", err)
+			}
+			recE, err := v.rx.Receive(link.Emulated)
+			if err != nil {
+				return linkDists{}, fmt.Errorf("sim: fig7 emulated: %w", err)
+			}
+			var d linkDists
+			for _, r := range recO.Results {
+				d.orig = append(d.orig, r.Distance)
+			}
+			for _, r := range recE.Results {
+				d.emul = append(d.emul, r.Distance)
+			}
+			return d, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -249,21 +276,13 @@ func Fig7(numPackets int) (*Fig7Result, error) {
 		Original: &HammingHistogram{Counts: map[int]int{}},
 		Emulated: &HammingHistogram{Counts: map[int]int{}},
 	}
-	for _, link := range links {
-		recO, err := v.rx.Receive(link.Original)
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig7 original: %w", err)
-		}
-		recE, err := v.rx.Receive(link.Emulated)
-		if err != nil {
-			return nil, fmt.Errorf("sim: fig7 emulated: %w", err)
-		}
-		for _, r := range recO.Results {
-			res.Original.Counts[r.Distance]++
+	for _, d := range dists {
+		for _, dist := range d.orig {
+			res.Original.Counts[dist]++
 			res.Original.Total++
 		}
-		for _, r := range recE.Results {
-			res.Emulated.Counts[r.Distance]++
+		for _, dist := range d.emul {
+			res.Emulated.Counts[dist]++
 			res.Emulated.Total++
 		}
 	}

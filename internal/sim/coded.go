@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/wifi"
 	"hideseek/internal/zigbee"
 )
@@ -64,15 +65,35 @@ func CodedHitRates(payload []byte) (*CodedHitRatesResult, error) {
 	out.HitRate = append(out.HitRate, coded.TargetHitRate)
 	out.VictimOK = append(out.VictimOK, decodes(coded.AtVictim4M))
 
-	// Full frames at each QAM-bearing rate.
-	for _, r := range []wifi.Rate{wifi.Rate12, wifi.Rate24, wifi.Rate36, wifi.Rate48, wifi.Rate54} {
-		ff, err := emulation.FullFrameEmulation(res, r, 0x5D)
-		if err != nil {
-			return nil, fmt.Errorf("sim: full frame at rate %d: %w", r, err)
-		}
+	// Full frames at each QAM-bearing rate — independent, so fan them out.
+	rates := []wifi.Rate{wifi.Rate12, wifi.Rate24, wifi.Rate36, wifi.Rate48, wifi.Rate54}
+	type rateScore struct {
+		hitRate  float64
+		victimOK bool
+	}
+	scores, err := runner.Map(pool(), runner.Sweep{}, len(rates),
+		func() (*zigbee.Receiver, error) {
+			return zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+		},
+		func(t runner.Trial, wrx *zigbee.Receiver) (rateScore, error) {
+			r := rates[t.Index]
+			ff, err := emulation.FullFrameEmulation(res, r, 0x5D)
+			if err != nil {
+				return rateScore{}, fmt.Errorf("sim: full frame at rate %d: %w", r, err)
+			}
+			rec, err := wrx.Receive(ff.OnAirAtVictim4M)
+			return rateScore{
+				hitRate:  ff.TargetHitRate,
+				victimOK: err == nil && payloadMatches(rec, payload),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rates {
 		out.Models = append(out.Models, fmt.Sprintf("full frame @ %d Mb/s", int(r)))
-		out.HitRate = append(out.HitRate, ff.TargetHitRate)
-		out.VictimOK = append(out.VictimOK, decodes(ff.OnAirAtVictim4M))
+		out.HitRate = append(out.HitRate, scores[i].hitRate)
+		out.VictimOK = append(out.VictimOK, scores[i].victimOK)
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
 	"hideseek/internal/hos"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -177,50 +178,65 @@ func CumulantSweep(seed int64, snrsDB []float64, waveforms int) (*CumulantSweepR
 		return nil, err
 	}
 	link := links[0]
-	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
-	if err != nil {
-		return nil, err
+	type cumTrial struct {
+		oC42, eC42, oC40, eC40 float64
+		ok                     bool
 	}
 	res := &CumulantSweepResult{SNRsDB: snrsDB, Waveforms: waveforms}
 	for i, snr := range snrsDB {
-		rng := rngFor(seed, int64(100+i))
-		ch, err := channel.NewAWGN(snr, rng)
+		snr := snr
+		trialsOut, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionCumulant, i)}, waveforms,
+			func() (*victim, error) { return newVictim(zigbee.HardThreshold, emulation.DefenseConfig{}) },
+			func(t runner.Trial, v *victim) (cumTrial, error) {
+				ch, err := channel.NewAWGN(snr, t.RNG)
+				if err != nil {
+					return cumTrial{}, err
+				}
+				recO, err := v.rx.Receive(ch.Apply(link.Original))
+				if err != nil {
+					return cumTrial{}, nil
+				}
+				recE, err := v.rx.Receive(ch.Apply(link.Emulated))
+				if err != nil {
+					return cumTrial{}, nil
+				}
+				vo, err := v.det.AnalyzeReception(recO)
+				if err != nil {
+					return cumTrial{}, nil
+				}
+				ve, err := v.det.AnalyzeReception(recE)
+				if err != nil {
+					return cumTrial{}, nil
+				}
+				return cumTrial{
+					oC42: vo.Cumulants.C42, eC42: ve.Cumulants.C42,
+					oC40: real(vo.Cumulants.C40), eC40: real(ve.Cumulants.C40),
+					ok: true,
+				}, nil
+			})
 		if err != nil {
 			return nil, err
 		}
-		var oC42, eC42, oC40, eC40 float64
+		var agg cumTrial
 		count := 0
-		for w := 0; w < waveforms; w++ {
-			recO, err := v.rx.Receive(ch.Apply(link.Original))
-			if err != nil {
+		for _, tr := range trialsOut {
+			if !tr.ok {
 				continue
 			}
-			recE, err := v.rx.Receive(ch.Apply(link.Emulated))
-			if err != nil {
-				continue
-			}
-			vo, err := v.det.AnalyzeReception(recO)
-			if err != nil {
-				continue
-			}
-			ve, err := v.det.AnalyzeReception(recE)
-			if err != nil {
-				continue
-			}
-			oC42 += vo.Cumulants.C42
-			eC42 += ve.Cumulants.C42
-			oC40 += real(vo.Cumulants.C40)
-			eC40 += real(ve.Cumulants.C40)
+			agg.oC42 += tr.oC42
+			agg.eC42 += tr.eC42
+			agg.oC40 += tr.oC40
+			agg.eC40 += tr.eC40
 			count++
 		}
 		if count == 0 {
 			return nil, fmt.Errorf("sim: no successful receptions at %g dB", snr)
 		}
 		n := float64(count)
-		res.OriginalC42 = append(res.OriginalC42, oC42/n)
-		res.EmulatedC42 = append(res.EmulatedC42, eC42/n)
-		res.OriginalC40 = append(res.OriginalC40, oC40/n)
-		res.EmulatedC40 = append(res.EmulatedC40, eC40/n)
+		res.OriginalC42 = append(res.OriginalC42, agg.oC42/n)
+		res.EmulatedC42 = append(res.EmulatedC42, agg.eC42/n)
+		res.OriginalC40 = append(res.OriginalC40, agg.oC40/n)
+		res.EmulatedC40 = append(res.EmulatedC40, agg.eC40/n)
 	}
 	return res, nil
 }
@@ -282,37 +298,48 @@ func distanceSamples(seed int64, snrsDB []float64, samples int) (orig, emul [][]
 		return nil, nil, err
 	}
 	link := links[0]
-	v, err := newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
-	if err != nil {
-		return nil, nil, err
+	type d2Pair struct {
+		o, e float64
+		ok   bool
 	}
 	orig = make([][]float64, len(snrsDB))
 	emul = make([][]float64, len(snrsDB))
 	for i, snr := range snrsDB {
-		rng := rngFor(seed, int64(200+i))
-		ch, chErr := channel.NewAWGN(snr, rng)
-		if chErr != nil {
-			return nil, nil, chErr
+		snr := snr
+		pairs, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionDistance, i)}, samples,
+			func() (*victim, error) { return newVictim(zigbee.HardThreshold, emulation.DefenseConfig{}) },
+			func(t runner.Trial, v *victim) (d2Pair, error) {
+				ch, err := channel.NewAWGN(snr, t.RNG)
+				if err != nil {
+					return d2Pair{}, err
+				}
+				recO, err := v.rx.Receive(ch.Apply(link.Original))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				recE, err := v.rx.Receive(ch.Apply(link.Emulated))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				vo, err := v.det.AnalyzeReception(recO)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				ve, err := v.det.AnalyzeReception(recE)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				return d2Pair{o: vo.DistanceSquared, e: ve.DistanceSquared, ok: true}, nil
+			})
+		if err != nil {
+			return nil, nil, err
 		}
-		for s := 0; s < samples; s++ {
-			recO, rErr := v.rx.Receive(ch.Apply(link.Original))
-			if rErr != nil {
+		for _, p := range pairs {
+			if !p.ok {
 				continue
 			}
-			recE, rErr := v.rx.Receive(ch.Apply(link.Emulated))
-			if rErr != nil {
-				continue
-			}
-			vo, aErr := v.det.AnalyzeReception(recO)
-			if aErr != nil {
-				continue
-			}
-			ve, aErr := v.det.AnalyzeReception(recE)
-			if aErr != nil {
-				continue
-			}
-			orig[i] = append(orig[i], vo.DistanceSquared)
-			emul[i] = append(emul[i], ve.DistanceSquared)
+			orig[i] = append(orig[i], p.o)
+			emul[i] = append(emul[i], p.e)
 		}
 		if len(orig[i]) == 0 {
 			return nil, nil, fmt.Errorf("sim: no successful receptions at %g dB", snr)

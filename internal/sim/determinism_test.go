@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"hideseek/internal/runner"
+)
+
+// TestAccuracySweepDeterministicAcrossWorkerCounts is the tentpole
+// guarantee: a full driver — reception, detection, aggregation, and
+// rendering — must produce byte-identical output at any pool width.
+func TestAccuracySweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := runner.DefaultWorkers()
+	defer runner.SetDefaultWorkers(prev)
+
+	render := func(workers int) string {
+		runner.SetDefaultWorkers(workers)
+		res, err := AccuracySweep(7, []float64{11, 17}, 30)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render().Markdown()
+	}
+
+	serial := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != serial {
+			t.Errorf("workers=%d table differs from serial run:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+// TestTable2DeterministicAcrossWorkerCounts covers the attack path too —
+// cheap at low trial counts, and a second, independent driver shape.
+func TestTable2DeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := runner.DefaultWorkers()
+	defer runner.SetDefaultWorkers(prev)
+
+	render := func(workers int) string {
+		runner.SetDefaultWorkers(workers)
+		res, err := Table2(3, []float64{9, 15}, 20)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render().Markdown()
+	}
+
+	serial := render(1)
+	if got := render(8); got != serial {
+		t.Errorf("workers=8 table differs from serial run:\n--- serial ---\n%s\n--- workers=8 ---\n%s", serial, got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -106,63 +107,67 @@ func Fig14(seed int64, radio RadioConfig, budget DistanceLinkBudget, distances [
 	if err != nil {
 		return nil, err
 	}
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: radio.Mode, SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
+	type packetScore struct {
+		perO, serO, perE, serE, rssi float64
 	}
 	res := &Fig14Result{Radio: radio, Distances: distances, Packets: packets}
 	for di, d := range distances {
-		rng := rngFor(seed, int64(300+di))
-		var (
-			perO, serO, perE, serE float64
-			rssiSum                float64
-			symTotal               int
-		)
-		for p := 0; p < packets; p++ {
-			link := links[p%len(links)]
-			snr, err := budget.snrAt(d, radio, rng)
-			if err != nil {
-				return nil, err
-			}
-			// Real environment: path-loss attenuation, slow LoS-dominated
-			// fading and phase drift, then the fixed receiver noise floor.
-			gain := channel.NewGain(complex(budget.amplitudeAt(snr), 0))
-			mp, err := channel.NewRicianMultipath(2, 0.25, 8, rng)
-			if err != nil {
-				return nil, err
-			}
-			doppler, err := channel.NewDopplerPhaseNoise(1e-4, rng)
-			if err != nil {
-				return nil, err
-			}
-			awgn, err := channel.NewAWGN(budget.SNRAt1mDB, rng)
-			if err != nil {
-				return nil, err
-			}
-			ch, err := channel.NewChain(gain, mp, doppler, awgn)
-			if err != nil {
-				return nil, err
-			}
+		d := d
+		scores, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionFig14, di)}, packets,
+			func() (*zigbee.Receiver, error) {
+				return zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: radio.Mode, SyncThreshold: 0.3})
+			},
+			func(t runner.Trial, rx *zigbee.Receiver) (packetScore, error) {
+				link := links[t.Index%len(links)]
+				snr, err := budget.snrAt(d, radio, t.RNG)
+				if err != nil {
+					return packetScore{}, err
+				}
+				// Real environment: path-loss attenuation, slow LoS-dominated
+				// fading and phase drift, then the fixed receiver noise floor.
+				gain := channel.NewGain(complex(budget.amplitudeAt(snr), 0))
+				mp, err := channel.NewRicianMultipath(2, 0.25, 8, t.RNG)
+				if err != nil {
+					return packetScore{}, err
+				}
+				doppler, err := channel.NewDopplerPhaseNoise(1e-4, t.RNG)
+				if err != nil {
+					return packetScore{}, err
+				}
+				awgn, err := channel.NewAWGN(budget.SNRAt1mDB, t.RNG)
+				if err != nil {
+					return packetScore{}, err
+				}
+				ch, err := channel.NewChain(gain, mp, doppler, awgn)
+				if err != nil {
+					return packetScore{}, err
+				}
 
-			rxO := ch.Apply(link.Original)
-			rxE := ch.Apply(link.Emulated)
-			rssiSum += channel.RSSI(rxO)
-
-			pe, se, st := scoreReception(rx, rxO, link.Payload)
-			perO += pe
-			serO += se
-			symTotal += st
-			pe, se, _ = scoreReception(rx, rxE, link.Payload)
-			perE += pe
-			serE += se
+				rxO := ch.Apply(link.Original)
+				rxE := ch.Apply(link.Emulated)
+				var s packetScore
+				s.rssi = channel.RSSI(rxO)
+				s.perO, s.serO, _ = scoreReception(rx, rxO, link.Payload)
+				s.perE, s.serE, _ = scoreReception(rx, rxE, link.Payload)
+				return s, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		var agg packetScore
+		for _, s := range scores {
+			agg.perO += s.perO
+			agg.serO += s.serO
+			agg.perE += s.perE
+			agg.serE += s.serE
+			agg.rssi += s.rssi
 		}
 		n := float64(packets)
-		res.OriginalPER = append(res.OriginalPER, perO/n)
-		res.EmulatedPER = append(res.EmulatedPER, perE/n)
-		res.OriginalSER = append(res.OriginalSER, serO/n)
-		res.EmulatedSER = append(res.EmulatedSER, serE/n)
-		res.MeanRSSIdB = append(res.MeanRSSIdB, rssiSum/n)
-		_ = symTotal
+		res.OriginalPER = append(res.OriginalPER, agg.perO/n)
+		res.EmulatedPER = append(res.EmulatedPER, agg.perE/n)
+		res.OriginalSER = append(res.OriginalSER, agg.serO/n)
+		res.EmulatedSER = append(res.EmulatedSER, agg.serE/n)
+		res.MeanRSSIdB = append(res.MeanRSSIdB, agg.rssi/n)
 	}
 	return res, nil
 }
@@ -244,47 +249,68 @@ func Table5(seed int64, budget DistanceLinkBudget, distances []float64, samples 
 	// the despread mode only matters for Fig. 14's decode comparison; the
 	// defense taps the discriminator chips regardless.
 	radio := USRPReceiver()
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: zigbee.HardThreshold, SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
+	type table5Scratch struct {
+		rx  *zigbee.Receiver
+		det *emulation.Detector
 	}
-	det, err := emulation.NewDetector(emulation.DefenseConfig{RemoveMean: true, UseAbsC40: true})
-	if err != nil {
-		return nil, err
+	type d2Pair struct {
+		o, e float64
+		ok   bool
 	}
 	res := &Table5Result{Distances: distances, Samples: samples}
 	var maxO, minE = 0.0, math.Inf(1)
 	for di, d := range distances {
-		rng := rngFor(seed, int64(400+di))
+		d := d
+		pairs, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionTable5, di)}, samples,
+			func() (*table5Scratch, error) {
+				rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{Mode: zigbee.HardThreshold, SyncThreshold: 0.3})
+				if err != nil {
+					return nil, err
+				}
+				det, err := emulation.NewDetector(emulation.DefenseConfig{RemoveMean: true, UseAbsC40: true})
+				if err != nil {
+					return nil, err
+				}
+				return &table5Scratch{rx: rx, det: det}, nil
+			},
+			func(t runner.Trial, sc *table5Scratch) (d2Pair, error) {
+				snr, err := budget.snrAt(d, radio, t.RNG)
+				if err != nil {
+					return d2Pair{}, err
+				}
+				ch, err := realChannelAt(t.RNG, snr)
+				if err != nil {
+					return d2Pair{}, err
+				}
+				recO, err := sc.rx.Receive(ch.Apply(link.Original))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				recE, err := sc.rx.Receive(ch.Apply(link.Emulated))
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				vo, err := sc.det.AnalyzeReception(recO)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				ve, err := sc.det.AnalyzeReception(recE)
+				if err != nil {
+					return d2Pair{}, nil
+				}
+				return d2Pair{o: vo.DistanceSquared, e: ve.DistanceSquared, ok: true}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		var sumO, sumE float64
 		count := 0
-		for s := 0; s < samples; s++ {
-			snr, err := budget.snrAt(d, radio, rng)
-			if err != nil {
-				return nil, err
-			}
-			ch, err := realChannelAt(rng, snr)
-			if err != nil {
-				return nil, err
-			}
-			recO, err := rx.Receive(ch.Apply(link.Original))
-			if err != nil {
+		for _, p := range pairs {
+			if !p.ok {
 				continue
 			}
-			recE, err := rx.Receive(ch.Apply(link.Emulated))
-			if err != nil {
-				continue
-			}
-			vo, err := det.AnalyzeReception(recO)
-			if err != nil {
-				continue
-			}
-			ve, err := det.AnalyzeReception(recE)
-			if err != nil {
-				continue
-			}
-			sumO += vo.DistanceSquared
-			sumE += ve.DistanceSquared
+			sumO += p.o
+			sumE += p.e
 			count++
 		}
 		if count == 0 {

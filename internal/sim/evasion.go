@@ -5,6 +5,7 @@ import (
 
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -46,13 +47,15 @@ func Evasion(seed int64, snrDB float64, trials int) (*EvasionResult, error) {
 		{name: "no quantization (idealized)", cfg: emulation.AttackConfig{SkipQuantization: true}},
 		{name: "16-QAM attacker", cfg: emulation.AttackConfig{QAMOrder: 16}},
 	}
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
-	if err != nil {
-		return nil, err
-	}
+	// Threshold() is pure config — one detector outside the pool answers it.
 	det, err := emulation.NewDetector(emulation.DefenseConfig{})
 	if err != nil {
 		return nil, err
+	}
+	type evasionTrial struct {
+		d2      float64
+		hasD2   bool
+		decoded bool
 	}
 	res := &EvasionResult{SNRdB: snrDB, Trials: trials}
 	for vi, v := range variants {
@@ -64,27 +67,41 @@ func Evasion(seed int64, snrDB float64, trials int) (*EvasionResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rng := rngFor(seed, int64(800+vi))
-		ch, err := channel.NewAWGN(snrDB, rng)
+		outcomes, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionEvasion, vi)}, trials,
+			func() (*victim, error) {
+				return newVictim(zigbee.HardThreshold, emulation.DefenseConfig{})
+			},
+			func(t runner.Trial, w *victim) (evasionTrial, error) {
+				ch, err := channel.NewAWGN(snrDB, t.RNG)
+				if err != nil {
+					return evasionTrial{}, err
+				}
+				rec, err := w.rx.Receive(ch.Apply(er.Emulated4M))
+				if err != nil {
+					return evasionTrial{}, nil
+				}
+				out := evasionTrial{decoded: payloadMatches(rec, payloads[0])}
+				verdict, err := w.det.AnalyzeReception(rec)
+				if err != nil {
+					return out, nil
+				}
+				out.d2 = verdict.DistanceSquared
+				out.hasD2 = true
+				return out, nil
+			})
 		if err != nil {
 			return nil, err
 		}
 		var d2Sum float64
 		d2Count, decoded := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			rec, err := rx.Receive(ch.Apply(er.Emulated4M))
-			if err != nil {
-				continue
-			}
-			if payloadMatches(rec, payloads[0]) {
+		for _, o := range outcomes {
+			if o.decoded {
 				decoded++
 			}
-			verdict, err := det.AnalyzeReception(rec)
-			if err != nil {
-				continue
+			if o.hasD2 {
+				d2Sum += o.d2
+				d2Count++
 			}
-			d2Sum += verdict.DistanceSquared
-			d2Count++
 		}
 		if d2Count == 0 {
 			return nil, fmt.Errorf("sim: variant %q never produced a defensible reception", v.name)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hideseek/internal/channel"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
@@ -130,24 +131,52 @@ func SessionReliability(seed int64, snrsDB []float64, commands int) (*SessionRel
 	if commands < 1 {
 		return nil, fmt.Errorf("sim: commands %d < 1", commands)
 	}
+	type sessionKit struct {
+		tx       *zigbee.Transmitter
+		rxDevice *zigbee.Receiver
+		rxGate   *zigbee.Receiver
+	}
 	res := &SessionReliabilityResult{SNRsDB: snrsDB, Commands: commands}
 	for i, snr := range snrsDB {
-		rng := rngFor(seed, int64(1100+i))
-		awgn, err := channel.NewAWGN(snr, rng)
-		if err != nil {
-			return nil, err
-		}
-		session, err := NewLinkSession(awgn, 0x1234, 0x0001, 0xB01B)
+		snr := snr
+		// One acknowledged command per trial, each over a private AWGN
+		// realization; the radio hardware (tx + both receivers) is per-worker.
+		outcomes, err := runner.Map(pool(), runner.Sweep{Seed: seed, Base: sweepBase(regionSession, i)}, commands,
+			func() (*sessionKit, error) {
+				rxD, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+				if err != nil {
+					return nil, err
+				}
+				rxG, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
+				if err != nil {
+					return nil, err
+				}
+				return &sessionKit{tx: zigbee.NewTransmitter(), rxDevice: rxD, rxGate: rxG}, nil
+			},
+			func(t runner.Trial, kit *sessionKit) (*ExchangeResult, error) {
+				awgn, err := channel.NewAWGN(snr, t.RNG)
+				if err != nil {
+					return nil, err
+				}
+				session := &LinkSession{
+					Channel:     awgn,
+					MaxRetries:  3,
+					gatewayAddr: 0x0001,
+					deviceAddr:  0xB01B,
+					pan:         0x1234,
+					seq:         byte(t.Index),
+					tx:          kit.tx,
+					rxDevice:    kit.rxDevice,
+					rxGate:      kit.rxGate,
+				}
+				return session.SendCommand([]byte(fmt.Sprintf("%05d", t.Index)))
+			})
 		if err != nil {
 			return nil, err
 		}
 		acked := 0
 		var attempts float64
-		for c := 0; c < commands; c++ {
-			r, err := session.SendCommand([]byte(fmt.Sprintf("%05d", c)))
-			if err != nil {
-				return nil, err
-			}
+		for _, r := range outcomes {
 			if r.Acked {
 				acked++
 			}

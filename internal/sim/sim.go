@@ -4,6 +4,12 @@
 // (Sec. VII). Every driver takes an explicit seed and returns a structured
 // result with a markdown renderer, so cmd/experiments and the benchmarks
 // share one implementation.
+//
+// Execution model: every trial fan-out routes through internal/runner.
+// Each sweep point owns a disjoint salt region (see sweepBase), each trial
+// inside it draws a private RNG from (seed, base+trial), and results are
+// collected in trial-index order — so rendered tables are byte-identical
+// at any worker count.
 package sim
 
 import (
@@ -11,21 +17,61 @@ import (
 	"math/rand"
 
 	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
 	"hideseek/internal/zigbee"
 )
 
+// maxPayloads bounds the APP workload so every payload formats to exactly
+// payloadWidth digits: fmt.Sprintf("%05d", i) would silently widen to six
+// characters at i = 100000.
+const (
+	payloadWidth = 5
+	maxPayloads  = 100000 // indices 0..99999 all format to payloadWidth digits
+)
+
 // Payloads returns the paper's APP-layer workload: the texts "00000"
-// through "000<n-1>" (Sec. VII-C-1 uses 00000–00099).
+// through "000<n-1>" (Sec. VII-C-1 uses 00000–00099). Every payload is
+// exactly payloadWidth bytes.
 func Payloads(n int) ([][]byte, error) {
-	if n < 1 || n > 100000 {
-		return nil, fmt.Errorf("sim: payload count %d outside [1, 100000]", n)
+	if n < 1 || n > maxPayloads {
+		return nil, fmt.Errorf("sim: payload count %d outside [1, %d]", n, maxPayloads)
 	}
 	out := make([][]byte, n)
 	for i := range out {
-		out[i] = []byte(fmt.Sprintf("%05d", i))
+		out[i] = []byte(fmt.Sprintf("%0*d", payloadWidth, i))
 	}
 	return out, nil
 }
+
+// Salt regions: one per trial fan-out. sweepBase gives every (region,
+// sweep point) pair a disjoint 2^32-trial salt block, so no two trials
+// anywhere in the experiment suite share an RNG stream.
+const (
+	regionTable2 = iota
+	regionCumulant
+	regionDistance
+	regionFig14
+	regionTable5
+	regionAblSubcarriers
+	regionAblDefenseSource
+	regionAblSampleCount
+	regionEvasion
+	regionAMC
+	regionCSMA
+	regionSession
+	regionAdaptiveTrain
+	regionAdaptiveTest
+	regionFig7
+)
+
+// sweepBase returns the salt block for one sweep point of one region.
+func sweepBase(region, point int) int64 {
+	return (int64(region)*4096 + int64(point)) << 32
+}
+
+// pool returns the worker pool every driver fans out on: sized by the
+// process default (the -workers flag via runner.SetDefaultWorkers).
+func pool() runner.Pool { return runner.NewPool(0) }
 
 // Link bundles one pre-built transmission: the authentic ZigBee waveform
 // and its emulated counterpart, both at the victim's 4 MS/s clock.
@@ -36,30 +82,42 @@ type Link struct {
 	Result   *emulation.Result
 }
 
+// linkScratch is the per-worker attacker kit for BuildLinks.
+type linkScratch struct {
+	tx *zigbee.Transmitter
+	em *emulation.Emulator
+}
+
 // BuildLinks transmits every payload on the ZigBee PHY and runs the attack
-// on each observation.
+// on each observation, fanning the payloads across the worker pool.
 func BuildLinks(payloads [][]byte, attack emulation.AttackConfig) ([]*Link, error) {
-	tx := zigbee.NewTransmitter()
-	em, err := emulation.NewEmulator(attack)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	links := make([]*Link, 0, len(payloads))
-	for i, p := range payloads {
-		obs, err := tx.TransmitPSDU(p)
-		if err != nil {
-			return nil, fmt.Errorf("sim: payload %d: %w", i, err)
-		}
-		res, err := em.Emulate(obs)
-		if err != nil {
-			return nil, fmt.Errorf("sim: payload %d: %w", i, err)
-		}
-		links = append(links, &Link{
-			Payload:  p,
-			Original: padTail(obs, 8),
-			Emulated: padTail(res.Emulated4M, 8),
-			Result:   res,
+	links, err := runner.Map(pool(), runner.Sweep{}, len(payloads),
+		func() (*linkScratch, error) {
+			em, err := emulation.NewEmulator(attack)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			return &linkScratch{tx: zigbee.NewTransmitter(), em: em}, nil
+		},
+		func(t runner.Trial, s *linkScratch) (*Link, error) {
+			p := payloads[t.Index]
+			obs, err := s.tx.TransmitPSDU(p)
+			if err != nil {
+				return nil, fmt.Errorf("sim: payload %d: %w", t.Index, err)
+			}
+			res, err := s.em.Emulate(obs)
+			if err != nil {
+				return nil, fmt.Errorf("sim: payload %d: %w", t.Index, err)
+			}
+			return &Link{
+				Payload:  p,
+				Original: padTail(obs, 8),
+				Emulated: padTail(res.Emulated4M, 8),
+				Result:   res,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return links, nil
 }
@@ -91,9 +149,11 @@ func padTail(wave []complex128, n int) []complex128 {
 }
 
 // rngFor derives a child RNG so experiments stay reproducible even when
-// individual trials are reordered.
+// individual trials are reordered. It is the runner package's derivation;
+// single-shot drivers (Fig. 6, Fig. 8) use it directly, sweeps get the
+// same streams through runner.Map.
 func rngFor(seed int64, salt int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed*1000003 + salt))
+	return runner.RNG(seed, salt)
 }
 
 // payloadMatches reports whether a reception decoded the expected PSDU.

@@ -26,6 +26,23 @@ func TestPayloads(t *testing.T) {
 	}
 }
 
+func TestPayloadsWidthInvariant(t *testing.T) {
+	// Every payload the bound admits must format to exactly payloadWidth
+	// digits — the bound exists so "%05d" never silently widens.
+	p, err := Payloads(maxPayloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 1, 9999, 10000, maxPayloads - 1} {
+		if len(p[idx]) != payloadWidth {
+			t.Errorf("payload %d is %q (%d bytes), want %d", idx, p[idx], len(p[idx]), payloadWidth)
+		}
+	}
+	if _, err := Payloads(maxPayloads + 1); err == nil {
+		t.Errorf("accepted %d payloads — index %d would widen past %d digits", maxPayloads+1, maxPayloads, payloadWidth)
+	}
+}
+
 func TestBuildLinks(t *testing.T) {
 	p, err := Payloads(2)
 	if err != nil {

@@ -56,11 +56,26 @@ func SynthesizeSymbol(spec []complex128) ([]complex128, error) {
 	if len(spec) != NumSubcarriers {
 		return nil, fmt.Errorf("wifi: spectrum must have %d bins, got %d", NumSubcarriers, len(spec))
 	}
-	body := dsp.IFFT(spec)
-	out := make([]complex128, 0, SymbolSamples)
-	out = append(out, body[NumSubcarriers-CPLength:]...)
-	out = append(out, body...)
+	out := make([]complex128, SymbolSamples)
+	if err := SynthesizeSymbolInto(out, spec); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// SynthesizeSymbolInto is SynthesizeSymbol writing into a caller-provided
+// SymbolSamples-length buffer with zero allocations: the IFFT body lands in
+// dst[CPLength:] and the cyclic prefix is copied from its tail.
+func SynthesizeSymbolInto(dst, spec []complex128) error {
+	if len(spec) != NumSubcarriers {
+		return fmt.Errorf("wifi: spectrum must have %d bins, got %d", NumSubcarriers, len(spec))
+	}
+	if len(dst) != SymbolSamples {
+		return fmt.Errorf("wifi: symbol buffer must have %d samples, got %d", SymbolSamples, len(dst))
+	}
+	dsp.IFFTInto(dst[CPLength:], spec)
+	copy(dst[:CPLength], dst[NumSubcarriers:])
+	return nil
 }
 
 // AnalyzeSymbol inverts SynthesizeSymbol: it strips the cyclic prefix and
@@ -70,6 +85,19 @@ func AnalyzeSymbol(symbol []complex128) ([]complex128, error) {
 		return nil, fmt.Errorf("wifi: symbol must have %d samples, got %d", SymbolSamples, len(symbol))
 	}
 	return dsp.FFT(symbol[CPLength:]), nil
+}
+
+// AnalyzeSymbolInto is AnalyzeSymbol writing the 64-bin spectrum into a
+// caller-provided buffer with zero allocations.
+func AnalyzeSymbolInto(dst, symbol []complex128) error {
+	if len(symbol) != SymbolSamples {
+		return fmt.Errorf("wifi: symbol must have %d samples, got %d", SymbolSamples, len(symbol))
+	}
+	if len(dst) != NumSubcarriers {
+		return fmt.Errorf("wifi: spectrum buffer must have %d bins, got %d", NumSubcarriers, len(dst))
+	}
+	dsp.FFTInto(dst, symbol[CPLength:])
+	return nil
 }
 
 // VerifyCyclicPrefix reports the normalized correlation between a symbol's

@@ -56,14 +56,19 @@ func ChipSequence(symbol byte) ([]bits.Bit, error) {
 
 // Spread maps each 4-bit symbol to its 32-chip sequence, concatenated.
 func Spread(symbols []byte) ([]bits.Bit, error) {
-	out := make([]bits.Bit, 0, len(symbols)*ChipsPerSymbol)
+	return SpreadAppend(make([]bits.Bit, 0, len(symbols)*ChipsPerSymbol), symbols)
+}
+
+// SpreadAppend is Spread appending to dst (usually a reused scratch slice
+// reset to length 0), so hot paths can spread without reallocating.
+func SpreadAppend(dst []bits.Bit, symbols []byte) ([]bits.Bit, error) {
 	for i, s := range symbols {
 		if s > 0x0F {
 			return nil, fmt.Errorf("zigbee: symbol %#x at index %d exceeds 4 bits", s, i)
 		}
-		out = append(out, chipTable[s][:]...)
+		dst = append(dst, chipTable[s][:]...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DifferentialChipSequence returns the expected FM-discriminator chip

@@ -41,9 +41,16 @@ type ReceiverConfig struct {
 
 // Receiver demodulates baseband waveforms back into frames and exposes the
 // intermediate chip samples that the defense consumes.
+//
+// A Receiver reuses internal correlation and derotation scratch buffers
+// across calls and is therefore NOT safe for concurrent use; give each
+// worker goroutine its own (the runner package's per-worker scratch hook
+// exists for exactly this).
 type Receiver struct {
 	cfg     ReceiverConfig
 	syncRef []complex128 // modulated SHR used for preamble correlation
+	corr    []float64    // Synchronize scratch: correlation lags
+	avail   []complex128 // decodeFrom scratch: derotated samples
 }
 
 // NewReceiver builds a receiver, applying config defaults.
@@ -161,10 +168,23 @@ func OutOfBandSNREstimate(waveform []complex128) (float64, error) {
 	return dsp.DB((totalPower - noisePower) / noisePower), nil
 }
 
+// correlate computes the normalized preamble correlation into the
+// receiver's reusable lag buffer; nil when the waveform is too short.
+func (rx *Receiver) correlate(waveform []complex128) []float64 {
+	lags := len(waveform) - len(rx.syncRef) + 1
+	if lags < 1 {
+		return nil
+	}
+	if cap(rx.corr) < lags {
+		rx.corr = make([]float64, lags)
+	}
+	return dsp.NormalizedCrossCorrelateInto(rx.corr[:lags], waveform, rx.syncRef)
+}
+
 // Synchronize finds the frame start by normalized correlation against the
 // modulated SHR. It returns the start sample and the correlation peak.
 func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
-	corr := dsp.NormalizedCrossCorrelate(waveform, rx.syncRef)
+	corr := rx.correlate(waveform)
 	if corr == nil {
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
 	}
@@ -180,7 +200,7 @@ func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
 // the local maximum within the following symbol period. Use it when a
 // capture may hold several frames; Synchronize picks the global best.
 func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error) {
-	corr := dsp.NormalizedCrossCorrelate(waveform, rx.syncRef)
+	corr := rx.correlate(waveform)
 	if corr == nil {
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
 	}
@@ -255,7 +275,10 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 	// Demodulate SHR+PHR first to learn the PSDU length.
 	hdrSymbols := (PreambleBytes + 2) * SymbolsPerByte // preamble+SFD+PHR
 	hdrChips := hdrSymbols * ChipsPerSymbol
-	avail := make([]complex128, len(waveform)-start)
+	if cap(rx.avail) < len(waveform)-start {
+		rx.avail = make([]complex128, len(waveform)-start)
+	}
+	avail := rx.avail[:len(waveform)-start]
 	for i := range avail {
 		avail[i] = waveform[start+i] * derot
 	}

@@ -2,14 +2,20 @@ package zigbee
 
 import (
 	"fmt"
+
+	"hideseek/internal/bits"
 )
 
 // Transmitter turns payload bytes into baseband waveforms: framing → symbol
-// expansion → DSSS spreading → half-sine O-QPSK modulation.
-type Transmitter struct{}
+// expansion → DSSS spreading → half-sine O-QPSK modulation. The chip stream
+// is built in a reused scratch buffer, so a Transmitter is NOT safe for
+// concurrent use — give each worker goroutine its own. The returned
+// waveform is always freshly allocated and never aliases the scratch.
+type Transmitter struct {
+	chips []bits.Bit // TransmitPSDU scratch
+}
 
-// NewTransmitter returns a ready transmitter. It is stateless; the type
-// exists so future options (e.g. power scaling) have a home.
+// NewTransmitter returns a ready transmitter.
 func NewTransmitter() *Transmitter { return &Transmitter{} }
 
 // TransmitPSDU modulates a raw PSDU (already including any MAC FCS).
@@ -18,10 +24,11 @@ func (tx *Transmitter) TransmitPSDU(psdu []byte) ([]complex128, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zigbee: transmit: %w", err)
 	}
-	chips, err := Spread(BytesToSymbols(ppdu))
+	chips, err := SpreadAppend(tx.chips[:0], BytesToSymbols(ppdu))
 	if err != nil {
 		return nil, fmt.Errorf("zigbee: transmit: %w", err)
 	}
+	tx.chips = chips
 	wave, err := Modulate(chips)
 	if err != nil {
 		return nil, fmt.Errorf("zigbee: transmit: %w", err)
