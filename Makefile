@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench experiments manifest-smoke examples clean
 
 all: build vet test
 
@@ -24,6 +24,13 @@ bench:
 # Regenerate every table and figure (several minutes at full trial counts).
 experiments:
 	$(GO) run ./cmd/experiments all
+
+# Smoke-test the observability contract: run a small sweep with -manifest
+# and validate the emitted JSON against the checked-in schema checker.
+manifest-smoke:
+	$(GO) run ./cmd/experiments table2 -trials 5 -manifest .manifest-smoke.json > /dev/null
+	$(GO) run ./cmd/manifestcheck .manifest-smoke.json
+	rm -f .manifest-smoke.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -38,7 +38,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				before := runner.TrialsExecuted()
 				start := time.Now()
-				if _, err := sim.Table2(int64(i+1), []float64{9, 13, 17}, 40); err != nil {
+				if _, err := sim.Table2(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{9, 13, 17}, Trials: 40}); err != nil {
 					b.Fatal(err)
 				}
 				elapsed += time.Since(start)
@@ -54,7 +54,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 
 func BenchmarkTable1SubcarrierSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Table1([]byte("000017"), 6, 3)
+		res, err := sim.Table1(sim.Config{}, []byte("000017"), 6, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func BenchmarkTable1SubcarrierSelection(b *testing.B) {
 func BenchmarkTable2AttackSuccess(b *testing.B) {
 	var last float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Table2(int64(i+1), []float64{7, 11, 17}, 20)
+		res, err := sim.Table2(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{7, 11, 17}, Trials: 20})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func BenchmarkTable2AttackSuccess(b *testing.B) {
 func BenchmarkFig5WaveformEmulation(b *testing.B) {
 	var nmse float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig5(0)
+		res, err := sim.Fig5(sim.Config{}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func BenchmarkFig5WaveformEmulation(b *testing.B) {
 func BenchmarkFig6Constellation(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig6(int64(i+1), 17)
+		res, err := sim.Fig6(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{17}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +103,7 @@ func BenchmarkFig6Constellation(b *testing.B) {
 func BenchmarkFig7HammingHistogram(b *testing.B) {
 	var zeroRate float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig7(5)
+		res, err := sim.Fig7(sim.Config{Trials: 5})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func BenchmarkFig7HammingHistogram(b *testing.B) {
 func BenchmarkFig8CPBaseline(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig8(int64(i+1), 17)
+		res, err := sim.Fig8(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{17}})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func BenchmarkFig8CPBaseline(b *testing.B) {
 func BenchmarkFig9DemodBaseline(b *testing.B) {
 	var differ float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig9()
+		res, err := sim.Fig9(sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +142,7 @@ func BenchmarkFig9DemodBaseline(b *testing.B) {
 func BenchmarkFig10C42(b *testing.B) {
 	var emulated float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.CumulantSweep(int64(i+1), []float64{7, 17}, 4)
+		res, err := sim.CumulantSweep(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{7, 17}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func BenchmarkFig10C42(b *testing.B) {
 func BenchmarkFig11C40(b *testing.B) {
 	var original float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.CumulantSweep(int64(i+1), []float64{7, 17}, 4)
+		res, err := sim.CumulantSweep(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{7, 17}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func BenchmarkFig11C40(b *testing.B) {
 func BenchmarkTable4DE2(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Table4(int64(i+1), []float64{7, 12, 17}, 4)
+		res, err := sim.Table4(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{7, 12, 17}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func BenchmarkTable4DE2(b *testing.B) {
 func BenchmarkFig12Detection(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig12(int64(i+1), []float64{11, 14, 17}, 4, 4)
+		res, err := sim.Fig12(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{11, 14, 17}, Trials: 4, Samples: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func BenchmarkFig14DistanceSweep(b *testing.B) {
 	budget := sim.DefaultLinkBudget()
 	var usrpPER8m float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig14(int64(i+1), sim.USRPReceiver(), budget, []float64{1, 8}, 6)
+		res, err := sim.Fig14(sim.Config{Seed: int64(i + 1), Trials: 6}, sim.USRPReceiver(), budget, []float64{1, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -204,7 +204,7 @@ func BenchmarkFig14CommodityReceiver(b *testing.B) {
 	budget := sim.DefaultLinkBudget()
 	var ccPER8m float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Fig14(int64(i+1), sim.CC26x2R1Receiver(), budget, []float64{1, 8}, 6)
+		res, err := sim.Fig14(sim.Config{Seed: int64(i + 1), Trials: 6}, sim.CC26x2R1Receiver(), budget, []float64{1, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,7 +217,7 @@ func BenchmarkTable5RealDE2(b *testing.B) {
 	budget := sim.DefaultLinkBudget()
 	var q float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Table5(int64(i+1), budget, []float64{1, 6}, 4)
+		res, err := sim.Table5(sim.Config{Seed: int64(i + 1), Trials: 4}, budget, []float64{1, 6})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func BenchmarkTable5RealDE2(b *testing.B) {
 func BenchmarkAblationSubcarriers(b *testing.B) {
 	var nmse7 float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AblationSubcarriers(int64(i+1), []int{5, 7, 9}, 13, 5)
+		res, err := sim.AblationSubcarriers(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{13}, Trials: 5}, []int{5, 7, 9})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +241,7 @@ func BenchmarkAblationSubcarriers(b *testing.B) {
 func BenchmarkAblationAlpha(b *testing.B) {
 	var globalErr float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AblationAlpha()
+		res, err := sim.AblationAlpha(sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +253,7 @@ func BenchmarkAblationAlpha(b *testing.B) {
 func BenchmarkAblationDefenseSource(b *testing.B) {
 	var discSep float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AblationDefenseSource(int64(i+1), 15, 4)
+		res, err := sim.AblationDefenseSource(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{15}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func BenchmarkAblationDefenseSource(b *testing.B) {
 
 func BenchmarkAblationSampleCount(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.AblationSampleCount(int64(i+1), []int{128, 704}, 15, 4); err != nil {
+		if _, err := sim.AblationSampleCount(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{15}, Trials: 4}, []int{128, 704}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -273,7 +273,7 @@ func BenchmarkAblationSampleCount(b *testing.B) {
 func BenchmarkSpectrum(b *testing.B) {
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Spectrum([]byte("0000000017"))
+		res, err := sim.Spectrum(sim.Config{}, []byte("0000000017"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -285,7 +285,7 @@ func BenchmarkSpectrum(b *testing.B) {
 func BenchmarkAblationInterpolation(b *testing.B) {
 	var linNMSE float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AblationInterpolation()
+		res, err := sim.AblationInterpolation(sim.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +296,7 @@ func BenchmarkAblationInterpolation(b *testing.B) {
 
 func BenchmarkAblationCoarseThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.AblationCoarseThreshold([]float64{1, 3, 8}); err != nil {
+		if _, err := sim.AblationCoarseThreshold(sim.Config{}, []float64{1, 3, 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,7 +305,7 @@ func BenchmarkAblationCoarseThreshold(b *testing.B) {
 func BenchmarkAccuracySweep(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AccuracySweep(int64(i+1), []float64{11, 17}, 4)
+		res, err := sim.AccuracySweep(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{11, 17}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func BenchmarkAccuracySweep(b *testing.B) {
 func BenchmarkAdaptiveDefense(b *testing.B) {
 	var lowSNR float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AdaptiveAccuracy(int64(i+1), []float64{9, 13, 17}, 6, 6)
+		res, err := sim.AdaptiveAccuracy(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{9, 13, 17}, Trials: 6, Samples: 6})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -329,7 +329,7 @@ func BenchmarkAdaptiveDefense(b *testing.B) {
 func BenchmarkSessionReliability(b *testing.B) {
 	var acked float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.SessionReliability(int64(i+1), []float64{-6}, 10)
+		res, err := sim.SessionReliability(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{-6}, Trials: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,7 +341,7 @@ func BenchmarkSessionReliability(b *testing.B) {
 func BenchmarkROC(b *testing.B) {
 	var auc float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.ROC(int64(i+1), 13, 8)
+		res, err := sim.ROC(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{13}, Trials: 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -353,7 +353,7 @@ func BenchmarkROC(b *testing.B) {
 func BenchmarkEvasion(b *testing.B) {
 	var baseD2 float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Evasion(int64(i+1), 15, 4)
+		res, err := sim.Evasion(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{15}, Trials: 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,7 +365,7 @@ func BenchmarkEvasion(b *testing.B) {
 func BenchmarkAMCClassification(b *testing.B) {
 	var acc float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.AMC(int64(i+1), []float64{15}, 2000, 3)
+		res, err := sim.AMC(sim.Config{Seed: int64(i + 1), SNRsDB: []float64{15}, Samples: 2000, Trials: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,7 +377,7 @@ func BenchmarkAMCClassification(b *testing.B) {
 func BenchmarkCSMAScenario(b *testing.B) {
 	var idleDelay float64
 	for i := 0; i < b.N; i++ {
-		res, err := sim.CSMAScenario(int64(i+1), []float64{0, 0.5}, 50)
+		res, err := sim.CSMAScenario(sim.Config{Seed: int64(i + 1), Trials: 50}, []float64{0, 0.5})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,52 +1,97 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Sec. VII). Each subcommand prints the corresponding markdown
-// table; figure subcommands additionally accept -csv to dump the plotted
-// series.
+// table; -csv dumps the experiment's series, and the subcommand set is the
+// sim package's experiment registry (run `experiments list` to see it).
 //
 // Usage:
 //
 //	experiments <subcommand> [flags]
 //
-// Subcommands: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 table4
-// fig12 fig14 table5 ablation-subcarriers ablation-alpha ablation-source
-// ablation-samples ablation-interp ablation-coarse spectrum accuracy
-// session roc evasion amc csma all
+// Beyond the per-experiment flags (-seed, -trials, -csv, -workers), the
+// telemetry flags never touch stdout: -manifest writes a JSON run manifest,
+// -cpuprofile/-memprofile write pprof profiles, and -progress reports each
+// finished experiment on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"hideseek/internal/emulation"
+	"hideseek/internal/obs"
 	"hideseek/internal/runner"
 	"hideseek/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// subcommandNames lists every dispatchable subcommand: the registry in
+// canonical order plus the two meta commands.
+func subcommandNames() []string {
+	reg := sim.Registry()
+	names := make([]string, 0, len(reg)+2)
+	for _, e := range reg {
+		names = append(names, e.Name)
+	}
+	return append(names, "all", "list")
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: experiments <subcommand> [flags]; see -help")
+		return fmt.Errorf("usage: experiments <subcommand> [flags]; subcommands: %s",
+			strings.Join(subcommandNames(), " "))
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 1, "random seed")
 	trials := fs.Int("trials", 0, "override trial/sample count (0 = experiment default)")
 	csvPath := fs.String("csv", "", "write figure series to this CSV file")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per sweep (results are identical at any count)")
+	manifestPath := fs.String("manifest", "", "write a JSON run manifest (seed, timings, instrument snapshot) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	progress := fs.Bool("progress", false, "report each finished experiment on stderr")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+
+	if cmd == "list" {
+		for _, e := range sim.Registry() {
+			fmt.Fprintf(stdout, "%-22s %s\n", e.Name, e.Desc)
+		}
+		fmt.Fprintf(stdout, "%-22s %s\n", "all", "run every experiment above in order")
+		return nil
+	}
+
 	runner.SetDefaultWorkers(*workers)
 	effective := runner.DefaultWorkers()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	start := time.Now()
 	trialsBefore := runner.TrialsExecuted()
@@ -55,232 +100,106 @@ func run(args []string) error {
 		executed := runner.TrialsExecuted() - trialsBefore
 		if executed > 0 {
 			// stderr, so table output stays byte-identical across -workers.
-			fmt.Fprintf(os.Stderr, "— %d trials in %s (%.0f trials/s, %d workers)\n",
+			fmt.Fprintf(stderr, "— %d trials in %s (%.0f trials/s, %d workers)\n",
 				executed, elapsed.Round(time.Millisecond),
 				float64(executed)/elapsed.Seconds(), effective)
 		}
 	}()
 
-	switch cmd {
-	case "all":
-		for _, sub := range []string{
-			"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "table4", "fig12", "fig14", "table5",
-			"ablation-subcarriers", "ablation-alpha", "ablation-source", "ablation-samples",
-			"ablation-interp", "ablation-coarse", "spectrum", "accuracy", "session", "adaptive", "coded",
-			"roc", "evasion", "amc", "csma",
-		} {
-			if err := runOne(sub, *seed, *trials, ""); err != nil {
-				return fmt.Errorf("%s: %w", sub, err)
+	var stats []obs.ExperimentStats
+	runExp := func(exp sim.Experiment, csvPath string) error {
+		expStart := time.Now()
+		expBefore := runner.TrialsExecuted()
+		res, err := exp.Run(sim.Config{Seed: *seed, Trials: *trials})
+		if err != nil {
+			return err
+		}
+		if tab, ok := res.(sim.Tabler); ok {
+			for _, t := range tab.Tables() {
+				fmt.Fprintln(stdout, t.Markdown())
 			}
+		} else {
+			fmt.Fprintln(stdout, res.Render().Markdown())
 		}
-		return nil
-	default:
-		return runOne(cmd, *seed, *trials, *csvPath)
-	}
-}
-
-func runOne(cmd string, seed int64, trials int, csvPath string) error {
-	or := func(def int) int {
-		if trials > 0 {
-			return trials
+		if !exp.OmitFooter {
+			fmt.Fprintf(stdout, "(defense default Q = %g)\n\n", emulation.DefaultThreshold)
 		}
-		return def
-	}
-	var (
-		table *sim.Table
-		csv   string
-		err   error
-	)
-	switch cmd {
-	case "table1":
-		var res *sim.Table1Result
-		res, err = sim.Table1([]byte("000017"), 6, 3)
-		if err == nil {
-			table = res.Render()
-		}
-	case "table2":
-		var res *sim.Table2Result
-		res, err = sim.Table2(seed, []float64{7, 9, 11, 13, 15, 17}, or(1000))
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig5":
-		var res *sim.Fig5Result
-		res, err = sim.Fig5(0)
-		if err == nil {
-			table = res.Render()
-			csv, err = res.SeriesCSV()
-		}
-	case "fig6":
-		var res *sim.Fig6Result
-		res, err = sim.Fig6(seed, 17)
-		if err == nil {
-			table = res.Render()
-			csv = res.PointsCSV()
-		}
-	case "fig7":
-		var res *sim.Fig7Result
-		res, err = sim.Fig7(or(100))
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig8":
-		var res *sim.Fig8Result
-		res, err = sim.Fig8(seed, 17)
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig9":
-		var res *sim.Fig9Result
-		res, err = sim.Fig9()
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig10", "fig11":
-		var res *sim.CumulantSweepResult
-		res, err = sim.CumulantSweep(seed, []float64{3, 5, 7, 9, 11, 13, 15, 17, 19}, or(100))
-		if err == nil {
-			if cmd == "fig10" {
-				table = res.RenderC42()
-			} else {
-				table = res.RenderC40()
-			}
-		}
-	case "table4":
-		var res *sim.Table4Result
-		res, err = sim.Table4(seed, []float64{7, 12, 17}, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig12":
-		var res *sim.Fig12Result
-		res, err = sim.Fig12(seed, []float64{11, 14, 17}, or(50), or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "fig14":
-		budget := sim.DefaultLinkBudget()
-		distances := []float64{1, 2, 3, 4, 5, 6, 7, 8}
-		for _, radio := range []sim.RadioConfig{sim.USRPReceiver(), sim.CC26x2R1Receiver()} {
-			var res *sim.Fig14Result
-			res, err = sim.Fig14(seed, radio, budget, distances, or(100))
+		if csvPath != "" {
+			csv, err := sim.ResultCSV(res)
 			if err != nil {
-				return err
+				return fmt.Errorf("rendering CSV: %w", err)
 			}
-			fmt.Println(res.Render().Markdown())
+			if csv != "" {
+				if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+					return fmt.Errorf("writing CSV: %w", err)
+				}
+				fmt.Fprintf(stdout, "series written to %s\n", csvPath)
+			}
+		}
+		elapsed := time.Since(expStart)
+		executed := runner.TrialsExecuted() - expBefore
+		st := obs.ExperimentStats{
+			Name:   exp.Name,
+			WallMS: float64(elapsed) / float64(time.Millisecond),
+			Trials: executed,
+		}
+		if executed > 0 && elapsed > 0 {
+			st.TrialsPerSec = float64(executed) / elapsed.Seconds()
+		}
+		stats = append(stats, st)
+		if *progress {
+			fmt.Fprintf(stderr, "· %s: %d trials in %s\n",
+				exp.Name, executed, elapsed.Round(time.Millisecond))
 		}
 		return nil
-	case "table5":
-		var res *sim.Table5Result
-		res, err = sim.Table5(seed, sim.DefaultLinkBudget(), []float64{1, 2, 3, 4, 5, 6}, or(100))
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-subcarriers":
-		var res *sim.AblationSubcarriersResult
-		res, err = sim.AblationSubcarriers(seed, []int{3, 5, 7, 9, 11, 13}, 13, or(200))
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-alpha":
-		var res *sim.AblationAlphaResult
-		res, err = sim.AblationAlpha()
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-source":
-		var res *sim.AblationDefenseSourceResult
-		res, err = sim.AblationDefenseSource(seed, 15, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-samples":
-		var res *sim.AblationSampleCountResult
-		res, err = sim.AblationSampleCount(seed, []int{128, 256, 384, 512, 704}, 15, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "spectrum":
-		var res *sim.SpectrumResult
-		res, err = sim.Spectrum([]byte("0000000017"))
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-interp":
-		var res *sim.AblationInterpolationResult
-		res, err = sim.AblationInterpolation()
-		if err == nil {
-			table = res.Render()
-		}
-	case "ablation-coarse":
-		var res *sim.AblationCoarseThresholdResult
-		res, err = sim.AblationCoarseThreshold([]float64{0.5, 1, 3, 8, 15, 30})
-		if err == nil {
-			table = res.Render()
-		}
-	case "session":
-		var res *sim.SessionReliabilityResult
-		res, err = sim.SessionReliability(seed, []float64{-10, -8, -6, -4, 0}, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "accuracy":
-		var res *sim.AccuracySweepResult
-		res, err = sim.AccuracySweep(seed, []float64{7, 9, 11, 13, 15, 17}, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "coded":
-		var res *sim.CodedHitRatesResult
-		res, err = sim.CodedHitRates([]byte("00000"))
-		if err == nil {
-			table = res.Render()
-		}
-	case "adaptive":
-		var res *sim.AdaptiveAccuracyResult
-		res, err = sim.AdaptiveAccuracy(seed, []float64{9, 11, 13, 15, 17}, or(25), or(25))
-		if err == nil {
-			table = res.Render()
-		}
-	case "roc":
-		var res *sim.ROCResult
-		res, err = sim.ROC(seed, 13, or(100))
-		if err == nil {
-			table = res.Render()
-			csv = res.CSV()
-		}
-	case "evasion":
-		var res *sim.EvasionResult
-		res, err = sim.Evasion(seed, 15, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "amc":
-		var res *sim.AMCResult
-		res, err = sim.AMC(seed, []float64{0, 5, 10, 15, 20}, 2000, or(50))
-		if err == nil {
-			table = res.Render()
-		}
-	case "csma":
-		var res *sim.CSMAScenarioResult
-		res, err = sim.CSMAScenario(seed, []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}, or(500))
-		if err == nil {
-			table = res.Render()
-		}
-	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Println(table.Markdown())
-	fmt.Printf("(defense default Q = %g)\n\n", emulation.DefaultThreshold)
-	if csvPath != "" && csv != "" {
-		if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
-			return fmt.Errorf("writing CSV: %w", err)
+
+	if cmd == "all" {
+		for _, exp := range sim.Registry() {
+			if err := runExp(exp, ""); err != nil {
+				return fmt.Errorf("%s: %w", exp.Name, err)
+			}
 		}
-		fmt.Printf("series written to %s\n", csvPath)
+	} else {
+		exp, ok := sim.Lookup(cmd)
+		if !ok {
+			return fmt.Errorf("unknown subcommand %q; subcommands: %s",
+				cmd, strings.Join(subcommandNames(), " "))
+		}
+		if err := runExp(exp, *csvPath); err != nil {
+			return err
+		}
+	}
+
+	if *manifestPath != "" {
+		m := obs.NewManifest(cmd, *seed, effective)
+		m.Experiments = stats
+		m.TrialsTotal = runner.TrialsExecuted() - trialsBefore
+		elapsed := time.Since(start)
+		m.WallMS = float64(elapsed) / float64(time.Millisecond)
+		if m.TrialsTotal > 0 && elapsed > 0 {
+			m.TrialsPerSec = float64(m.TrialsTotal) / elapsed.Seconds()
+		}
+		m.Snapshot = obs.Snap()
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		if err := m.WriteFile(*manifestPath); err != nil {
+			return err
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("mem profile: %w", err)
+		}
+		f.Close()
 	}
 	return nil
 }

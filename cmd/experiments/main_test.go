@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hideseek/internal/obs"
+	"hideseek/internal/sim"
+)
+
+// runCLI drives run() exactly as main does, capturing both streams.
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+func TestStdoutIdenticalAcrossWorkers(t *testing.T) {
+	ref, _, err := runCLI(t, "table2", "-trials", "5", "-workers", "1")
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	for _, w := range []string{"2", "4"} {
+		got, _, err := runCLI(t, "table2", "-trials", "5", "-workers", w)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
+		if got != ref {
+			t.Fatalf("stdout differs between -workers 1 and -workers %s:\n%s\nvs\n%s", w, ref, got)
+		}
+	}
+}
+
+func TestTelemetryFlagsLeaveStdoutUntouched(t *testing.T) {
+	ref, _, err := runCLI(t, "table2", "-trials", "4")
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	got, stderrOut, err := runCLI(t, "table2", "-trials", "4", "-manifest", manifest, "-progress")
+	if err != nil {
+		t.Fatalf("telemetry run: %v", err)
+	}
+	if got != ref {
+		t.Fatalf("-manifest/-progress changed stdout:\n%s\nvs\n%s", ref, got)
+	}
+	if !strings.Contains(stderrOut, "table2") {
+		t.Errorf("-progress wrote no per-experiment line to stderr: %q", stderrOut)
+	}
+
+	m, err := obs.ReadManifest(manifest)
+	if err != nil {
+		t.Fatalf("reading manifest: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if m.Command != "table2" || m.Seed != 1 {
+		t.Errorf("manifest identity = (%q, seed %d), want (table2, 1)", m.Command, m.Seed)
+	}
+	if len(m.Experiments) != 1 || m.Experiments[0].Name != "table2" {
+		t.Fatalf("manifest experiments = %+v, want one table2 entry", m.Experiments)
+	}
+	if m.Experiments[0].Trials <= 0 || m.Experiments[0].TrialsPerSec <= 0 {
+		t.Errorf("table2 stats = %+v, want positive trials and trials/s", m.Experiments[0])
+	}
+	if len(m.Timers) < 3 {
+		t.Errorf("manifest carries %d stage timers, want at least 3", len(m.Timers))
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	if _, _, err := runCLI(t, "fig5", "-manifest", manifest); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.DecodeManifest(data)
+	if err != nil {
+		t.Fatalf("strict decode: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("validate after round trip: %v", err)
+	}
+}
+
+func TestListEnumeratesRegistry(t *testing.T) {
+	out, _, err := runCLI(t, "list")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	reg := sim.Registry()
+	if len(lines) != len(reg)+1 { // registry entries + the "all" meta line
+		t.Fatalf("list printed %d lines, want %d", len(lines), len(reg)+1)
+	}
+	for i, e := range reg {
+		if !strings.HasPrefix(lines[i], e.Name) {
+			t.Errorf("list line %d = %q, want it to lead with %q", i, lines[i], e.Name)
+		}
+	}
+}
+
+func TestCSVForNonFigureExperiment(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "table2.csv")
+	out, _, err := runCLI(t, "table2", "-trials", "3", "-csv", csvPath)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "series written to "+csvPath) {
+		t.Fatalf("stdout missing CSV confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("CSV file is empty")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	_, _, err := runCLI(t, "nonsense")
+	if err == nil || !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("err = %v, want unknown-subcommand error naming it", err)
+	}
+	if !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("err = %v, want subcommand list derived from registry", err)
+	}
+}

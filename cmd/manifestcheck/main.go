@@ -1,0 +1,35 @@
+// Command manifestcheck validates a run manifest written by
+// `experiments -manifest`: strict JSON decode (unknown fields fail) plus
+// the schema invariants in obs.Manifest.Validate. CI runs it against a
+// fresh manifest so writer/schema drift is caught at merge time.
+//
+// Usage:
+//
+//	manifestcheck <manifest.json>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hideseek/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	m, err := obs.ReadManifest(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
+		os.Exit(1)
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %s — %s, %d experiments, %d trials, %d timers\n",
+		path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers))
+}

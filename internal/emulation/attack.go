@@ -9,6 +9,7 @@ package emulation
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"hideseek/internal/dsp"
 	"hideseek/internal/wifi"
@@ -149,6 +150,7 @@ type Result struct {
 // each segment is re-synthesized as a WiFi OFDM symbol: CP-drop → 64-FFT →
 // keep 7 bins → QAM-quantize with optimal α → IFFT → CP-add.
 func (e *Emulator) Emulate(observed []complex128) (*Result, error) {
+	defer obsEmulate.Since(time.Now())
 	if len(observed) == 0 {
 		return nil, fmt.Errorf("emulation: empty observation")
 	}

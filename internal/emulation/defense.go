@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"time"
 
 	"hideseek/internal/hos"
 	"hideseek/internal/zigbee"
@@ -191,6 +192,7 @@ func (d *Detector) AnalyzeReception(rec *zigbee.Reception) (*Verdict, error) {
 // AnalyzePoints runs the detector on an already-reconstructed
 // constellation.
 func (d *Detector) AnalyzePoints(points []complex128) (*Verdict, error) {
+	defer obsDetect.Since(time.Now())
 	if d.cfg.RemoveMean {
 		points = removeMean(points)
 	}

@@ -1,0 +1,10 @@
+package emulation
+
+import "hideseek/internal/obs"
+
+// Stage timers for the run manifest: the attack's waveform synthesis and
+// the defense's per-decision cost. Measurement only — see package obs.
+var (
+	obsEmulate = obs.T("emulation.emulate")
+	obsDetect  = obs.T("emulation.detect")
+)

@@ -1,0 +1,19 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically named atomic event count. The zero value is
+// ready to use. All methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauge-style use, but manifest
+// consumers treat counters as monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram bucket geometry: log2-spaced octaves subdivided into 8
+// sub-buckets each, covering [1, 2^40) — for durations in nanoseconds
+// that is 1 ns up to ~18 minutes. Values below 1 land in bucket 0 and
+// values at or above the top land in the last bucket; exact min/max/sum
+// are tracked separately, so quantile estimates stay clamped to observed
+// extremes. Relative quantile error is bounded by one sub-bucket width,
+// 2^(1/8) ≈ 9%.
+const (
+	histShards       = 8
+	bucketsPerOctave = 8
+	histOctaves      = 40
+	histBuckets      = histOctaves * bucketsPerOctave
+)
+
+// histShard is one independently locked slice of a histogram. Shards are
+// padded to a cache line so neighboring shard mutexes do not false-share.
+type histShard struct {
+	mu     sync.Mutex
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+	counts [histBuckets]uint32
+	_      [64]byte
+}
+
+// Histogram is a lock-sharded, fixed-memory log-bucketed value histogram
+// for non-negative observations (latency nanoseconds, trial costs). The
+// zero value is ready to use. Observe picks a shard from the value's bit
+// pattern, so concurrent observers of distinct values almost never share
+// a mutex; Summary merges the shards.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log2(v) * bucketsPerOctave)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketLower returns the inclusive lower bound of bucket b.
+func bucketLower(b int) float64 {
+	return math.Exp2(float64(b) / bucketsPerOctave)
+}
+
+// Observe records one value. Negative and NaN values are clamped to 0.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// Shard by the value's bit pattern (Fibonacci hash of the mantissa
+	// bits): no shared atomic, and near-identical values still spread.
+	idx := (math.Float64bits(v) * 0x9E3779B97F4A7C15) >> 61
+	s := &h.shards[idx&(histShards-1)]
+	s.mu.Lock()
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.counts[bucketOf(v)]++
+	s.mu.Unlock()
+}
+
+// HistogramStats is the JSON-ready summary of one histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary merges the shards and returns counts, extremes, and the
+// p50/p95/p99 estimates. It locks each shard briefly, one at a time, so a
+// concurrent Observe stream only delays it, never blocks on it.
+func (h *Histogram) Summary() HistogramStats {
+	var merged [histBuckets]uint64
+	var st HistogramStats
+	var sum float64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		if s.n > 0 {
+			if st.Count == 0 || s.min < st.Min {
+				st.Min = s.min
+			}
+			if st.Count == 0 || s.max > st.Max {
+				st.Max = s.max
+			}
+			st.Count += int64(s.n)
+			sum += s.sum
+			for b, c := range s.counts {
+				merged[b] += uint64(c)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if st.Count == 0 {
+		return st
+	}
+	st.Mean = sum / float64(st.Count)
+	st.P50 = h.quantileFrom(merged[:], uint64(st.Count), 0.50, st.Min, st.Max)
+	st.P95 = h.quantileFrom(merged[:], uint64(st.Count), 0.95, st.Min, st.Max)
+	st.P99 = h.quantileFrom(merged[:], uint64(st.Count), 0.99, st.Min, st.Max)
+	return st
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of everything observed
+// so far. 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	st := h.Summary()
+	switch {
+	case st.Count == 0:
+		return 0
+	case q <= 0:
+		return st.Min
+	case q >= 1:
+		return st.Max
+	case q == 0.5:
+		return st.P50
+	}
+	var merged [histBuckets]uint64
+	var n uint64
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		n += s.n
+		for b, c := range s.counts {
+			merged[b] += uint64(c)
+		}
+		s.mu.Unlock()
+	}
+	return h.quantileFrom(merged[:], n, q, st.Min, st.Max)
+}
+
+// quantileFrom walks the merged bucket counts to the q-quantile rank and
+// interpolates linearly inside the landing bucket, clamped to the exact
+// observed [min, max].
+func (h *Histogram) quantileFrom(merged []uint64, n uint64, q, min, max float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	rank := q * float64(n-1)
+	var cum float64
+	for b, c := range merged {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank < next {
+			lo, hi := bucketLower(b), bucketLower(b+1)
+			frac := (rank - cum + 0.5) / float64(c)
+			v := lo + (hi-lo)*frac
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum = next
+	}
+	return max
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ManifestSchema identifies the manifest layout; bump on breaking change.
+const ManifestSchema = "hideseek.run-manifest/v1"
+
+// ExperimentStats records one experiment's share of a run.
+type ExperimentStats struct {
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	Trials       int64   `json:"trials"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// Manifest is the structured record of one experiment run: identity
+// (seed, workers), totals, per-experiment wall time and throughput, and
+// the full instrument snapshot. It is what the -manifest flag writes and
+// what cmd/manifestcheck validates.
+type Manifest struct {
+	Schema       string            `json:"schema"`
+	CreatedAt    time.Time         `json:"created_at"`
+	GoVersion    string            `json:"go_version"`
+	GOOS         string            `json:"goos"`
+	GOARCH       string            `json:"goarch"`
+	Command      string            `json:"command"`
+	Seed         int64             `json:"seed"`
+	Workers      int               `json:"workers"`
+	TrialsTotal  int64             `json:"trials_total"`
+	WallMS       float64           `json:"wall_ms"`
+	TrialsPerSec float64           `json:"trials_per_sec"`
+	Experiments  []ExperimentStats `json:"experiments"`
+	Snapshot
+}
+
+// NewManifest stamps a manifest with schema and build identity; the
+// caller fills in run identity, experiment stats, and the snapshot.
+func NewManifest(command string, seed int64, workers int) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Command:   command,
+		Seed:      seed,
+		Workers:   workers,
+	}
+}
+
+// Validate is the schema check: it confirms the manifest a tool just read
+// (or is about to write) carries everything downstream consumers rely on.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("obs: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Command == "" {
+		return fmt.Errorf("obs: manifest has no command")
+	}
+	if m.Workers < 1 {
+		return fmt.Errorf("obs: manifest workers %d < 1", m.Workers)
+	}
+	if m.CreatedAt.IsZero() {
+		return fmt.Errorf("obs: manifest has no creation time")
+	}
+	if len(m.Experiments) == 0 {
+		return fmt.Errorf("obs: manifest lists no experiments")
+	}
+	for _, e := range m.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("obs: manifest experiment with empty name")
+		}
+		if e.Trials > 0 && e.TrialsPerSec <= 0 {
+			return fmt.Errorf("obs: experiment %q ran %d trials but reports %g trials/s", e.Name, e.Trials, e.TrialsPerSec)
+		}
+	}
+	if len(m.Timers) < 3 {
+		return fmt.Errorf("obs: manifest has %d stage timers, want at least 3", len(m.Timers))
+	}
+	return nil
+}
+
+// WriteFile marshals the manifest (indented, trailing newline) to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshaling manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and strictly decodes a manifest file: unknown fields
+// are an error, so drift between writer and schema is caught in CI.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	return DecodeManifest(data)
+}
+
+// DecodeManifest strictly decodes manifest JSON.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decoding manifest: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleManifest() *Manifest {
+	m := NewManifest("table2", 1, 4)
+	m.TrialsTotal = 30
+	m.WallMS = 123.5
+	m.TrialsPerSec = 242.9
+	m.Experiments = []ExperimentStats{
+		{Name: "table2", WallMS: 123.5, Trials: 30, TrialsPerSec: 242.9},
+	}
+	m.Snapshot = Snapshot{
+		Counters: map[string]int64{"runner.trials": 30},
+		Timers: map[string]TimerStats{
+			"emulation.emulate": {Count: 1, TotalMS: 2.5, MeanUS: 2500},
+			"zigbee.sync":       {Count: 30, TotalMS: 9.1, MeanUS: 303},
+			"zigbee.despread":   {Count: 60, TotalMS: 40.2, MeanUS: 670},
+		},
+		Histograms: map[string]HistogramStats{
+			"runner.trial_ns": {Count: 30, Min: 1e6, Max: 9e6, Mean: 4e6, P50: 3.9e6, P95: 8.2e6, P99: 8.9e6},
+		},
+	}
+	return m
+}
+
+// TestManifestRoundTrip is the satellite guarantee: a manifest survives
+// encoding/json unchanged, and the strict decoder accepts what WriteFile
+// produced.
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("sample manifest invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped manifest invalid: %v", err)
+	}
+	// time.Time survives RFC 3339 with UTC normalization; compare directly.
+	if !m.CreatedAt.Equal(got.CreatedAt) {
+		t.Errorf("CreatedAt %v != %v", got.CreatedAt, m.CreatedAt)
+	}
+	m.CreatedAt, got.CreatedAt = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip changed manifest:\nwrote %+v\nread  %+v", m, got)
+	}
+}
+
+func TestManifestStrictDecodeRejectsUnknownFields(t *testing.T) {
+	data, err := json.Marshal(map[string]any{"schema": ManifestSchema, "bogus": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeManifest(data); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"wrong schema", func(m *Manifest) { m.Schema = "v0" }, "schema"},
+		{"no command", func(m *Manifest) { m.Command = "" }, "command"},
+		{"zero workers", func(m *Manifest) { m.Workers = 0 }, "workers"},
+		{"no experiments", func(m *Manifest) { m.Experiments = nil }, "experiments"},
+		{"missing trials/s", func(m *Manifest) { m.Experiments[0].TrialsPerSec = 0 }, "trials/s"},
+		{"too few timers", func(m *Manifest) { m.Timers = nil }, "timers"},
+	} {
+		m := sampleManifest()
+		tc.mutate(m)
+		err := m.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}

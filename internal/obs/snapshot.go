@@ -1,0 +1,63 @@
+package obs
+
+import "time"
+
+// TimerStats is the JSON-ready summary of one timer.
+type TimerStats struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanUS  float64 `json:"mean_us"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// Counters and timers are read atomically per instrument (not across
+// instruments): a snapshot taken while trials are still running is
+// internally consistent enough for reporting, and exact once the run has
+// quiesced.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// Snap captures a snapshot of the registry.
+func (r *Registry) Snap() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Timers:     make(map[string]TimerStats, len(timers)),
+		Histograms: make(map[string]HistogramStats, len(hists)),
+	}
+	for _, name := range sortedKeys(counters) {
+		snap.Counters[name] = counters[name].Value()
+	}
+	for _, name := range sortedKeys(timers) {
+		t := timers[name]
+		snap.Timers[name] = TimerStats{
+			Count:   t.Count(),
+			TotalMS: float64(t.Total()) / float64(time.Millisecond),
+			MeanUS:  float64(t.Mean()) / float64(time.Microsecond),
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		snap.Histograms[name] = hists[name].Summary()
+	}
+	return snap
+}
+
+// Snap captures the standard registry.
+func Snap() Snapshot { return std.Snap() }

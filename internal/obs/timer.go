@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Timer accumulates total elapsed wall time and an event count for one
+// named stage: two atomic adds per observation. The zero value is ready to
+// use; all methods are safe for concurrent use.
+//
+// The idiomatic hot-path form evaluates time.Now() at the defer site:
+//
+//	defer stageTimer.Since(time.Now())
+type Timer struct {
+	totalNS atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one event of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	t.totalNS.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Since records one event lasting from start until now.
+func (t *Timer) Since(start time.Time) { t.Observe(time.Since(start)) }
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.totalNS.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Mean returns the average observation duration (0 when empty).
+func (t *Timer) Mean() time.Duration {
+	n := t.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.totalNS.Load() / n)
+}

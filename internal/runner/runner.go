@@ -31,6 +31,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hideseek/internal/obs"
 )
 
 // rngMultiplier is the historical seed-spreading constant of the sim
@@ -70,6 +73,31 @@ func SetDefaultWorkers(n int) {
 // trialsExecuted counts every trial run through any Pool since process
 // start — the numerator of the trials-per-second summary line.
 var trialsExecuted atomic.Int64
+
+// Observability instruments, looked up once. trialLatency and workerBusy
+// let manifest consumers derive per-trial cost distributions and worker
+// utilization (busy time / (wall × workers)); the counters feed the error
+// and fan-out tallies. Everything here is measurement only — no instrument
+// influences scheduling or results.
+var (
+	obsTrials       = obs.C("runner.trials")
+	obsTrialErrors  = obs.C("runner.trial_errors")
+	obsSweeps       = obs.C("runner.sweeps")
+	obsWorkerBusy   = obs.T("runner.worker_busy")
+	obsTrialLatency = obs.H("runner.trial_ns")
+)
+
+// observeTrial records one completed trial in every per-trial instrument.
+func observeTrial(start time.Time, err error) {
+	d := time.Since(start)
+	trialsExecuted.Add(1)
+	obsTrials.Inc()
+	obsWorkerBusy.Observe(d)
+	obsTrialLatency.Observe(float64(d.Nanoseconds()))
+	if err != nil {
+		obsTrialErrors.Inc()
+	}
+}
 
 // TrialsExecuted returns the process-wide number of trials completed.
 func TrialsExecuted() int64 { return trialsExecuted.Load() }
@@ -129,6 +157,7 @@ func Map[S, T any](p Pool, sw Sweep, n int, newScratch func() (S, error), fn fun
 	if workers > n {
 		workers = n
 	}
+	obsSweeps.Inc()
 
 	results := make([]T, n)
 	if workers <= 1 {
@@ -138,8 +167,9 @@ func Map[S, T any](p Pool, sw Sweep, n int, newScratch func() (S, error), fn fun
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
+			start := time.Now()
 			r, err := fn(Trial{Index: i, RNG: RNG(sw.Seed, sw.Base+int64(i))}, scratch)
-			trialsExecuted.Add(1)
+			observeTrial(start, err)
 			if err != nil {
 				return nil, fmt.Errorf("runner: trial %d: %w", i, err)
 			}
@@ -183,8 +213,9 @@ func Map[S, T any](p Pool, sw Sweep, n int, newScratch func() (S, error), fn fun
 				if i >= n {
 					return
 				}
+				start := time.Now()
 				r, err := fn(Trial{Index: i, RNG: RNG(sw.Seed, sw.Base+int64(i))}, scratch)
-				trialsExecuted.Add(1)
+				observeTrial(start, err)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

@@ -21,8 +21,15 @@ type AblationSubcarriersResult struct {
 }
 
 // AblationSubcarriers measures emulation fidelity and attack success for
-// different subcarrier budgets.
-func AblationSubcarriers(seed int64, kept []int, snrDB float64, trials int) (*AblationSubcarriersResult, error) {
+// different subcarrier budgets (nil kept: {3 … 13}; default 13 dB,
+// 200 trials).
+func AblationSubcarriers(cfg Config, kept []int) (*AblationSubcarriersResult, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(13)
+	trials := cfg.TrialsOr(200)
+	if kept == nil {
+		kept = []int{3, 5, 7, 9, 11, 13}
+	}
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials %d < 1", trials)
 	}
@@ -96,8 +103,9 @@ type AblationAlphaResult struct {
 	QuantError []float64
 }
 
-// AblationAlpha runs each strategy on the same observation.
-func AblationAlpha() (*AblationAlphaResult, error) {
+// AblationAlpha runs each strategy on the same observation. The experiment
+// is deterministic; cfg is accepted for API uniformity.
+func AblationAlpha(_ Config) (*AblationAlphaResult, error) {
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err
@@ -157,8 +165,9 @@ type AblationInterpolationResult struct {
 
 // AblationInterpolation measures emulation fidelity for both interpolation
 // methods. Linear interpolation distorts the observation before the FFT,
-// raising the floor of everything downstream.
-func AblationInterpolation() (*AblationInterpolationResult, error) {
+// raising the floor of everything downstream. Deterministic; cfg is
+// accepted for API uniformity.
+func AblationInterpolation(_ Config) (*AblationInterpolationResult, error) {
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err
@@ -248,8 +257,12 @@ type AblationCoarseThresholdResult struct {
 	TailNMSE         []float64
 }
 
-// AblationCoarseThreshold runs the attack with different coarse thresholds.
-func AblationCoarseThreshold(thresholds []float64) (*AblationCoarseThresholdResult, error) {
+// AblationCoarseThreshold runs the attack with different coarse thresholds
+// (nil: the {0.5 … 30} sweep around the paper's value of 3).
+func AblationCoarseThreshold(_ Config, thresholds []float64) (*AblationCoarseThresholdResult, error) {
+	if thresholds == nil {
+		thresholds = []float64{0.5, 1, 3, 8, 15, 30}
+	}
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err
@@ -307,8 +320,12 @@ type AblationDefenseSourceResult struct {
 	Samples    int
 }
 
-// AblationDefenseSource measures mean D² per class for every chip source.
-func AblationDefenseSource(seed int64, snrDB float64, samples int) (*AblationDefenseSourceResult, error) {
+// AblationDefenseSource measures mean D² per class for every chip source
+// (default 15 dB, 50 samples).
+func AblationDefenseSource(cfg Config) (*AblationDefenseSourceResult, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(15)
+	samples := cfg.TrialsOr(50)
 	if samples < 1 {
 		return nil, fmt.Errorf("sim: samples %d < 1", samples)
 	}
@@ -415,8 +432,15 @@ type AblationSampleCountResult struct {
 }
 
 // AblationSampleCount truncates the chip stream to each count and measures
-// the D² spread over trials.
-func AblationSampleCount(seed int64, counts []int, snrDB float64, trials int) (*AblationSampleCountResult, error) {
+// the D² spread over trials (nil counts: {128 … 704}; default 15 dB,
+// 50 trials).
+func AblationSampleCount(cfg Config, counts []int) (*AblationSampleCountResult, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(15)
+	trials := cfg.TrialsOr(50)
+	if counts == nil {
+		counts = []int{128, 256, 384, 512, 704}
+	}
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials %d < 1", trials)
 	}

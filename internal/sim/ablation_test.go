@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationSubcarriers(t *testing.T) {
-	res, err := AblationSubcarriers(5, []int{3, 7, 11}, 13, 6)
+	res, err := AblationSubcarriers(Config{Seed: 5, SNRsDB: []float64{13}, Trials: 6}, []int{3, 7, 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,13 +21,13 @@ func TestAblationSubcarriers(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Ablation") {
 		t.Error("render missing title")
 	}
-	if _, err := AblationSubcarriers(5, []int{7}, 13, 0); err == nil {
+	if _, err := AblationSubcarriers(Config{Seed: 5, SNRsDB: []float64{13}, Trials: -1}, []int{7}); err == nil {
 		t.Error("accepted 0 trials")
 	}
 }
 
 func TestAblationAlpha(t *testing.T) {
-	res, err := AblationAlpha()
+	res, err := AblationAlpha(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestAblationAlpha(t *testing.T) {
 }
 
 func TestAblationDefenseSource(t *testing.T) {
-	res, err := AblationDefenseSource(6, 15, 5)
+	res, err := AblationDefenseSource(Config{Seed: 6, SNRsDB: []float64{15}, Trials: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +84,14 @@ func TestAblationDefenseSource(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Chip Source") {
 		t.Error("render missing title")
 	}
-	if _, err := AblationDefenseSource(6, 15, 0); err == nil {
+	if _, err := AblationDefenseSource(Config{Seed: 6, SNRsDB: []float64{15}, Trials: -1}); err == nil {
 		t.Error("accepted 0 samples")
 	}
 }
 
 func TestAblationSampleCount(t *testing.T) {
 	// The 11-byte PPDU carries 704 chips, bounding the largest count.
-	res, err := AblationSampleCount(7, []int{128, 384, 704}, 15, 6)
+	res, err := AblationSampleCount(Config{Seed: 7, SNRsDB: []float64{15}, Trials: 6}, []int{128, 384, 704})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestAblationSampleCount(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Sample Count") {
 		t.Error("render missing title")
 	}
-	if _, err := AblationSampleCount(7, []int{128}, 15, 0); err == nil {
+	if _, err := AblationSampleCount(Config{Seed: 7, SNRsDB: []float64{15}, Trials: -1}, []int{128}); err == nil {
 		t.Error("accepted 0 trials")
 	}
 }

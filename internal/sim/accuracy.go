@@ -22,8 +22,11 @@ type AccuracySweepResult struct {
 }
 
 // AccuracySweep evaluates the default-threshold detector per SNR.
-func AccuracySweep(seed int64, snrsDB []float64, samples int) (*AccuracySweepResult, error) {
-	d2o, d2e, err := distanceSamples(seed, snrsDB, samples)
+// Defaults: the 7–17 dB sweep at 50 samples per class.
+func AccuracySweep(cfg Config) (*AccuracySweepResult, error) {
+	snrsDB := cfg.SNRsOr(7, 9, 11, 13, 15, 17)
+	samples := cfg.TrialsOr(50)
+	d2o, d2e, err := distanceSamples(cfg.Seed, snrsDB, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -72,9 +75,14 @@ type AdaptiveAccuracyResult struct {
 	Samples          int
 }
 
-// AdaptiveAccuracy calibrates per-SNR thresholds on training receptions,
-// then scores both detectors on held-out receptions.
-func AdaptiveAccuracy(seed int64, snrsDB []float64, train, test int) (*AdaptiveAccuracyResult, error) {
+// AdaptiveAccuracy calibrates per-SNR thresholds on cfg.Trials training
+// receptions (default 25), then scores both detectors on cfg.Samples
+// held-out receptions (default: the training count).
+func AdaptiveAccuracy(cfg Config) (*AdaptiveAccuracyResult, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(9, 11, 13, 15, 17)
+	train := cfg.TrialsOr(25)
+	test := cfg.SamplesOr(train)
 	if train < 1 || test < 1 {
 		return nil, fmt.Errorf("sim: train/test %d/%d must be positive", train, test)
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestAdaptiveAccuracyBeatsOrMatchesFixed(t *testing.T) {
-	res, err := AdaptiveAccuracy(14, []float64{9, 13, 17}, 20, 10)
+	res, err := AdaptiveAccuracy(Config{Seed: 14, SNRsDB: []float64{9, 13, 17}, Trials: 20, Samples: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestAdaptiveAccuracyBeatsOrMatchesFixed(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Adaptive") {
 		t.Error("render missing title")
 	}
-	if _, err := AdaptiveAccuracy(14, []float64{9}, 0, 5); err == nil {
+	if _, err := AdaptiveAccuracy(Config{Seed: 14, SNRsDB: []float64{9}, Trials: -1, Samples: 5}); err == nil {
 		t.Error("accepted 0 training samples")
 	}
 }

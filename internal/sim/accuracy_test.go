@@ -6,7 +6,7 @@ import (
 )
 
 func TestAccuracySweep(t *testing.T) {
-	res, err := AccuracySweep(13, []float64{11, 17}, 8)
+	res, err := AccuracySweep(Config{Seed: 13, SNRsDB: []float64{11, 17}, Trials: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestAccuracySweep(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Accuracy") {
 		t.Error("render missing title")
 	}
-	if _, err := AccuracySweep(13, []float64{11}, 0); err == nil {
+	if _, err := AccuracySweep(Config{Seed: 13, SNRsDB: []float64{11}, Trials: -1}); err == nil {
 		t.Error("accepted 0 samples")
 	}
 }

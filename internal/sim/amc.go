@@ -65,9 +65,13 @@ func drawSymbols(class string, n int, rng *rand.Rand) ([]complex128, error) {
 	return out, nil
 }
 
-// AMC runs `trials` classifications per class per SNR with `samplesPer`
-// symbols each.
-func AMC(seed int64, snrsDB []float64, samplesPer, trials int) (*AMCResult, error) {
+// AMC runs cfg.Trials classifications per class per SNR (default 50) with
+// cfg.Samples symbols each (default 2000), over the 0–20 dB sweep.
+func AMC(cfg Config) (*AMCResult, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(0, 5, 10, 15, 20)
+	samplesPer := cfg.SamplesOr(2000)
+	trials := cfg.TrialsOr(50)
 	if samplesPer < 100 || trials < 1 {
 		return nil, fmt.Errorf("sim: need ≥100 samples and ≥1 trial, got %d/%d", samplesPer, trials)
 	}
@@ -147,8 +151,14 @@ type CSMAScenarioResult struct {
 	Trials      int
 }
 
-// CSMAScenario sweeps the gateway's traffic duty cycle.
-func CSMAScenario(seed int64, dutyCycles []float64, trials int) (*CSMAScenarioResult, error) {
+// CSMAScenario sweeps the gateway's traffic duty cycle (nil: the
+// {0 … 0.9} sweep; default 500 trials per point).
+func CSMAScenario(cfg Config, dutyCycles []float64) (*CSMAScenarioResult, error) {
+	seed := cfg.Seed
+	trials := cfg.TrialsOr(500)
+	if dutyCycles == nil {
+		dutyCycles = []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}
+	}
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials %d < 1", trials)
 	}

@@ -19,8 +19,19 @@ type Table1Result struct {
 }
 
 // Table1 FFTs the first `segments` 4 µs slices of an observed ZigBee
-// waveform and runs the two-step subcarrier selection on them.
-func Table1(payload []byte, segments int, threshold float64) (*Table1Result, error) {
+// waveform and runs the two-step subcarrier selection on them. A nil
+// payload, zero segment count, or zero threshold selects the paper setup
+// ("000017", 6 segments, threshold 3).
+func Table1(cfg Config, payload []byte, segments int, threshold float64) (*Table1Result, error) {
+	if payload == nil {
+		payload = []byte("000017")
+	}
+	if segments == 0 {
+		segments = 6
+	}
+	if threshold == 0 {
+		threshold = 3
+	}
 	if segments < 1 {
 		return nil, fmt.Errorf("sim: need at least one segment")
 	}
@@ -96,8 +107,12 @@ type Table2Result struct {
 }
 
 // Table2 transmits the emulated waveform over AWGN at each SNR and counts
-// full-frame decodes at the hard-threshold receiver.
-func Table2(seed int64, snrsDB []float64, trials int) (*Table2Result, error) {
+// full-frame decodes at the hard-threshold receiver. Defaults: the paper's
+// 7–17 dB sweep at 1000 trials per point.
+func Table2(cfg Config) (*Table2Result, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(7, 9, 11, 13, 15, 17)
+	trials := cfg.TrialsOr(1000)
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials %d < 1", trials)
 	}
@@ -158,7 +173,8 @@ type Fig5Result struct {
 }
 
 // Fig5 emulates a single ZigBee symbol and extracts the 20 MS/s traces.
-func Fig5(symbol byte) (*Fig5Result, error) {
+// The experiment is deterministic; cfg is accepted for API uniformity.
+func Fig5(_ Config, symbol byte) (*Fig5Result, error) {
 	wave, err := zigbee.SymbolWaveform(symbol)
 	if err != nil {
 		return nil, fmt.Errorf("sim: fig5: %w", err)
@@ -234,9 +250,10 @@ func (h *HammingHistogram) Rate(d int) float64 {
 	return float64(h.Counts[d]) / float64(h.Total)
 }
 
-// Fig7 decodes all packets noiselessly and tallies per-symbol distances.
-func Fig7(numPackets int) (*Fig7Result, error) {
-	payloads, err := Payloads(numPackets)
+// Fig7 decodes all packets noiselessly and tallies per-symbol distances
+// over cfg.Trials packets (default: the paper's 100-packet workload).
+func Fig7(cfg Config) (*Fig7Result, error) {
+	payloads, err := Payloads(cfg.TrialsOr(100))
 	if err != nil {
 		return nil, err
 	}

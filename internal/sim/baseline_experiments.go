@@ -21,8 +21,11 @@ type Fig8Result struct {
 	OriginalCP, EmulatedCP emulation.SummarizeD2
 }
 
-// Fig8 applies 17 dB AWGN and captures both the traces and CP statistics.
-func Fig8(seed int64, snrDB float64) (*Fig8Result, error) {
+// Fig8 applies AWGN at cfg's operating SNR (default 17 dB) and captures
+// both the traces and CP statistics.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(17)
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err
@@ -93,8 +96,9 @@ type Fig9Result struct {
 }
 
 // Fig9 compares demodulation outputs on the noiseless waveforms (the paper
-// uses high SNR to isolate the structural difference).
-func Fig9() (*Fig9Result, error) {
+// uses high SNR to isolate the structural difference). The experiment is
+// deterministic; cfg is accepted for API uniformity.
+func Fig9(_ Config) (*Fig9Result, error) {
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err

@@ -21,8 +21,12 @@ type CodedHitRatesResult struct {
 }
 
 // CodedHitRates runs every attacker model on the same observation and
-// reports target hit rate plus whether the victim still decodes.
-func CodedHitRates(payload []byte) (*CodedHitRatesResult, error) {
+// reports target hit rate plus whether the victim still decodes (nil
+// payload: "00000"). Deterministic; cfg is accepted for API uniformity.
+func CodedHitRates(_ Config, payload []byte) (*CodedHitRatesResult, error) {
+	if payload == nil {
+		payload = []byte("00000")
+	}
 	tx := zigbee.NewTransmitter()
 	obs, err := tx.TransmitPSDU(payload)
 	if err != nil {

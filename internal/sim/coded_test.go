@@ -6,7 +6,7 @@ import (
 )
 
 func TestCodedHitRates(t *testing.T) {
-	res, err := CodedHitRates([]byte("00000"))
+	res, err := CodedHitRates(Config{}, []byte("00000"))
 	if err != nil {
 		t.Fatal(err)
 	}

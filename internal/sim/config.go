@@ -1,0 +1,115 @@
+package sim
+
+import "io"
+
+// Config carries the knobs shared by every experiment driver. The zero
+// value selects each experiment's paper defaults, so callers override only
+// what they care about:
+//
+//	res, err := sim.Table2(sim.Config{Seed: 3, Trials: 20})
+//
+// Zero/nil fields mean "use the experiment default"; explicitly invalid
+// values (negative counts) are rejected by the driver's own validation, so
+// tests can still exercise the error paths.
+type Config struct {
+	// Seed roots every RNG stream of the experiment (see internal/runner).
+	Seed int64
+	// Trials overrides the experiment's primary repetition count — trials,
+	// packets, waveforms, samples per class, or commands, whichever the
+	// experiment sweeps. 0 keeps the paper default.
+	Trials int
+	// SNRsDB overrides the swept SNR points. Experiments that run at a
+	// single SNR use the first element. nil keeps the paper default.
+	SNRsDB []float64
+	// Samples overrides a secondary count where one exists (Fig. 12 and
+	// the adaptive defense's held-out test size, the AMC symbols per
+	// estimate). 0 keeps that experiment's default.
+	Samples int
+	// CSV, when non-nil, receives the experiment's plotted series (the
+	// SeriesCSV output, or the rendered table as CSV when the experiment
+	// has no dedicated series).
+	CSV io.Writer
+}
+
+// TrialsOr returns the primary count: def when unset, the override
+// otherwise (including invalid negatives, which drivers reject).
+func (c Config) TrialsOr(def int) int {
+	if c.Trials == 0 {
+		return def
+	}
+	return c.Trials
+}
+
+// SamplesOr is TrialsOr for the secondary count.
+func (c Config) SamplesOr(def int) int {
+	if c.Samples == 0 {
+		return def
+	}
+	return c.Samples
+}
+
+// SNRsOr returns the swept SNR points, def when unset.
+func (c Config) SNRsOr(def ...float64) []float64 {
+	if c.SNRsDB == nil {
+		return def
+	}
+	return c.SNRsDB
+}
+
+// SNROr returns the single operating SNR: the first override point, or def.
+func (c Config) SNROr(def float64) float64 {
+	if len(c.SNRsDB) == 0 {
+		return def
+	}
+	return c.SNRsDB[0]
+}
+
+// Renderable is the contract every experiment result satisfies: it renders
+// to one markdown/CSV table. cmd/experiments prints results through this
+// interface alone.
+type Renderable interface {
+	Render() *Table
+}
+
+// SeriesCSVer is implemented by results that carry a plotted series beyond
+// the summary table (waveform traces, constellation points, ROC curves).
+// WriteCSV prefers it over the rendered table.
+type SeriesCSVer interface {
+	SeriesCSV() (string, error)
+}
+
+// Tabler is implemented by results that render more than one table
+// (Fig. 14 reports both receiver models). Render stays available and
+// returns the first table.
+type Tabler interface {
+	Tables() []*Table
+}
+
+// ResultCSV resolves the CSV form of a result: the dedicated series when
+// the result has one, the rendered table(s) otherwise.
+func ResultCSV(res Renderable) (string, error) {
+	if s, ok := res.(SeriesCSVer); ok {
+		return s.SeriesCSV()
+	}
+	if mt, ok := res.(Tabler); ok {
+		out := ""
+		for _, t := range mt.Tables() {
+			out += t.CSV()
+		}
+		return out, nil
+	}
+	return res.Render().CSV(), nil
+}
+
+// writeSeries sends the result's CSV to cfg.CSV when a sink is configured.
+func (c Config) writeSeries(res Renderable) error {
+	if c.CSV == nil {
+		return nil
+	}
+	csv, err := ResultCSV(res)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(c.CSV, csv)
+	return err
+}

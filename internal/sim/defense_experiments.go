@@ -47,8 +47,10 @@ type Fig6Result struct {
 }
 
 // Fig6 receives one authentic frame through each channel and clusters the
-// reconstructed constellations with k = 4.
-func Fig6(seed int64, snrDB float64) (*Fig6Result, error) {
+// reconstructed constellations with k = 4 (default SNR 17 dB).
+func Fig6(cfg Config) (*Fig6Result, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(17)
 	payloads, err := Payloads(1)
 	if err != nil {
 		return nil, err
@@ -141,6 +143,9 @@ func (r *Fig6Result) Render() *Table {
 	return t
 }
 
+// SeriesCSV exposes the point clouds through the common result interface.
+func (r *Fig6Result) SeriesCSV() (string, error) { return r.PointsCSV(), nil }
+
 // PointsCSV dumps both point clouds for plotting.
 func (r *Fig6Result) PointsCSV() string {
 	out := "env,i,q\n"
@@ -163,9 +168,12 @@ type CumulantSweepResult struct {
 	Waveforms                int
 }
 
-// CumulantSweep receives `waveforms` noisy copies per SNR per class and
-// averages the normalized cumulants.
-func CumulantSweep(seed int64, snrsDB []float64, waveforms int) (*CumulantSweepResult, error) {
+// CumulantSweep receives noisy copies per SNR per class and averages the
+// normalized cumulants. Defaults: 3–19 dB sweep, 100 waveforms per point.
+func CumulantSweep(cfg Config) (*CumulantSweepResult, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(3, 5, 7, 9, 11, 13, 15, 17, 19)
+	waveforms := cfg.TrialsOr(100)
 	if waveforms < 1 {
 		return nil, fmt.Errorf("sim: waveforms %d < 1", waveforms)
 	}
@@ -270,9 +278,12 @@ type Table4Result struct {
 	Samples  int
 }
 
-// Table4 averages D² over `samples` received waveforms per class per SNR.
-func Table4(seed int64, snrsDB []float64, samples int) (*Table4Result, error) {
-	d2o, d2e, err := distanceSamples(seed, snrsDB, samples)
+// Table4 averages D² over received waveforms per class per SNR. Defaults:
+// the paper's {7, 12, 17} dB points at 50 waveforms each.
+func Table4(cfg Config) (*Table4Result, error) {
+	snrsDB := cfg.SNRsOr(7, 12, 17)
+	samples := cfg.TrialsOr(50)
+	d2o, d2e, err := distanceSamples(cfg.Seed, snrsDB, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -383,9 +394,14 @@ type Fig12Result struct {
 	Stats emulation.DetectionStats
 }
 
-// Fig12 calibrates Q on `train` waveforms, then evaluates `test` held-out
-// waveforms per class per SNR.
-func Fig12(seed int64, snrsDB []float64, train, test int) (*Fig12Result, error) {
+// Fig12 calibrates Q on cfg.Trials training waveforms (default 50), then
+// evaluates cfg.Samples held-out waveforms (default: the training count)
+// per class per SNR.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(11, 14, 17)
+	train := cfg.TrialsOr(50)
+	test := cfg.SamplesOr(train)
 	trO, trE, err := distanceSamples(seed, snrsDB, train)
 	if err != nil {
 		return nil, err

@@ -6,7 +6,7 @@ import (
 )
 
 func TestFig6(t *testing.T) {
-	res, err := Fig6(1, 17)
+	res, err := Fig6(Config{Seed: 1, SNRsDB: []float64{17}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestFig6(t *testing.T) {
 
 func TestCumulantSweepShapeMatchesPaper(t *testing.T) {
 	snrs := []float64{5, 11, 17}
-	res, err := CumulantSweep(1, snrs, 6)
+	res, err := CumulantSweep(Config{Seed: 1, SNRsDB: snrs, Trials: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestCumulantSweepShapeMatchesPaper(t *testing.T) {
 	if !strings.Contains(res.RenderC40().Markdown(), "Fig. 11") {
 		t.Error("C40 render missing title")
 	}
-	if _, err := CumulantSweep(1, snrs, 0); err == nil {
+	if _, err := CumulantSweep(Config{Seed: 1, SNRsDB: snrs, Trials: -1}); err == nil {
 		t.Error("accepted 0 waveforms")
 	}
 }
@@ -79,7 +79,7 @@ func absf(v float64) float64 {
 
 func TestTable4ShapeMatchesPaper(t *testing.T) {
 	snrs := []float64{7, 12, 17}
-	res, err := Table4(1, snrs, 8)
+	res, err := Table4(Config{Seed: 1, SNRsDB: snrs, Trials: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +96,14 @@ func TestTable4ShapeMatchesPaper(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Table IV") {
 		t.Error("render missing title")
 	}
-	if _, err := Table4(1, snrs, 0); err == nil {
+	if _, err := Table4(Config{Seed: 1, SNRsDB: snrs, Trials: -1}); err == nil {
 		t.Error("accepted 0 samples")
 	}
 }
 
 func TestFig12DetectsPerfectly(t *testing.T) {
 	snrs := []float64{11, 14, 17}
-	res, err := Fig12(2, snrs, 8, 8)
+	res, err := Fig12(Config{Seed: 2, SNRsDB: snrs, Trials: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ func TestAccuracySweepDeterministicAcrossWorkerCounts(t *testing.T) {
 
 	render := func(workers int) string {
 		runner.SetDefaultWorkers(workers)
-		res, err := AccuracySweep(7, []float64{11, 17}, 30)
+		res, err := AccuracySweep(Config{Seed: 7, SNRsDB: []float64{11, 17}, Trials: 30})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -39,7 +39,7 @@ func TestTable2DeterministicAcrossWorkerCounts(t *testing.T) {
 
 	render := func(workers int) string {
 		runner.SetDefaultWorkers(workers)
-		res, err := Table2(3, []float64{9, 15}, 20)
+		res, err := Table2(Config{Seed: 3, SNRsDB: []float64{9, 15}, Trials: 20})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -94,8 +94,18 @@ type Fig14Result struct {
 }
 
 // Fig14 sweeps distance with the real-environment channel and counts
-// packet/symbol errors over `packets` transmissions per class.
-func Fig14(seed int64, radio RadioConfig, budget DistanceLinkBudget, distances []float64, packets int) (*Fig14Result, error) {
+// packet/symbol errors over cfg.Trials transmissions per class (default
+// 100). A zero budget selects DefaultLinkBudget; nil distances the paper's
+// 1–8 m sweep.
+func Fig14(cfg Config, radio RadioConfig, budget DistanceLinkBudget, distances []float64) (*Fig14Result, error) {
+	seed := cfg.Seed
+	packets := cfg.TrialsOr(100)
+	if budget == (DistanceLinkBudget{}) {
+		budget = DefaultLinkBudget()
+	}
+	if distances == nil {
+		distances = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	}
 	if packets < 1 {
 		return nil, fmt.Errorf("sim: packets %d < 1", packets)
 	}
@@ -230,9 +240,19 @@ type Table5Result struct {
 	Samples    int
 }
 
-// Table5 averages D² per distance over `samples` receptions per class
-// using the real-environment channel and the |C40|/mean-removed detector.
-func Table5(seed int64, budget DistanceLinkBudget, distances []float64, samples int) (*Table5Result, error) {
+// Table5 averages D² per distance over cfg.Trials receptions per class
+// (default 100) using the real-environment channel and the
+// |C40|/mean-removed detector. A zero budget selects DefaultLinkBudget;
+// nil distances the paper's 1–6 m sweep.
+func Table5(cfg Config, budget DistanceLinkBudget, distances []float64) (*Table5Result, error) {
+	seed := cfg.Seed
+	samples := cfg.TrialsOr(100)
+	if budget == (DistanceLinkBudget{}) {
+		budget = DefaultLinkBudget()
+	}
+	if distances == nil {
+		distances = []float64{1, 2, 3, 4, 5, 6}
+	}
 	if samples < 1 {
 		return nil, fmt.Errorf("sim: samples %d < 1", samples)
 	}

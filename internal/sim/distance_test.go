@@ -15,11 +15,11 @@ func TestFig14ShapeMatchesPaper(t *testing.T) {
 	distances := []float64{1, 5, 8}
 	const packets = 12
 
-	usrp, err := Fig14(3, USRPReceiver(), budget, distances, packets)
+	usrp, err := Fig14(Config{Seed: 3, Trials: packets}, USRPReceiver(), budget, distances)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cc, err := Fig14(3, CC26x2R1Receiver(), budget, distances, packets)
+	cc, err := Fig14(Config{Seed: 3, Trials: packets}, CC26x2R1Receiver(), budget, distances)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,10 +51,10 @@ func TestFig14ShapeMatchesPaper(t *testing.T) {
 	if !strings.Contains(usrp.Render().Markdown(), "USRP") {
 		t.Error("render missing radio name")
 	}
-	if _, err := Fig14(3, USRPReceiver(), budget, distances, 0); err == nil {
+	if _, err := Fig14(Config{Seed: 3, Trials: -1}, USRPReceiver(), budget, distances); err == nil {
 		t.Error("accepted 0 packets")
 	}
-	if _, err := Fig14(3, USRPReceiver(), budget, []float64{-1}, 2); err == nil {
+	if _, err := Fig14(Config{Seed: 3, Trials: 2}, USRPReceiver(), budget, []float64{-1}); err == nil {
 		t.Error("accepted negative distance")
 	}
 }
@@ -65,7 +65,7 @@ func TestTable5ShapeMatchesPaper(t *testing.T) {
 	}
 	budget := DefaultLinkBudget()
 	distances := []float64{1, 3, 6}
-	res, err := Table5(4, budget, distances, 6)
+	res, err := Table5(Config{Seed: 4, Trials: 6}, budget, distances)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestTable5ShapeMatchesPaper(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Table V") {
 		t.Error("render missing title")
 	}
-	if _, err := Table5(4, budget, distances, 0); err == nil {
+	if _, err := Table5(Config{Seed: 4, Trials: -1}, budget, distances); err == nil {
 		t.Error("accepted 0 samples")
 	}
 }

@@ -22,8 +22,12 @@ type EvasionResult struct {
 	Trials     int
 }
 
-// Evasion evaluates attacker variants at one SNR.
-func Evasion(seed int64, snrDB float64, trials int) (*EvasionResult, error) {
+// Evasion evaluates attacker variants at one SNR (default 15 dB,
+// 50 trials).
+func Evasion(cfg Config) (*EvasionResult, error) {
+	seed := cfg.Seed
+	snrDB := cfg.SNROr(15)
+	trials := cfg.TrialsOr(50)
 	if trials < 1 {
 		return nil, fmt.Errorf("sim: trials %d < 1", trials)
 	}

@@ -1,0 +1,152 @@
+package sim
+
+// Experiment is one registered table/figure reproduction. The registry is
+// the single source of truth for cmd/experiments: usage text, the
+// subcommand switch, and the `all` iteration order all derive from it.
+type Experiment struct {
+	// Name is the subcommand ("table2", "fig12", "ablation-alpha", …).
+	Name string
+	// Desc is the one-line summary shown by `experiments list`.
+	Desc string
+	// OmitFooter suppresses the shared defense-threshold footer for
+	// experiments that print multiple tables (Fig. 14).
+	OmitFooter bool
+	// Run executes the experiment with the unified configuration.
+	Run func(cfg Config) (Renderable, error)
+}
+
+// Fig10View renders a cumulant sweep as the Fig. 10 (Ĉ42) table.
+type Fig10View struct{ *CumulantSweepResult }
+
+// Render emits the Ĉ42 rows.
+func (v Fig10View) Render() *Table { return v.RenderC42() }
+
+// Fig11View renders a cumulant sweep as the Fig. 11 (Ĉ40) table.
+type Fig11View struct{ *CumulantSweepResult }
+
+// Render emits the Ĉ40 rows.
+func (v Fig11View) Render() *Table { return v.RenderC40() }
+
+// Fig14Pair bundles the two receiver models of Fig. 14.
+type Fig14Pair struct {
+	USRP     *Fig14Result
+	CC26x2R1 *Fig14Result
+}
+
+// Render returns the USRP table; Tables carries both.
+func (p *Fig14Pair) Render() *Table { return p.USRP.Render() }
+
+// Tables returns both receiver tables in paper order.
+func (p *Fig14Pair) Tables() []*Table {
+	return []*Table{p.USRP.Render(), p.CC26x2R1.Render()}
+}
+
+// wrap adapts a concrete driver to the registry signature and routes the
+// result to cfg.CSV when a sink is configured.
+func wrap[T Renderable](run func(cfg Config) (T, error)) func(cfg Config) (Renderable, error) {
+	return func(cfg Config) (Renderable, error) {
+		res, err := run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.writeSeries(res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// registry lists every experiment in the canonical `all` order.
+var registry = []Experiment{
+	{Name: "table1", Desc: "frequency points of the observed ZigBee waveform (Table I)",
+		Run: wrap(func(cfg Config) (*Table1Result, error) { return Table1(cfg, nil, 0, 0) })},
+	{Name: "table2", Desc: "emulation attack success rate vs SNR under AWGN (Table II)",
+		Run: wrap(func(cfg Config) (*Table2Result, error) { return Table2(cfg) })},
+	{Name: "fig5", Desc: "original vs emulated I/Q waveform fidelity (Fig. 5)",
+		Run: wrap(func(cfg Config) (*Fig5Result, error) { return Fig5(cfg, 0) })},
+	{Name: "fig6", Desc: "reconstructed constellation under AWGN and real channels (Fig. 6)",
+		Run: wrap(func(cfg Config) (*Fig6Result, error) { return Fig6(cfg) })},
+	{Name: "fig7", Desc: "Hamming-distance distribution of received chips (Fig. 7)",
+		Run: wrap(func(cfg Config) (*Fig7Result, error) { return Fig7(cfg) })},
+	{Name: "fig8", Desc: "received waveforms and CP-repetition baseline (Fig. 8)",
+		Run: wrap(func(cfg Config) (*Fig8Result, error) { return Fig8(cfg) })},
+	{Name: "fig9", Desc: "OQPSK demod output and chip-sequence baseline (Fig. 9)",
+		Run: wrap(func(cfg Config) (*Fig9Result, error) { return Fig9(cfg) })},
+	{Name: "fig10", Desc: "Ĉ42 vs SNR for both waveform classes (Fig. 10)",
+		Run: wrap(func(cfg Config) (Fig10View, error) {
+			res, err := CumulantSweep(cfg)
+			return Fig10View{res}, err
+		})},
+	{Name: "fig11", Desc: "Ĉ40 vs SNR for both waveform classes (Fig. 11)",
+		Run: wrap(func(cfg Config) (Fig11View, error) {
+			res, err := CumulantSweep(cfg)
+			return Fig11View{res}, err
+		})},
+	{Name: "table4", Desc: "averaged D²E per SNR per class (Table IV)",
+		Run: wrap(func(cfg Config) (*Table4Result, error) { return Table4(cfg) })},
+	{Name: "fig12", Desc: "calibrated-threshold defense on held-out waveforms (Fig. 12)",
+		Run: wrap(func(cfg Config) (*Fig12Result, error) { return Fig12(cfg) })},
+	{Name: "fig14", Desc: "attack performance vs distance, USRP and CC26x2R1 (Fig. 14)", OmitFooter: true,
+		Run: wrap(func(cfg Config) (*Fig14Pair, error) {
+			usrp, err := Fig14(cfg, USRPReceiver(), DistanceLinkBudget{}, nil)
+			if err != nil {
+				return nil, err
+			}
+			cc, err := Fig14(cfg, CC26x2R1Receiver(), DistanceLinkBudget{}, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &Fig14Pair{USRP: usrp, CC26x2R1: cc}, nil
+		})},
+	{Name: "table5", Desc: "averaged D²E vs distance in the real environment (Table V)",
+		Run: wrap(func(cfg Config) (*Table5Result, error) { return Table5(cfg, DistanceLinkBudget{}, nil) })},
+	{Name: "ablation-subcarriers", Desc: "emulation fidelity vs preserved subcarrier budget",
+		Run: wrap(func(cfg Config) (*AblationSubcarriersResult, error) { return AblationSubcarriers(cfg, nil) })},
+	{Name: "ablation-alpha", Desc: "QAM constellation-scaler strategies (Eq. 4)",
+		Run: wrap(func(cfg Config) (*AblationAlphaResult, error) { return AblationAlpha(cfg) })},
+	{Name: "ablation-source", Desc: "defense chip-source comparison across receiver taps",
+		Run: wrap(func(cfg Config) (*AblationDefenseSourceResult, error) { return AblationDefenseSource(cfg) })},
+	{Name: "ablation-samples", Desc: "defense sensitivity to the cumulant sample count",
+		Run: wrap(func(cfg Config) (*AblationSampleCountResult, error) { return AblationSampleCount(cfg, nil) })},
+	{Name: "ablation-interp", Desc: "attacker interpolation quality (windowed-sinc vs linear)",
+		Run: wrap(func(cfg Config) (*AblationInterpolationResult, error) { return AblationInterpolation(cfg) })},
+	{Name: "ablation-coarse", Desc: "coarse-estimation highlight threshold sweep (Sec. V-A-2)",
+		Run: wrap(func(cfg Config) (*AblationCoarseThresholdResult, error) { return AblationCoarseThreshold(cfg, nil) })},
+	{Name: "spectrum", Desc: "band occupancy and truncation loss (Fig. 3 numerology)",
+		Run: wrap(func(cfg Config) (*SpectrumResult, error) { return Spectrum(cfg, nil) })},
+	{Name: "accuracy", Desc: "fixed-threshold detection accuracy across SNR",
+		Run: wrap(func(cfg Config) (*AccuracySweepResult, error) { return AccuracySweep(cfg) })},
+	{Name: "session", Desc: "acknowledged delivery over the full APP/MAC/PHY stack",
+		Run: wrap(func(cfg Config) (*SessionReliabilityResult, error) { return SessionReliability(cfg) })},
+	{Name: "adaptive", Desc: "fixed-Q vs SNR-indexed adaptive defense",
+		Run: wrap(func(cfg Config) (*AdaptiveAccuracyResult, error) { return AdaptiveAccuracy(cfg) })},
+	{Name: "coded", Desc: "standards-compliant attacker models vs attack quality",
+		Run: wrap(func(cfg Config) (*CodedHitRatesResult, error) { return CodedHitRates(cfg, nil) })},
+	{Name: "roc", Desc: "detector operating curve over the D² threshold sweep",
+		Run: wrap(func(cfg Config) (*ROCResult, error) { return ROC(cfg) })},
+	{Name: "evasion", Desc: "attacker variants against the fixed defense",
+		Run: wrap(func(cfg Config) (*EvasionResult, error) { return Evasion(cfg) })},
+	{Name: "amc", Desc: "hierarchical cumulant classifier over the QAM family",
+		Run: wrap(func(cfg Config) (*AMCResult, error) { return AMC(cfg) })},
+	{Name: "csma", Desc: "attacker channel access vs gateway duty cycle",
+		Run: wrap(func(cfg Config) (*CSMAScenarioResult, error) { return CSMAScenario(cfg, nil) })},
+}
+
+// Registry returns every experiment in canonical order (the order `all`
+// runs them in). The returned slice is a copy; the entries share the
+// underlying Run closures.
+func Registry() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by subcommand name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// canonicalOrder is the experiment sequence the `all` subcommand has always
+// used; the registry must preserve it exactly so stdout stays byte-stable.
+var canonicalOrder = []string{
+	"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "table4", "fig12", "fig14", "table5",
+	"ablation-subcarriers", "ablation-alpha", "ablation-source",
+	"ablation-samples", "ablation-interp", "ablation-coarse",
+	"spectrum", "accuracy", "session", "adaptive", "coded",
+	"roc", "evasion", "amc", "csma",
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	reg := Registry()
+	if len(reg) != len(canonicalOrder) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(canonicalOrder))
+	}
+	seen := make(map[string]bool)
+	for i, exp := range reg {
+		if exp.Name != canonicalOrder[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, exp.Name, canonicalOrder[i])
+		}
+		if seen[exp.Name] {
+			t.Errorf("duplicate experiment name %q", exp.Name)
+		}
+		seen[exp.Name] = true
+		if exp.Desc == "" {
+			t.Errorf("experiment %q has empty description", exp.Name)
+		}
+		if exp.Run == nil {
+			t.Errorf("experiment %q has nil Run", exp.Name)
+		}
+	}
+}
+
+func TestRegistryReturnsCopy(t *testing.T) {
+	reg := Registry()
+	reg[0].Name = "mutated"
+	if Registry()[0].Name != canonicalOrder[0] {
+		t.Fatal("Registry() exposed internal slice to mutation")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	exp, ok := Lookup("fig5")
+	if !ok || exp.Name != "fig5" {
+		t.Fatalf("Lookup(fig5) = %+v, %v", exp, ok)
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("Lookup(nonsense) succeeded")
+	}
+}
+
+func TestRegistryRunFig5(t *testing.T) {
+	exp, ok := Lookup("fig5")
+	if !ok {
+		t.Fatal("fig5 not registered")
+	}
+	var buf strings.Builder
+	res, err := exp.Run(Config{CSV: &buf})
+	if err != nil {
+		t.Fatalf("fig5 run: %v", err)
+	}
+	table := res.Render()
+	if table == nil || len(table.Rows) == 0 {
+		t.Fatal("fig5 rendered an empty table")
+	}
+	csv, err := ResultCSV(res)
+	if err != nil {
+		t.Fatalf("fig5 ResultCSV: %v", err)
+	}
+	if csv == "" {
+		t.Fatal("fig5 produced empty CSV")
+	}
+	if buf.String() != csv {
+		t.Fatal("cfg.CSV writer did not receive the series CSV")
+	}
+}
+
+func TestRegistryFig14Tables(t *testing.T) {
+	exp, ok := Lookup("fig14")
+	if !ok {
+		t.Fatal("fig14 not registered")
+	}
+	if !exp.OmitFooter {
+		t.Fatal("fig14 must omit the defense footer")
+	}
+	res, err := exp.Run(Config{Trials: 2})
+	if err != nil {
+		t.Fatalf("fig14 run: %v", err)
+	}
+	tab, ok := res.(Tabler)
+	if !ok {
+		t.Fatal("fig14 result does not implement Tabler")
+	}
+	if got := len(tab.Tables()); got != 2 {
+		t.Fatalf("fig14 Tables() = %d tables, want 2", got)
+	}
+}

@@ -24,9 +24,11 @@ type ROCResult struct {
 	Samples int
 }
 
-// ROC collects D² samples for both classes at one SNR and sweeps Q.
-func ROC(seed int64, snrDB float64, samples int) (*ROCResult, error) {
-	d2o, d2e, err := distanceSamples(seed, []float64{snrDB}, samples)
+// ROC collects D² samples for both classes at one SNR (default 13 dB,
+// 100 samples per class) and sweeps Q.
+func ROC(cfg Config) (*ROCResult, error) {
+	snrDB := cfg.SNROr(13)
+	d2o, d2e, err := distanceSamples(cfg.Seed, []float64{snrDB}, cfg.TrialsOr(100))
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +95,9 @@ func (r *ROCResult) Render() *Table {
 	}
 	return t
 }
+
+// SeriesCSV exposes the full curve through the common result interface.
+func (r *ROCResult) SeriesCSV() (string, error) { return r.CSV(), nil }
 
 // CSV dumps the full curve.
 func (r *ROCResult) CSV() string {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestROCNearPerfectAtHighSNR(t *testing.T) {
-	res, err := ROC(8, 15, 10)
+	res, err := ROC(Config{Seed: 8, SNRsDB: []float64{15}, Trials: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,13 +28,13 @@ func TestROCNearPerfectAtHighSNR(t *testing.T) {
 	if !strings.Contains(res.CSV(), "threshold,tpr,fpr") {
 		t.Error("CSV header missing")
 	}
-	if _, err := ROC(8, 15, 0); err == nil {
+	if _, err := ROC(Config{Seed: 8, SNRsDB: []float64{15}, Trials: -1}); err == nil {
 		t.Error("accepted 0 samples")
 	}
 }
 
 func TestROCMonotone(t *testing.T) {
-	res, err := ROC(9, 11, 8)
+	res, err := ROC(Config{Seed: 9, SNRsDB: []float64{11}, Trials: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestRocFromSamplesValidation(t *testing.T) {
 }
 
 func TestEvasion(t *testing.T) {
-	res, err := Evasion(10, 15, 5)
+	res, err := Evasion(Config{Seed: 10, SNRsDB: []float64{15}, Trials: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,13 +97,13 @@ func TestEvasion(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Evasion") {
 		t.Error("render missing title")
 	}
-	if _, err := Evasion(10, 15, 0); err == nil {
+	if _, err := Evasion(Config{Seed: 10, SNRsDB: []float64{15}, Trials: -1}); err == nil {
 		t.Error("accepted 0 trials")
 	}
 }
 
 func TestAMCAccuracyImprovesWithSNR(t *testing.T) {
-	res, err := AMC(11, []float64{5, 20}, 2000, 4)
+	res, err := AMC(Config{Seed: 11, SNRsDB: []float64{5, 20}, Samples: 2000, Trials: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,13 +122,13 @@ func TestAMCAccuracyImprovesWithSNR(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "AMC") {
 		t.Error("render missing title")
 	}
-	if _, err := AMC(11, []float64{10}, 10, 4); err == nil {
+	if _, err := AMC(Config{Seed: 11, SNRsDB: []float64{10}, Samples: 10, Trials: 4}); err == nil {
 		t.Error("accepted tiny sample count")
 	}
 }
 
 func TestCSMAScenario(t *testing.T) {
-	res, err := CSMAScenario(12, []float64{0, 0.3, 0.9}, 100)
+	res, err := CSMAScenario(Config{Seed: 12, Trials: 100}, []float64{0, 0.3, 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +141,10 @@ func TestCSMAScenario(t *testing.T) {
 	if res.MeanDelayUs[2] <= res.MeanDelayUs[0] {
 		t.Errorf("delay did not grow with contention: %v", res.MeanDelayUs)
 	}
-	if _, err := CSMAScenario(12, []float64{2}, 10); err == nil {
+	if _, err := CSMAScenario(Config{Seed: 12, Trials: 10}, []float64{2}); err == nil {
 		t.Error("accepted duty cycle > 1")
 	}
-	if _, err := CSMAScenario(12, []float64{0.5}, 0); err == nil {
+	if _, err := CSMAScenario(Config{Seed: 12, Trials: -1}, []float64{0.5}); err == nil {
 		t.Error("accepted 0 trials")
 	}
 	if !strings.Contains(res.Render().Markdown(), "CSMA") {

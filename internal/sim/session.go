@@ -127,7 +127,11 @@ type SessionReliabilityResult struct {
 }
 
 // SessionReliability measures the full-stack exchange at each SNR.
-func SessionReliability(seed int64, snrsDB []float64, commands int) (*SessionReliabilityResult, error) {
+// Defaults: the marginal −10…0 dB band at 50 commands per point.
+func SessionReliability(cfg Config) (*SessionReliabilityResult, error) {
+	seed := cfg.Seed
+	snrsDB := cfg.SNRsOr(-10, -8, -6, -4, 0)
+	commands := cfg.TrialsOr(50)
 	if commands < 1 {
 		return nil, fmt.Errorf("sim: commands %d < 1", commands)
 	}

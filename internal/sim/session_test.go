@@ -38,7 +38,7 @@ func TestSessionRetriesRecoverMarginalLink(t *testing.T) {
 	// DSSS is robust far below 0 dB (≈15 dB processing gain + the matched
 	// filter); the marginal region sits near −6 dB, where single
 	// transmissions often fail and retries recover most exchanges.
-	single, err := SessionReliability(22, []float64{-6}, 40)
+	single, err := SessionReliability(Config{Seed: 22, SNRsDB: []float64{-6}, Trials: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestSessionRetriesRecoverMarginalLink(t *testing.T) {
 }
 
 func TestSessionReliabilityMonotone(t *testing.T) {
-	res, err := SessionReliability(23, []float64{-8, -5, 20}, 25)
+	res, err := SessionReliability(Config{Seed: 23, SNRsDB: []float64{-8, -5, 20}, Trials: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestSessionReliabilityMonotone(t *testing.T) {
 	if !strings.Contains(res.Render().Markdown(), "Session") {
 		t.Error("render missing title")
 	}
-	if _, err := SessionReliability(23, []float64{10}, 0); err == nil {
+	if _, err := SessionReliability(Config{Seed: 23, SNRsDB: []float64{10}, Trials: -1}); err == nil {
 		t.Error("accepted 0 commands")
 	}
 }

@@ -1,9 +1,10 @@
 // Package sim wires the full stack — APP payloads, ZigBee MAC/PHY, the
 // WiFi attacker, channel models, and the defense — into reproducible
 // experiment drivers, one per table and figure of the paper's evaluation
-// (Sec. VII). Every driver takes an explicit seed and returns a structured
-// result with a markdown renderer, so cmd/experiments and the benchmarks
-// share one implementation.
+// (Sec. VII). Every driver takes a Config (zero value = paper defaults)
+// and returns a structured result satisfying Renderable, so
+// cmd/experiments, the registry, and the benchmarks share one
+// implementation. Registry lists every experiment in canonical order.
 //
 // Execution model: every trial fan-out routes through internal/runner.
 // Each sweep point owns a disjoint salt region (see sweepBase), each trial

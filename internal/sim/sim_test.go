@@ -110,7 +110,7 @@ func TestSeries(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	res, err := Table1([]byte("000990"), 6, 3)
+	res, err := Table1(Config{}, []byte("000990"), 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,16 +124,16 @@ func TestTable1(t *testing.T) {
 	if !strings.Contains(md, "Table I") {
 		t.Error("render missing title")
 	}
-	if _, err := Table1([]byte("x"), 0, 3); err == nil {
-		t.Error("accepted 0 segments")
+	if _, err := Table1(Config{}, []byte("x"), -1, 3); err == nil {
+		t.Error("accepted negative segments")
 	}
-	if _, err := Table1([]byte("x"), 10000, 3); err == nil {
+	if _, err := Table1(Config{}, []byte("x"), 10000, 3); err == nil {
 		t.Error("accepted too many segments")
 	}
 }
 
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	res, err := Table2(1, []float64{5, 11, 17}, 25)
+	res, err := Table2(Config{Seed: 1, SNRsDB: []float64{5, 11, 17}, Trials: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 	if res.SuccessRates[2] < 0.95 {
 		t.Errorf("success at 17 dB = %g, want ≈ 1", res.SuccessRates[2])
 	}
-	if _, err := Table2(1, []float64{7}, 0); err == nil {
+	if _, err := Table2(Config{Seed: 1, SNRsDB: []float64{7}, Trials: -1}); err == nil {
 		t.Error("accepted 0 trials")
 	}
 	if !strings.Contains(res.Render().Markdown(), "Table II") {
@@ -157,7 +157,7 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	res, err := Fig5(0)
+	res, err := Fig5(Config{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,13 +174,13 @@ func TestFig5(t *testing.T) {
 	if !strings.Contains(csv, "original_I") {
 		t.Error("CSV missing series")
 	}
-	if _, err := Fig5(99); err == nil {
+	if _, err := Fig5(Config{}, 99); err == nil {
 		t.Error("accepted invalid symbol")
 	}
 }
 
 func TestFig7ShapeMatchesPaper(t *testing.T) {
-	res, err := Fig7(5)
+	res, err := Fig7(Config{Trials: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,13 +199,13 @@ func TestFig7ShapeMatchesPaper(t *testing.T) {
 	if high < 0.05 {
 		t.Errorf("emulated mass at distance ≥4 = %g, want a visible tail", high)
 	}
-	if _, err := Fig7(0); err == nil {
+	if _, err := Fig7(Config{Trials: -1}); err == nil {
 		t.Error("accepted 0 packets")
 	}
 }
 
 func TestFig8(t *testing.T) {
-	res, err := Fig8(1, 17)
+	res, err := Fig8(Config{Seed: 1, SNRsDB: []float64{17}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestFig8(t *testing.T) {
 }
 
 func TestFig9(t *testing.T) {
-	res, err := Fig9()
+	res, err := Fig9(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

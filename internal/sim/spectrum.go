@@ -30,8 +30,13 @@ type SpectrumResult struct {
 	VictimBandLeakage float64
 }
 
-// Spectrum measures all figures on a 100-symbol waveform.
-func Spectrum(payload []byte) (*SpectrumResult, error) {
+// Spectrum measures all figures on a 100-symbol waveform (nil payload:
+// the 10-byte "0000000017" workload). Deterministic; cfg is accepted for
+// API uniformity.
+func Spectrum(_ Config, payload []byte) (*SpectrumResult, error) {
+	if payload == nil {
+		payload = []byte("0000000017")
+	}
 	tx := zigbee.NewTransmitter()
 	obs, err := tx.TransmitPSDU(payload)
 	if err != nil {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestSpectrum(t *testing.T) {
-	res, err := Spectrum([]byte("0000000017"))
+	res, err := Spectrum(Config{}, []byte("0000000017"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestSpectrum(t *testing.T) {
 }
 
 func TestAblationInterpolation(t *testing.T) {
-	res, err := AblationInterpolation()
+	res, err := AblationInterpolation(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestAblationInterpolation(t *testing.T) {
 }
 
 func TestAblationCoarseThreshold(t *testing.T) {
-	res, err := AblationCoarseThreshold([]float64{0.5, 3, 8, 30})
+	res, err := AblationCoarseThreshold(Config{}, []float64{0.5, 3, 8, 30})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,10 @@
+package wifi
+
+import "hideseek/internal/obs"
+
+// Stage timers for the run manifest: full-frame OFDM modulation and
+// demodulation. Measurement only — see package obs.
+var (
+	obsBuildFrame  = obs.T("wifi.build_frame")
+	obsDecodeFrame = obs.T("wifi.decode_frame")
+)

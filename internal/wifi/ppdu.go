@@ -2,6 +2,7 @@ package wifi
 
 import (
 	"fmt"
+	"time"
 
 	"hideseek/internal/bits"
 )
@@ -111,6 +112,7 @@ func DataBitsPerSymbol(r Rate) (int, error) {
 // BuildFrame assembles the complete PPDU waveform for a PSDU at the given
 // rate, using scramblerSeed as the TX scrambler initial state.
 func BuildFrame(psdu []byte, r Rate, scramblerSeed byte) ([]complex128, error) {
+	defer obsBuildFrame.Since(time.Now())
 	if len(psdu) < 1 || len(psdu) > 4095 {
 		return nil, fmt.Errorf("wifi: PSDU length %d outside [1, 4095]", len(psdu))
 	}
@@ -178,6 +180,7 @@ const preambleSamples = 320
 // SIGNAL, demodulates the DATA symbols, and returns the PSDU. The TX
 // scrambler seed is recovered from the SERVICE field, as real receivers do.
 func DecodeFrame(waveform []complex128) ([]byte, SignalField, error) {
+	defer obsDecodeFrame.Since(time.Now())
 	if len(waveform) < preambleSamples+SymbolSamples {
 		return nil, SignalField{}, fmt.Errorf("wifi: waveform too short for preamble + SIGNAL")
 	}

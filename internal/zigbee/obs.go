@@ -1,0 +1,11 @@
+package zigbee
+
+import "hideseek/internal/obs"
+
+// Stage timers for the run manifest: preamble search and DSSS despreading
+// are the receiver's two dominant costs. Measurement only — see package
+// obs.
+var (
+	obsSync     = obs.T("zigbee.sync")
+	obsDespread = obs.T("zigbee.despread")
+)

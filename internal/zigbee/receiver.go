@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"hideseek/internal/dsp"
 )
@@ -184,6 +185,7 @@ func (rx *Receiver) correlate(waveform []complex128) []float64 {
 // Synchronize finds the frame start by normalized correlation against the
 // modulated SHR. It returns the start sample and the correlation peak.
 func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
+	defer obsSync.Since(time.Now())
 	corr := rx.correlate(waveform)
 	if corr == nil {
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
@@ -370,6 +372,7 @@ func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Recepti
 // decodeChips demodulates numChips from the phase-corrected waveform and
 // despreads them using the configured mode.
 func (rx *Receiver) decodeChips(avail []complex128, numChips int) ([]byte, []DespreadResult, int, error) {
+	defer obsDespread.Since(time.Now())
 	var (
 		results []DespreadResult
 		err     error
