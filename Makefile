@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments manifest-smoke examples clean
+.PHONY: all build vet test race bench experiments manifest-smoke stream-smoke examples clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ manifest-smoke:
 	$(GO) run ./cmd/experiments table2 -trials 5 -manifest .manifest-smoke.json > /dev/null
 	$(GO) run ./cmd/manifestcheck .manifest-smoke.json
 	rm -f .manifest-smoke.json
+
+# Smoke-test the online defense service: boot hideseekd on loopback,
+# classify an authentic+emulated capture over HTTP and raw TCP, and
+# validate the shutdown manifest.
+stream-smoke:
+	$(GO) test ./cmd/hideseekd -run TestStreamSmoke -count=1
 
 examples:
 	$(GO) run ./examples/quickstart

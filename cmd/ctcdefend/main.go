@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
 	"hideseek/internal/iq"
+	"hideseek/internal/stream"
 	"hideseek/internal/zigbee"
 )
 
@@ -127,49 +129,52 @@ func run() error {
 }
 
 // classifyFile runs the detector on a captured waveform (SDR interop).
+// cf32 captures stream through the chunked pipeline — the file is never
+// loaded whole, so arbitrarily long SDR recordings classify in bounded
+// memory and every frame in the capture gets its own verdict line. CSV
+// (a debug format with no incremental reader) still slurps.
 func classifyFile(path string, threshold float64, realEnv bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	const limit = 50_000_000
-	var wave []complex128
+	var src stream.Source
 	if len(path) > 4 && path[len(path)-4:] == ".csv" {
-		wave, err = iq.ReadCSV(f, limit)
+		wave, err := iq.ReadCSV(f, 50_000_000)
+		if err != nil {
+			return err
+		}
+		src = stream.NewSliceSource(wave)
 	} else {
-		wave, err = iq.ReadCF32(f, limit)
+		src = iq.NewReaderCF32(f)
 	}
-	if err != nil {
-		return err
+	cfg := stream.Config{
+		Receiver: zigbee.ReceiverConfig{SyncThreshold: 0.3},
+		Defense: emulation.DefenseConfig{
+			Threshold:  threshold,
+			RemoveMean: realEnv,
+			UseAbsC40:  realEnv,
+		},
 	}
-	rx, err := zigbee.NewReceiver(zigbee.ReceiverConfig{SyncThreshold: 0.3})
-	if err != nil {
-		return err
-	}
-	det, err := emulation.NewDetector(emulation.DefenseConfig{
-		Threshold:  threshold,
-		RemoveMean: realEnv,
-		UseAbsC40:  realEnv,
+	stats, err := stream.Process(context.Background(), cfg, src, func(v stream.Verdict) {
+		if !v.Decided() {
+			fmt.Printf("%s @%d: frame not classified (%s)\n", path, v.Offset, v.Err)
+			return
+		}
+		verdict := "AUTHENTIC (H0)"
+		if v.Attack {
+			verdict = "ATTACK (H1)"
+		}
+		fmt.Printf("%s @%d: PSDU %q, Ĉ40 = %+.4f%+.4fi, Ĉ42 = %+.4f, D²E = %.4f → %s\n",
+			path, v.Offset, v.PSDU, v.C40Re, v.C40Im, v.C42, v.DistanceSquared, verdict)
 	})
 	if err != nil {
 		return err
 	}
-	rec, err := rx.Receive(wave)
-	if err != nil {
-		return fmt.Errorf("no decodable ZigBee frame in %s: %w", path, err)
+	if stats.Frames == 0 {
+		return fmt.Errorf("no decodable ZigBee frame in %s (%d samples scanned)", path, stats.Samples)
 	}
-	v, err := det.AnalyzeReception(rec)
-	if err != nil {
-		return err
-	}
-	verdict := "AUTHENTIC (H0)"
-	if v.Attack {
-		verdict = "ATTACK (H1)"
-	}
-	fmt.Printf("%s: PSDU %q, Ĉ40 = %+.4f%+.4fi, Ĉ42 = %+.4f, D²E = %.4f → %s\n",
-		path, rec.PSDU, real(v.Cumulants.C40), imag(v.Cumulants.C40), v.Cumulants.C42,
-		v.DistanceSquared, verdict)
 	return nil
 }
 

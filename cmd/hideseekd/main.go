@@ -1,0 +1,340 @@
+// Command hideseekd is the online defense service: a daemon that accepts
+// captured or live 4 MS/s I/Q streams and runs the streaming detection
+// pipeline (internal/stream) over them — ZigBee frame sync, DSSS
+// despreading, and the constellation-cumulant emulation defense — with
+// one shared worker pool batching frames across every connection.
+//
+// Endpoints:
+//
+//	POST /v1/classify   cf32 body in, one JSON document out (all verdicts + stats)
+//	POST /v1/stream     cf32 body in, NDJSON out (one verdict per line, stats trailer)
+//	GET  /healthz       liveness + pool status
+//	GET  /v1/obs        instrument snapshot (counters include stream.dropped_frames)
+//
+// With -tcp the daemon also accepts raw TCP connections carrying cf32
+// bytes (an SDR pipe, netcat) and answers with NDJSON verdicts on the
+// same connection.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners close, in-flight
+// sessions drain, the worker pool stops, and -manifest (if set) receives
+// a kind=service run manifest that cmd/manifestcheck validates.
+//
+// Usage:
+//
+//	hideseekd [-addr host:port] [-tcp host:port] [-workers n] [-queue n]
+//	          [-chunk n] [-pending n] [-threshold q] [-real] [-sync t]
+//	          [-deadline d] [-manifest out.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/iq"
+	"hideseek/internal/obs"
+	"hideseek/internal/stream"
+	"hideseek/internal/zigbee"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hideseekd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("hideseekd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", "127.0.0.1:8473", "HTTP listen address")
+	tcpAddr := fs.String("tcp", "", "raw TCP listen address: cf32 in, NDJSON verdicts out (empty = disabled)")
+	workers := fs.Int("workers", 0, "decode/detect worker pool width (0 = derived from GOMAXPROCS)")
+	queue := fs.Int("queue", 256, "shared frame queue depth; oldest frames drop past this")
+	chunk := fs.Int("chunk", 4096, "samples per ingest block")
+	pending := fs.Int("pending", 64, "max in-flight frames per session before its reads block")
+	threshold := fs.Float64("threshold", emulation.DefaultThreshold, "decision threshold Q")
+	realEnv := fs.Bool("real", false, "real-environment statistics: mean removal + |C40| (Sec. VI-C)")
+	syncThr := fs.Float64("sync", 0.3, "preamble sync correlation threshold")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-request idle read deadline (0 = none)")
+	manifest := fs.String("manifest", "", "write a kind=service run manifest here on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	engine, err := stream.NewEngine(stream.Config{
+		ChunkSize:  *chunk,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxPending: *pending,
+		Receiver:   zigbee.ReceiverConfig{SyncThreshold: *syncThr},
+		Defense: emulation.DefenseConfig{
+			Threshold:  *threshold,
+			RemoveMean: *realEnv,
+			UseAbsC40:  *realEnv,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	d := newDaemon(engine, *deadline)
+
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpLn, err := net.Listen("tcp", *addr)
+	if err != nil {
+		engine.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler: d.routes(),
+		// Request contexts descend from the signal context, so streaming
+		// handlers observe shutdown and drain instead of running forever.
+		BaseContext: func(net.Listener) context.Context { return sigCtx },
+	}
+	fmt.Fprintf(logw, "hideseekd: listening on http://%s\n", httpLn.Addr())
+
+	var tcpLn net.Listener
+	var conns sync.WaitGroup
+	if *tcpAddr != "" {
+		tcpLn, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			httpLn.Close()
+			engine.Close()
+			return err
+		}
+		fmt.Fprintf(logw, "hideseekd: raw tcp on %s\n", tcpLn.Addr())
+		go d.serveTCP(sigCtx, tcpLn, &conns)
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(httpLn) }()
+
+	select {
+	case err := <-errc:
+		if tcpLn != nil {
+			tcpLn.Close()
+			conns.Wait()
+		}
+		engine.Close()
+		return err
+	case <-sigCtx.Done():
+	}
+
+	fmt.Fprintln(logw, "hideseekd: shutting down")
+	graceCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintf(logw, "hideseekd: http shutdown: %v\n", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if tcpLn != nil {
+		tcpLn.Close()
+		conns.Wait()
+	}
+	// All sessions have drained; now the pool can stop.
+	engine.Close()
+
+	if *manifest != "" {
+		m := obs.NewManifest("hideseekd", 0, engine.Workers())
+		m.Kind = obs.KindService
+		m.WallMS = float64(time.Since(d.start).Microseconds()) / 1000
+		m.Snapshot = obs.Snap()
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("shutdown manifest invalid: %w", err)
+		}
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "hideseekd: manifest written to %s\n", *manifest)
+	}
+	return nil
+}
+
+// daemon binds the shared engine to the protocol handlers.
+type daemon struct {
+	engine   *stream.Engine
+	deadline time.Duration
+	start    time.Time
+}
+
+func newDaemon(e *stream.Engine, deadline time.Duration) *daemon {
+	return &daemon{engine: e, deadline: deadline, start: time.Now()}
+}
+
+func (d *daemon) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", d.handleClassify)
+	mux.HandleFunc("/v1/stream", d.handleStream)
+	mux.HandleFunc("/v1/obs", d.handleObs)
+	mux.HandleFunc("/healthz", d.handleHealth)
+	return mux
+}
+
+// classifyResponse is the /v1/classify reply: every verdict in stream
+// order plus the session stats.
+type classifyResponse struct {
+	Verdicts []stream.Verdict `json:"verdicts"`
+	Stats    stream.Stats     `json:"stats"`
+}
+
+// trailer is the final NDJSON record of a streaming response; its "stats"
+// key distinguishes it from verdict records (which always carry "seq").
+type trailer struct {
+	Stats *stream.Stats `json:"stats,omitempty"`
+	Err   string        `json:"error,omitempty"`
+}
+
+func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a cf32 capture", http.StatusMethodNotAllowed)
+		return
+	}
+	ctx := r.Context()
+	if d.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.deadline)
+		defer cancel()
+	}
+	verdicts := make([]stream.Verdict, 0)
+	stats, err := d.engine.Process(ctx, iq.NewReaderCF32(r.Body), func(v stream.Verdict) {
+		verdicts = append(verdicts, v)
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(classifyResponse{Verdicts: verdicts, Stats: stats})
+}
+
+func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a cf32 stream", http.StatusMethodNotAllowed)
+		return
+	}
+	rc := http.NewResponseController(w)
+	// Full duplex lets us emit verdicts while the client is still sending
+	// samples (best effort: HTTP/2 already behaves this way).
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	ctx := r.Context()
+	// Unblock a pending body read when the daemon shuts down mid-stream.
+	stopAfter := context.AfterFunc(ctx, func() { rc.SetReadDeadline(time.Now()) })
+	defer stopAfter()
+	src := &deadlineSource{src: iq.NewReaderCF32(r.Body), refresh: func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d.deadline > 0 {
+			return rc.SetReadDeadline(time.Now().Add(d.deadline))
+		}
+		return nil
+	}}
+	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
+		enc.Encode(v)
+		rc.Flush()
+	})
+	t := trailer{Stats: &stats}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	enc.Encode(t)
+	rc.Flush()
+}
+
+func (d *daemon) handleObs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(obs.Snap())
+}
+
+// health is the /healthz document.
+type health struct {
+	Status         string  `json:"status"`
+	UptimeMS       float64 `json:"uptime_ms"`
+	Workers        int     `json:"workers"`
+	ActiveSessions int     `json:"active_sessions"`
+	QueueDepth     int     `json:"queue_depth"`
+}
+
+func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(health{
+		Status:         "ok",
+		UptimeMS:       float64(time.Since(d.start).Microseconds()) / 1000,
+		Workers:        d.engine.Workers(),
+		ActiveSessions: d.engine.ActiveSessions(),
+		QueueDepth:     d.engine.QueueDepth(),
+	})
+}
+
+// serveTCP accepts raw connections until the listener closes.
+func (d *daemon) serveTCP(ctx context.Context, ln net.Listener, conns *sync.WaitGroup) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer conn.Close()
+			d.serveConn(ctx, conn)
+		}()
+	}
+}
+
+// serveConn runs one raw-TCP session: cf32 bytes in, NDJSON verdicts out,
+// a stats trailer, then close.
+func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
+	stopAfter := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	defer stopAfter()
+	enc := json.NewEncoder(conn)
+	src := &deadlineSource{src: iq.NewReaderCF32(conn), refresh: func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d.deadline > 0 {
+			return conn.SetReadDeadline(time.Now().Add(d.deadline))
+		}
+		return nil
+	}}
+	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) { enc.Encode(v) })
+	t := trailer{Stats: &stats}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	enc.Encode(t)
+}
+
+// deadlineSource refreshes an idle read deadline before every block so a
+// stalled client cannot hold a session (and its MaxPending budget) open
+// forever.
+type deadlineSource struct {
+	src     stream.Source
+	refresh func() error
+}
+
+func (s *deadlineSource) ReadBlock(dst []complex128) (int, error) {
+	if s.refresh != nil {
+		if err := s.refresh(); err != nil {
+			return 0, err
+		}
+	}
+	return s.src.ReadBlock(dst)
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hideseek/internal/obs"
+)
+
+// TestStreamSmoke is the end-to-end check behind `make stream-smoke`: it
+// builds the daemon binary, boots it on loopback, classifies an
+// authentic+emulated capture over HTTP, streams the same capture over raw
+// TCP, checks the health and obs endpoints, then sends SIGTERM and
+// validates the shutdown manifest.
+func TestStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hideseekd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	manifestPath := filepath.Join(dir, "manifest.json")
+	proc := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-tcp", "127.0.0.1:0",
+		"-workers", "2", "-deadline", "10s",
+		"-manifest", manifestPath)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Process.Kill()
+
+	// The daemon logs its bound addresses to stderr; keep draining the
+	// pipe afterwards so later log writes cannot block the process.
+	addrs := make(chan [2]string, 1)
+	go func() {
+		var httpAddr, tcpAddr string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "hideseekd: listening on http://"); ok {
+				httpAddr = rest
+			}
+			if rest, ok := strings.CutPrefix(line, "hideseekd: raw tcp on "); ok {
+				tcpAddr = rest
+			}
+			if httpAddr != "" && tcpAddr != "" {
+				addrs <- [2]string{httpAddr, tcpAddr}
+				httpAddr, tcpAddr = "", "dup"
+			}
+		}
+	}()
+	var httpAddr, tcpAddr string
+	select {
+	case a := <-addrs:
+		httpAddr, tcpAddr = a[0], a[1]
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report listen addresses")
+	}
+
+	capture, want := testCapture(t, 42)
+
+	// HTTP classify: both verdicts, in order.
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/classify", httpAddr),
+		"application/octet-stream", bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr classifyResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Verdicts) != len(want) {
+		t.Fatalf("classify: %d verdicts, want %d", len(cr.Verdicts), len(want))
+	}
+	for i, v := range cr.Verdicts {
+		if !v.Decided() || v.Attack != want[i] {
+			t.Fatalf("classify verdict %d: attack=%v err=%q, want attack=%v", i, v.Attack, v.Err, want[i])
+		}
+	}
+
+	// Raw TCP: send the capture, half-close, read NDJSON verdicts.
+	conn, err := net.Dial("tcp", tcpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(capture); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	verdicts, trail := readStream(t, sc)
+	conn.Close()
+	if trail.Err != "" {
+		t.Fatalf("tcp trailer error: %q", trail.Err)
+	}
+	if len(verdicts) != len(want) {
+		t.Fatalf("tcp: %d verdicts, want %d", len(verdicts), len(want))
+	}
+	for i, v := range verdicts {
+		if v.Attack != want[i] {
+			t.Fatalf("tcp verdict %d: attack=%v, want %v", i, v.Attack, want[i])
+		}
+	}
+
+	// Health and instrument snapshot: four frames processed by now, drop
+	// counter present.
+	resp, err = http.Get(fmt.Sprintf("http://%s/healthz", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %+v, err %v", h, err)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/v1/obs", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["stream.frames"] < 4 {
+		t.Errorf("obs stream.frames = %d, want >= 4", snap.Counters["stream.frames"])
+	}
+	if _, ok := snap.Counters["stream.dropped_frames"]; !ok {
+		t.Error("obs snapshot lacks stream.dropped_frames")
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit, valid service manifest.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	m, err := obs.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("shutdown manifest invalid: %v", err)
+	}
+	if m.Kind != obs.KindService {
+		t.Errorf("manifest kind %q, want %q", m.Kind, obs.KindService)
+	}
+	if m.Counters["stream.frames"] < 4 {
+		t.Errorf("manifest stream.frames = %d, want >= 4", m.Counters["stream.frames"])
+	}
+}

@@ -1,7 +1,8 @@
 // Command manifestcheck validates a run manifest written by
-// `experiments -manifest`: strict JSON decode (unknown fields fail) plus
-// the schema invariants in obs.Manifest.Validate. CI runs it against a
-// fresh manifest so writer/schema drift is caught at merge time.
+// `experiments -manifest` or flushed by `hideseekd` on shutdown: strict
+// JSON decode (unknown fields fail) plus the schema invariants in
+// obs.Manifest.Validate. CI runs it against a fresh manifest so
+// writer/schema drift is caught at merge time.
 //
 // Usage:
 //
@@ -29,6 +30,11 @@ func main() {
 	if err := m.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
 		os.Exit(1)
+	}
+	if m.Kind == obs.KindService {
+		fmt.Printf("ok: %s — %s service, %.0f ms wall, %d counters, %d timers\n",
+			path, m.Command, m.WallMS, len(m.Counters), len(m.Timers))
+		return
 	}
 	fmt.Printf("ok: %s — %s, %d experiments, %d trials, %d timers\n",
 		path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers))

@@ -1,0 +1,58 @@
+package iq
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ReaderCF32 is a chunked cf32 reader: it yields fixed-size blocks of
+// samples from an io.Reader without ever holding the whole capture in
+// memory. It satisfies the streaming Source contract used by
+// internal/stream (ReadBlock), so an unbounded SDR pipe can feed the
+// online detector directly.
+type ReaderCF32 struct {
+	br      *bufio.Reader
+	samples int64
+}
+
+// NewReaderCF32 wraps r for chunked cf32 reading.
+func NewReaderCF32(r io.Reader) *ReaderCF32 {
+	return &ReaderCF32{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// ReadBlock fills dst with up to len(dst) samples and returns how many
+// were read. At end of stream it returns io.EOF (with n == 0; a short
+// final block is returned with a nil error first). A trailing partial
+// sample is reported as an error, not silently dropped.
+func (r *ReaderCF32) ReadBlock(dst []complex128) (int, error) {
+	if len(dst) == 0 {
+		return 0, fmt.Errorf("iq: ReadBlock into empty buffer")
+	}
+	var buf [8]byte
+	for i := range dst {
+		_, err := io.ReadFull(r.br, buf[:])
+		if err == io.EOF {
+			if i == 0 {
+				return 0, io.EOF
+			}
+			return i, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return i, fmt.Errorf("iq: truncated sample at index %d", r.samples)
+		}
+		if err != nil {
+			return i, fmt.Errorf("iq: read: %w", err)
+		}
+		re := math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+		dst[i] = complex(float64(re), float64(im))
+		r.samples++
+	}
+	return len(dst), nil
+}
+
+// Samples returns how many samples have been read so far.
+func (r *ReaderCF32) Samples() int64 { return r.samples }

@@ -12,6 +12,17 @@ import (
 // ManifestSchema identifies the manifest layout; bump on breaking change.
 const ManifestSchema = "hideseek.run-manifest/v1"
 
+// Manifest kinds. The zero value (KindExperiment, serialized as an
+// absent "kind" field) is a batch experiment run — the original v1
+// layout, so every pre-existing manifest decodes as an experiment.
+// KindService marks a manifest flushed by a long-running daemon
+// (hideseekd) on shutdown: no experiment table, but the same instrument
+// snapshot.
+const (
+	KindExperiment = ""
+	KindService    = "service"
+)
+
 // ExperimentStats records one experiment's share of a run.
 type ExperimentStats struct {
 	Name         string  `json:"name"`
@@ -26,6 +37,7 @@ type ExperimentStats struct {
 // what cmd/manifestcheck validates.
 type Manifest struct {
 	Schema       string            `json:"schema"`
+	Kind         string            `json:"kind,omitempty"`
 	CreatedAt    time.Time         `json:"created_at"`
 	GoVersion    string            `json:"go_version"`
 	GOOS         string            `json:"goos"`
@@ -70,16 +82,27 @@ func (m *Manifest) Validate() error {
 	if m.CreatedAt.IsZero() {
 		return fmt.Errorf("obs: manifest has no creation time")
 	}
-	if len(m.Experiments) == 0 {
-		return fmt.Errorf("obs: manifest lists no experiments")
-	}
-	for _, e := range m.Experiments {
-		if e.Name == "" {
-			return fmt.Errorf("obs: manifest experiment with empty name")
+	switch m.Kind {
+	case KindExperiment:
+		if len(m.Experiments) == 0 {
+			return fmt.Errorf("obs: manifest lists no experiments")
 		}
-		if e.Trials > 0 && e.TrialsPerSec <= 0 {
-			return fmt.Errorf("obs: experiment %q ran %d trials but reports %g trials/s", e.Name, e.Trials, e.TrialsPerSec)
+		for _, e := range m.Experiments {
+			if e.Name == "" {
+				return fmt.Errorf("obs: manifest experiment with empty name")
+			}
+			if e.Trials > 0 && e.TrialsPerSec <= 0 {
+				return fmt.Errorf("obs: experiment %q ran %d trials but reports %g trials/s", e.Name, e.Trials, e.TrialsPerSec)
+			}
 		}
+	case KindService:
+		// A daemon manifest has no experiment table; its run identity is
+		// the service's wall time and the instrument snapshot.
+		if m.WallMS < 0 {
+			return fmt.Errorf("obs: service manifest reports negative wall time %g ms", m.WallMS)
+		}
+	default:
+		return fmt.Errorf("obs: unknown manifest kind %q", m.Kind)
 	}
 	if len(m.Timers) < 3 {
 		return fmt.Errorf("obs: manifest has %d stage timers, want at least 3", len(m.Timers))

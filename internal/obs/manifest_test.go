@@ -82,6 +82,7 @@ func TestManifestValidate(t *testing.T) {
 		{"no experiments", func(m *Manifest) { m.Experiments = nil }, "experiments"},
 		{"missing trials/s", func(m *Manifest) { m.Experiments[0].TrialsPerSec = 0 }, "trials/s"},
 		{"too few timers", func(m *Manifest) { m.Timers = nil }, "timers"},
+		{"unknown kind", func(m *Manifest) { m.Kind = "cron" }, "kind"},
 	} {
 		m := sampleManifest()
 		tc.mutate(m)
@@ -89,5 +90,58 @@ func TestManifestValidate(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: Validate() = %v, want error mentioning %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// serviceManifest models what hideseekd flushes on shutdown: no
+// experiment table, a stage-timer snapshot from the streaming pipeline.
+func serviceManifest() *Manifest {
+	m := NewManifest("hideseekd", 0, 8)
+	m.Kind = KindService
+	m.WallMS = 60000
+	m.Snapshot = Snapshot{
+		Counters: map[string]int64{"stream.frames": 12, "stream.dropped_frames": 0},
+		Timers: map[string]TimerStats{
+			"stream.scan":   {Count: 12, TotalMS: 4.2, MeanUS: 350},
+			"stream.decode": {Count: 12, TotalMS: 9.9, MeanUS: 825},
+			"stream.detect": {Count: 12, TotalMS: 1.2, MeanUS: 100},
+		},
+		Histograms: map[string]HistogramStats{},
+	}
+	return m
+}
+
+// TestServiceManifestValidates covers the daemon-produced manifest shape:
+// it must pass validation without an experiment table, and the strict
+// decoder must round-trip the kind field.
+func TestServiceManifestValidates(t *testing.T) {
+	m := serviceManifest()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("service manifest invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "service.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindService {
+		t.Errorf("Kind %q after round trip, want %q", got.Kind, KindService)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped service manifest invalid: %v", err)
+	}
+	// Negative wall time is the one service-specific invariant.
+	m.WallMS = -1
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "wall") {
+		t.Errorf("negative service wall time not rejected: %v", err)
+	}
+	// Experiment manifests must still demand their experiment table.
+	e := sampleManifest()
+	e.Experiments = nil
+	if err := e.Validate(); err == nil {
+		t.Error("experiment manifest without experiments accepted")
 	}
 }

@@ -1,0 +1,34 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChunkBoundarySyncEveryOffset slides the capture across the chunk
+// grid one sample at a time, so both frames (one authentic, one emulated)
+// get split across a chunk boundary at every possible intra-chunk offset.
+// Every alignment must reproduce the batch pipeline's verdicts exactly —
+// the golden is recomputed per alignment from the same shifted capture.
+func TestChunkBoundarySyncEveryOffset(t *testing.T) {
+	const chunk = 96
+	authentic, emulated := testFrames(t, []byte("hs"))
+	capture, err := BuildCapture(rand.New(rand.NewSource(19)), 1e-3, 300, authentic, emulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.ChunkSize = chunk
+	for off := 0; off < chunk; off++ {
+		shifted := capture[off:] // moves every sample's chunk-grid position by −off
+		want := batchVerdicts(t, shifted, cfg)
+		if len(want) != 2 {
+			t.Fatalf("offset %d: batch found %d frames, want 2", off, len(want))
+		}
+		got, _ := streamVerdicts(t, shifted, cfg)
+		compareToBatch(t, got, want)
+		if t.Failed() {
+			t.Fatalf("verdicts diverged from batch at chunk offset %d", off)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/runner"
+	"hideseek/internal/zigbee"
+)
+
+// Engine owns the shared decode/detect worker pool and the bounded frame
+// queue. Many sessions (one per connection or capture) feed one Engine
+// concurrently; frames from every session are batched through the same
+// workers, which is how the daemon serves many clients with a fixed
+// resource envelope.
+type Engine struct {
+	cfg Config
+	det *emulation.Detector
+	q   *jobQueue
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	active int // sessions currently running
+}
+
+// NewEngine validates cfg, builds the shared detector, and starts the
+// worker pool. Close must be called to release the workers.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runner.DefaultWorkers()
+	}
+	// Validate the receiver config once up front so workers cannot fail
+	// to build their per-goroutine receivers later.
+	if _, err := zigbee.NewReceiver(cfg.Receiver); err != nil {
+		return nil, err
+	}
+	det, err := emulation.NewDetector(cfg.Defense)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, det: det, q: newJobQueue(cfg.QueueDepth)}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Workers returns the pool width.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// QueueDepth returns the current number of frames waiting for a worker.
+func (e *Engine) QueueDepth() int { return e.q.depth() }
+
+// ActiveSessions returns how many sessions are currently running.
+func (e *Engine) ActiveSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.active
+}
+
+// Close drains the queue, stops the workers, and waits for them to exit.
+// It must not race with in-flight Process calls: finish (or cancel and
+// drain) sessions first. Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.q.close()
+	e.wg.Wait()
+}
+
+// worker is the decode/detect stage: per-goroutine receiver scratch (the
+// zigbee.Receiver reuses internal buffers and is not concurrency-safe),
+// shared stateless detector.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	rx, err := zigbee.NewReceiver(e.cfg.Receiver)
+	if err != nil {
+		// Config was validated in NewEngine; this cannot happen.
+		panic(fmt.Sprintf("stream: worker receiver: %v", err))
+	}
+	for {
+		j, ok := e.q.pop()
+		if !ok {
+			return
+		}
+		wait := time.Since(j.enqueued)
+		obsQueueWaitUS.Observe(float64(wait.Microseconds()))
+		v := e.processJob(rx, j, wait)
+		j.sess.deliver(v)
+	}
+}
+
+// processJob runs DSSS despreading (full frame decode) and the cumulant
+// defense on one scanned frame.
+func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verdict {
+	v := Verdict{
+		Seq:      j.seq,
+		Offset:   j.offset,
+		SyncPeak: j.peak,
+		ScanNS:   j.scanNS,
+		QueueNS:  wait.Nanoseconds(),
+	}
+	decodeStart := time.Now()
+	rec, err := rx.DecodeAt(j.frame, 0, j.peak)
+	v.DecodeNS = sinceNS(decodeStart)
+	obsDecode.Since(decodeStart)
+	if err != nil {
+		v.Err = err.Error()
+		obsDecodeErrors.Inc()
+		return v
+	}
+	v.PSDU = rec.PSDU
+	detectStart := time.Now()
+	verdict, err := e.det.AnalyzeReception(rec)
+	v.DetectNS = sinceNS(detectStart)
+	obsDetect.Since(detectStart)
+	if err != nil {
+		v.Err = err.Error()
+		obsDecodeErrors.Inc()
+		return v
+	}
+	v.C40Re = real(verdict.Cumulants.C40)
+	v.C40Im = imag(verdict.Cumulants.C40)
+	v.C42 = verdict.Cumulants.C42
+	v.DistanceSquared = verdict.DistanceSquared
+	v.Attack = verdict.Attack
+	return v
+}

@@ -1,0 +1,21 @@
+package stream
+
+import "hideseek/internal/obs"
+
+// Observability instruments for the streaming pipeline, one per stage
+// (ingest, sync scan, decode, detect) plus the backpressure tallies the
+// obs snapshot endpoint exposes. Measurement only — see package obs.
+var (
+	obsChunks       = obs.C("stream.chunks")
+	obsSamples      = obs.C("stream.samples")
+	obsFrames       = obs.C("stream.frames")
+	obsSyncRejects  = obs.C("stream.sync_rejects")
+	obsDropped      = obs.C("stream.dropped_frames")
+	obsDecodeErrors = obs.C("stream.decode_errors")
+	obsSessions     = obs.C("stream.sessions")
+	obsScan         = obs.T("stream.scan")
+	obsDecode       = obs.T("stream.decode")
+	obsDetect       = obs.T("stream.detect")
+	obsQueueDepth   = obs.H("stream.queue_depth")
+	obsQueueWaitUS  = obs.H("stream.queue_wait_us")
+)

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// job is one detected frame on its way to the worker pool.
+type job struct {
+	sess     *Session
+	seq      uint64
+	offset   int64
+	peak     float64
+	frame    []complex128 // copied out of the session window
+	scanNS   int64
+	enqueued time.Time
+}
+
+// jobQueue is the bounded frame queue shared by every session on an
+// Engine. Push never blocks: when the queue is full the oldest entries
+// are evicted and returned so the caller can surface them as Dropped
+// verdicts — the explicit never-grow backpressure policy of the
+// pipeline. Pop blocks until a job arrives or the queue is closed.
+type jobQueue struct {
+	mu     sync.Mutex
+	ready  *sync.Cond
+	items  []job
+	head   int
+	bound  int
+	closed bool
+}
+
+func newJobQueue(bound int) *jobQueue {
+	q := &jobQueue{bound: bound}
+	q.ready = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j, evicting the oldest queued jobs if the bound is
+// reached. It returns the evicted jobs (usually none, at most one) and
+// reports false if the queue is already closed.
+func (q *jobQueue) push(j job) (evicted []job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false
+	}
+	for q.depthLocked() >= q.bound {
+		evicted = append(evicted, q.items[q.head])
+		q.items[q.head] = job{}
+		q.head++
+	}
+	if q.head > 0 && q.head >= q.depthLocked() {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, j)
+	q.ready.Signal()
+	return evicted, true
+}
+
+// pop dequeues the oldest job, blocking while the queue is empty. ok is
+// false once the queue is closed and drained.
+func (q *jobQueue) pop() (job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.depthLocked() == 0 && !q.closed {
+		q.ready.Wait()
+	}
+	if q.depthLocked() == 0 {
+		return job{}, false
+	}
+	j := q.items[q.head]
+	q.items[q.head] = job{}
+	q.head++
+	return j, true
+}
+
+// close marks the queue closed; queued jobs still drain through pop.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.ready.Broadcast()
+}
+
+// depth returns the current number of queued jobs.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depthLocked()
+}
+
+func (q *jobQueue) depthLocked() int { return len(q.items) - q.head }

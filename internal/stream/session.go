@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hideseek/internal/zigbee"
+)
+
+// Session is one stream's scan state: the sliding window, the frame
+// sequence counter, and the reorder buffer that turns unordered worker
+// completions back into stream-ordered verdicts. Sessions are created
+// and driven by Engine.Process; they are not safe for concurrent use
+// (each connection gets its own).
+type Session struct {
+	e    *Engine
+	rx   *zigbee.Receiver // scanner-side receiver (sync + header decode)
+	win  window
+	emit func(Verdict)
+	seq  uint64
+
+	// Scanner-goroutine-only stats fields (Samples..SyncRejects) plus
+	// worker-written ones (Dropped, DecodeErrors) guarded by mu.
+	stats Stats
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]Verdict
+	next     uint64
+	inflight int
+}
+
+// Process streams src through the engine's shared pool: the calling
+// goroutine runs ingest + preamble scanning, workers run decode + the
+// defense, and emit observes every Verdict in stream order. emit is
+// called from worker goroutines with the session's reorder lock held —
+// it must return promptly (a slow consumer throttles this session, by
+// design, but must not block forever). Process returns once the source
+// is exhausted (or ctx is cancelled) and every in-flight frame has been
+// delivered, so no emit call ever follows the return.
+//
+// The scan is byte-identical to whole-capture processing: frames are
+// found at exactly the offsets zigbee.(*Receiver).ReceiveAll visits, for
+// any chunk size, because correlation lags are data-local and the window
+// only commits to a sync decision once enough samples are buffered that
+// the decision can never change (see DESIGN.md §9 for the invariants).
+func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (Stats, error) {
+	if src == nil {
+		return Stats{}, fmt.Errorf("stream: nil source")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Stats{}, fmt.Errorf("stream: engine is closed")
+	}
+	e.active++
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.active--
+		e.mu.Unlock()
+	}()
+	obsSessions.Inc()
+
+	rx, err := zigbee.NewReceiver(e.cfg.Receiver)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := &Session{e: e, rx: rx, emit: emit, pending: make(map[uint64]Verdict)}
+	s.cond = sync.NewCond(&s.mu)
+
+	buf := make([]complex128, e.cfg.ChunkSize)
+	var runErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		n, err := src.ReadBlock(buf)
+		if n > 0 {
+			obsChunks.Inc()
+			obsSamples.Add(int64(n))
+			s.stats.Chunks++
+			s.stats.Samples += int64(n)
+			s.win.append(buf[:n])
+			s.scan(false)
+		}
+		if err == io.EOF {
+			s.scan(true)
+			break
+		}
+		if err != nil {
+			runErr = fmt.Errorf("stream: source: %w", err)
+			break
+		}
+	}
+	s.drain()
+	s.mu.Lock()
+	stats := s.stats
+	s.mu.Unlock()
+	return stats, runErr
+}
+
+// scan advances the window state machine as far as the buffered samples
+// allow. Invariants that make it chunk-size-invariant:
+//
+//   - A normalized correlation lag depends only on the samples it spans,
+//     so lag values never change once computable; "no crossing among the
+//     computable lags" is final and those samples (minus the reference
+//     overlap) can be discarded.
+//   - A refined sync position is only trusted once the window covers the
+//     crossing's full refinement span (2× the reference past the refined
+//     position suffices); otherwise the scanner waits and rescans.
+//   - The frame span comes from the header (FrameSpan) as soon as
+//     HeaderSamples are buffered; the frame is dispatched once its whole
+//     decode span is present (or the stream ended).
+//   - Advances mirror ReceiveAll exactly: +FrameSpan past a dispatched
+//     frame, +SyncRefSamples past an undecodable sync point.
+func (s *Session) scan(eof bool) {
+	refLen := s.rx.SyncRefSamples()
+	for {
+		stepStart := time.Now()
+		w := s.win.view()
+		if len(w) < refLen {
+			if eof {
+				s.win.discard(len(w))
+			}
+			return
+		}
+		relStart, peak, err := s.rx.SynchronizeFirst(w)
+		if err != nil {
+			// No threshold crossing among the computable lags: all of
+			// them are final, so only the reference overlap is kept.
+			if eof {
+				s.win.discard(len(w))
+			} else {
+				s.win.discard(len(w) - refLen + 1)
+			}
+			return
+		}
+		if !eof && s.win.size() < relStart+2*refLen {
+			return // refinement span not fully buffered; rescan later
+		}
+		if !eof && s.win.size() < relStart+zigbee.HeaderSamples {
+			return // header not fully buffered yet
+		}
+		span, spanErr := s.rx.FrameSpan(w, relStart)
+		if spanErr != nil {
+			// Undecodable header: skip this sync point exactly as
+			// ReceiveAll does.
+			s.win.discard(relStart + refLen)
+			s.stats.SyncRejects++
+			obsSyncRejects.Inc()
+			continue
+		}
+		copySpan := span + zigbee.QOffsetSamples
+		if !eof && s.win.size() < relStart+copySpan {
+			return // wait for the frame's full decode span
+		}
+		end := relStart + copySpan
+		if end > s.win.size() {
+			end = s.win.size() // stream ended mid-frame; decode what exists
+		}
+		frame := make([]complex128, end-relStart)
+		copy(frame, w[relStart:end])
+		s.submit(job{
+			sess:   s,
+			seq:    s.seq,
+			offset: s.win.offset() + int64(relStart),
+			peak:   peak,
+			frame:  frame,
+			scanNS: sinceNS(stepStart),
+		})
+		s.seq++
+		s.stats.Frames++
+		obsFrames.Inc()
+		obsScan.Since(stepStart)
+		adv := relStart + span
+		if adv > s.win.size() {
+			adv = s.win.size()
+		}
+		s.win.discard(adv)
+	}
+}
+
+// submit hands a scanned frame to the shared pool, blocking while this
+// session's in-flight bound is reached (ingest backpressure). Frames the
+// bounded queue evicts surface immediately as Dropped verdicts on their
+// owning sessions.
+func (s *Session) submit(j job) {
+	s.mu.Lock()
+	for s.inflight >= s.e.cfg.MaxPending {
+		s.cond.Wait()
+	}
+	s.inflight++
+	s.mu.Unlock()
+	j.enqueued = time.Now()
+	evicted, ok := s.e.q.push(j)
+	obsQueueDepth.Observe(float64(s.e.q.depth()))
+	for _, ev := range evicted {
+		obsDropped.Inc()
+		ev.sess.deliver(Verdict{
+			Seq: ev.seq, Offset: ev.offset, SyncPeak: ev.peak,
+			Dropped: true, ScanNS: ev.scanNS, QueueNS: sinceNS(ev.enqueued),
+		})
+	}
+	if !ok {
+		// Engine closed under us: keep the verdict stream complete.
+		obsDropped.Inc()
+		s.deliver(Verdict{
+			Seq: j.seq, Offset: j.offset, SyncPeak: j.peak,
+			Dropped: true, ScanNS: j.scanNS,
+		})
+	}
+}
+
+// deliver accepts one worker (or eviction) result and flushes every
+// consecutively-ready verdict to emit in sequence order.
+func (s *Session) deliver(v Verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v.Dropped {
+		s.stats.Dropped++
+	} else if v.Err != "" {
+		s.stats.DecodeErrors++
+	}
+	s.pending[v.Seq] = v
+	for {
+		ready, ok := s.pending[s.next]
+		if !ok {
+			break
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.inflight--
+		if s.emit != nil {
+			s.emit(ready)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// drain blocks until every submitted frame has been delivered.
+func (s *Session) drain() {
+	s.mu.Lock()
+	for s.inflight > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,157 @@
+// Package stream is the online-detection subsystem: a chunked pipeline
+// that runs ZigBee frame synchronization, DSSS despreading, and the
+// cumulant defense over unbounded I/Q streams.
+//
+// Shape of the pipeline:
+//
+//	Source ──chunks──▶ session scanner ──frames──▶ engine queue ──▶ workers ──▶ ordered Verdicts
+//
+// Stage by stage:
+//   - A Source yields fixed-size sample blocks (wrap iq.ReaderCF32 for
+//     cf32 pipes, SliceSource for in-memory captures, ReplaySource for
+//     synthetic traffic).
+//   - Each session owns a sliding window buffer whose overlap policy
+//     guarantees preamble synchronization is byte-identical to
+//     whole-capture processing: correlation lags are only trusted once
+//     the window extends far enough that their value can never change,
+//     and the scanner advances by exactly the offsets
+//     zigbee.(*Receiver).ReceiveAll would use.
+//   - Detected frames are copied out of the window and fanned out to a
+//     bounded worker pool shared by every session on the Engine. The
+//     queue is explicitly bounded with a drop-oldest policy (dropped
+//     frames surface as Verdicts with Dropped set and count in
+//     "stream.dropped_frames"); nothing in the pipeline grows without
+//     bound.
+//   - Workers run the full frame decode (zigbee.DecodeAt) and the
+//     cumulant defense (emulation.Detector); each session reassembles
+//     worker results into verdict order, so callers observe frames in
+//     stream order regardless of worker scheduling.
+//
+// Backpressure: a session admits at most MaxPending frames into the
+// shared pool; past that the scanner blocks, which stops Source reads,
+// which (for a network source) pushes back on the sender. The shared
+// queue additionally drops oldest under cross-session overload so one
+// stalled session cannot wedge the pool.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/zigbee"
+)
+
+// Config parameterizes an Engine (and, via Process, a one-shot pipeline).
+// The zero value of every field selects a sensible default.
+type Config struct {
+	// ChunkSize is the samples-per-block the session reads from its
+	// Source (default 4096).
+	ChunkSize int
+	// Workers is the decode/detect pool width (default
+	// runner.DefaultWorkers()).
+	Workers int
+	// QueueDepth bounds the shared frame queue; when full the oldest
+	// queued frame is dropped and surfaced as a Dropped verdict
+	// (default 64).
+	QueueDepth int
+	// MaxPending bounds how many frames one session may have in flight
+	// (queued or decoding) before its scanner blocks (default 32).
+	MaxPending int
+	// Receiver configures the ZigBee receivers (scanner and workers).
+	// Zero value = zigbee defaults; most callers set SyncThreshold.
+	Receiver zigbee.ReceiverConfig
+	// Defense configures the cumulant detector shared by the workers.
+	Defense emulation.DefenseConfig
+}
+
+func (c *Config) applyDefaults() error {
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 4096
+	}
+	if c.ChunkSize < 1 {
+		return fmt.Errorf("stream: chunk size %d < 1", c.ChunkSize)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("stream: queue depth %d < 1", c.QueueDepth)
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 32
+	}
+	if c.MaxPending < 1 {
+		return fmt.Errorf("stream: max pending %d < 1", c.MaxPending)
+	}
+	return nil
+}
+
+// Verdict is one ordered record of the pipeline's output: a frame the
+// scanner found, what the defense decided about it, and where the time
+// went. Verdicts are emitted strictly in stream order (by Offset); every
+// scanned frame yields exactly one Verdict, including frames dropped
+// under backpressure (Dropped) and frames that failed to decode (Err).
+type Verdict struct {
+	// Seq numbers the frames of one session in scan order, from 0.
+	Seq uint64 `json:"seq"`
+	// Offset is the absolute sample index of the frame start (SHR) in
+	// the stream.
+	Offset int64 `json:"offset"`
+	// SyncPeak is the normalized preamble correlation at the sync point.
+	SyncPeak float64 `json:"sync_peak"`
+	// PSDU is the decoded MAC payload (nil when decode failed/dropped).
+	PSDU []byte `json:"psdu,omitempty"`
+	// C40Re/C40Im/C42 are the estimated cumulants; DistanceSquared is
+	// D²E (or its |Ĉ40| variant) against the QPSK reference.
+	C40Re           float64 `json:"c40_re"`
+	C40Im           float64 `json:"c40_im"`
+	C42             float64 `json:"c42"`
+	DistanceSquared float64 `json:"d2e"`
+	// Attack is the hypothesis-test outcome: true = emulated (H1).
+	Attack bool `json:"attack"`
+	// Dropped marks a frame discarded by the bounded queue before any
+	// analysis ran.
+	Dropped bool `json:"dropped,omitempty"`
+	// Err records a decode or defense failure (the frame produced no
+	// decision; Attack is meaningless).
+	Err string `json:"err,omitempty"`
+	// Per-stage latency in nanoseconds: time in the scanner step that
+	// found the frame, time waiting in the shared queue, frame decode,
+	// and defense.
+	ScanNS   int64 `json:"scan_ns"`
+	QueueNS  int64 `json:"queue_ns"`
+	DecodeNS int64 `json:"decode_ns"`
+	DetectNS int64 `json:"detect_ns"`
+}
+
+// Decided reports whether the verdict carries a real decision (the frame
+// was decoded and analyzed).
+func (v *Verdict) Decided() bool { return !v.Dropped && v.Err == "" }
+
+// Stats summarizes one session's run.
+type Stats struct {
+	Samples      int64 `json:"samples"`
+	Chunks       int64 `json:"chunks"`
+	Frames       int64 `json:"frames"`
+	SyncRejects  int64 `json:"sync_rejects"`
+	Dropped      int64 `json:"dropped"`
+	DecodeErrors int64 `json:"decode_errors"`
+}
+
+// Process runs a one-shot pipeline: a private Engine is built from cfg,
+// src is streamed through it, emit observes every Verdict in order, and
+// the engine is torn down before returning. For shared-pool serving
+// (many sources, one worker pool) build an Engine and call
+// Engine.Process per source instead.
+func Process(ctx context.Context, cfg Config, src Source, emit func(Verdict)) (Stats, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer e.Close()
+	return e.Process(ctx, src, emit)
+}
+
+func sinceNS(t time.Time) int64 { return time.Since(t).Nanoseconds() }

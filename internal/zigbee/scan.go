@@ -1,0 +1,79 @@
+package zigbee
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Sample-span constants for incremental (streaming) frame scanning. A
+// stream consumer that buffers HeaderSamples past a sync point can learn
+// the frame's true span from FrameSpan; MaxFrameSamples bounds the span of
+// any decodable frame, so a window that long never needs to grow further.
+const (
+	// HeaderSamples is the span of SHR+PHR plus the Q-arm tail — the
+	// samples FrameSpan needs past the frame start.
+	HeaderSamples = (PreambleBytes+2)*SymbolsPerByte*SamplesPerSymbol + QOffsetSamples
+	// MaxFrameSamples is the decode span of a maximum-length (127-byte
+	// PSDU) frame including the Q-arm tail.
+	MaxFrameSamples = (PreambleBytes+2+MaxPSDULength)*SymbolsPerByte*SamplesPerSymbol + QOffsetSamples
+)
+
+// SyncRefSamples is the length of the modulated-SHR synchronization
+// reference: the minimum window SynchronizeFirst can search, and the
+// amount ReceiveAll skips past an undecodable sync point.
+func (rx *Receiver) SyncRefSamples() int { return len(rx.syncRef) }
+
+// FrameSpan decodes the SHR+PHR of a frame known to start at start (e.g.
+// found by SynchronizeFirst) and returns the whole frame's sample span —
+// SHR through the last PSDU chip, excluding the Q-arm tail. This is
+// exactly the amount ReceiveAll advances past a decoded frame, so a
+// streaming scanner that advances by FrameSpan visits the same sync
+// offsets as whole-capture processing. Decoding the frame body needs
+// FrameSpan()+QOffsetSamples samples from start.
+func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
+	if start < 0 || start+len(rx.syncRef) > len(waveform) {
+		return 0, fmt.Errorf("zigbee: frame start %d outside waveform of %d samples", start, len(waveform))
+	}
+	avail := waveform[start:]
+	hdrSymbols := (PreambleBytes + 2) * SymbolsPerByte // preamble+SFD+PHR
+	hdrChips := hdrSymbols * ChipsPerSymbol
+	if maxChipsIn(len(avail)) < hdrChips {
+		return 0, fmt.Errorf("zigbee: header demodulation: waveform too short")
+	}
+
+	// Phase estimate from the preamble correlation, as decodeFrom does.
+	var acc complex128
+	for i, r := range rx.syncRef {
+		acc += waveform[start+i] * complex(real(r), -imag(r))
+	}
+	derot := cmplx.Rect(1, -cmplx.Phase(acc))
+	need := hdrChips/2*SamplesPerPulse + QOffsetSamples
+	hdr := make([]complex128, need)
+	for i := range hdr {
+		hdr[i] = avail[i] * derot
+	}
+	hdrBytes, _, symErrs, err := rx.decodeChips(hdr, hdrChips)
+	if err != nil {
+		return 0, fmt.Errorf("zigbee: header decode: %w", err)
+	}
+	if symErrs > 0 {
+		return 0, fmt.Errorf("zigbee: %d dropped symbols in header", symErrs)
+	}
+	psduLen := int(hdrBytes[PreambleBytes+1] & 0x7F)
+	totalChips := (hdrSymbols + psduLen*SymbolsPerByte) * ChipsPerSymbol
+	return totalChips / 2 * SamplesPerPulse, nil
+}
+
+// DecodeAt runs the post-synchronization receive pipeline on a frame known
+// to start at start, skipping the preamble search. syncPeak is recorded in
+// the Reception (callers that synchronized elsewhere pass the correlation
+// peak they observed). The chip streams, PSDU, and phase estimate are
+// identical to what Receive produces for the same samples; only
+// SNREstimateDB may differ when the waveform is a tighter slice than the
+// original capture (its out-of-band leg integrates the whole remainder).
+func (rx *Receiver) DecodeAt(waveform []complex128, start int, syncPeak float64) (*Reception, error) {
+	if start < 0 || start+len(rx.syncRef) > len(waveform) {
+		return nil, fmt.Errorf("zigbee: frame start %d outside waveform of %d samples", start, len(waveform))
+	}
+	return rx.decodeFrom(waveform, start, syncPeak)
+}

@@ -1,0 +1,118 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scanCapture embeds one frame in a low noise floor with leading and
+// trailing pad, returning the capture and the frame's true start.
+func scanCapture(t *testing.T, psdu []byte, lead, tail int) ([]complex128, int) {
+	t.Helper()
+	wave, err := NewTransmitter().TransmitPSDU(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	capture := make([]complex128, 0, lead+len(wave)+tail)
+	noise := func(n int) {
+		for i := 0; i < n; i++ {
+			capture = append(capture, complex(rng.NormFloat64()*1e-3, rng.NormFloat64()*1e-3))
+		}
+	}
+	noise(lead)
+	capture = append(capture, wave...)
+	noise(tail)
+	return capture, lead
+}
+
+func TestFrameSpanMatchesReceiveAll(t *testing.T) {
+	capture, _ := scanCapture(t, []byte("span-test"), 500, 500)
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, peak, err := rx.SynchronizeFirst(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span, err := rx.FrameSpan(capture, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rx.ReceiveAll(capture, 0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReceiveAll: %d frames, err %v", len(recs), err)
+	}
+	// ReceiveAll advances past a frame by len(SoftChips)/2·SamplesPerPulse;
+	// FrameSpan must report exactly that.
+	want := len(recs[0].SoftChips) / 2 * SamplesPerPulse
+	if span != want {
+		t.Errorf("FrameSpan %d, want ReceiveAll advance %d", span, want)
+	}
+	if span > MaxFrameSamples {
+		t.Errorf("span %d exceeds MaxFrameSamples %d", span, MaxFrameSamples)
+	}
+
+	// DecodeAt on the tight frame slice must reproduce the batch chips.
+	slice := capture[start : start+span+QOffsetSamples]
+	rec, err := rx.DecodeAt(slice, 0, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.PSDU) != "span-test" {
+		t.Errorf("DecodeAt PSDU %q, want %q", rec.PSDU, "span-test")
+	}
+	if rec.SyncPeak != peak {
+		t.Errorf("DecodeAt sync peak %v, want recorded %v", rec.SyncPeak, peak)
+	}
+	batch := recs[0]
+	if len(rec.DiscriminatorChips) != len(batch.DiscriminatorChips) {
+		t.Fatalf("chip count %d, want %d", len(rec.DiscriminatorChips), len(batch.DiscriminatorChips))
+	}
+	for i := range rec.DiscriminatorChips {
+		if rec.DiscriminatorChips[i] != batch.DiscriminatorChips[i] {
+			t.Fatalf("discriminator chip %d: %v, batch %v", i, rec.DiscriminatorChips[i], batch.DiscriminatorChips[i])
+		}
+	}
+}
+
+func TestFrameSpanErrors(t *testing.T) {
+	rx, err := NewReceiver(ReceiverConfig{SyncThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, start := scanCapture(t, []byte("x"), 100, 100)
+	if _, err := rx.FrameSpan(capture, -1); err == nil {
+		t.Error("accepted negative start")
+	}
+	if _, err := rx.FrameSpan(capture, len(capture)-10); err == nil {
+		t.Error("accepted start past the end")
+	}
+	// Header truncated: not enough samples past start.
+	if _, err := rx.FrameSpan(capture[:start+HeaderSamples/2], start); err == nil {
+		t.Error("accepted truncated header")
+	}
+	if _, err := rx.DecodeAt(capture, len(capture), 1); err == nil {
+		t.Error("DecodeAt accepted start past the end")
+	}
+}
+
+func TestScanConstants(t *testing.T) {
+	rx, err := NewReceiver(ReceiverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sync reference is the modulated SHR minus the Q tail: a whole
+	// number of symbols.
+	want := (PreambleBytes + 1) * SymbolsPerByte * SamplesPerSymbol
+	if rx.SyncRefSamples() != want {
+		t.Errorf("SyncRefSamples %d, want %d", rx.SyncRefSamples(), want)
+	}
+	if HeaderSamples != (PreambleBytes+2)*SymbolsPerByte*SamplesPerSymbol+QOffsetSamples {
+		t.Errorf("HeaderSamples = %d", HeaderSamples)
+	}
+	if MaxFrameSamples <= HeaderSamples {
+		t.Errorf("MaxFrameSamples %d not beyond header %d", MaxFrameSamples, HeaderSamples)
+	}
+}
