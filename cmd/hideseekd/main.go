@@ -66,7 +66,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	threshold := fs.Float64("threshold", emulation.DefaultThreshold, "decision threshold Q")
 	realEnv := fs.Bool("real", false, "real-environment statistics: mean removal + |C40| (Sec. VI-C)")
 	syncThr := fs.Float64("sync", 0.3, "preamble sync correlation threshold")
-	deadline := fs.Duration("deadline", 30*time.Second, "per-request idle read deadline (0 = none)")
+	deadline := fs.Duration("deadline", 30*time.Second, "per-request idle read/write deadline (0 = none)")
 	manifest := fs.String("manifest", "", "write a kind=service run manifest here on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,18 +203,31 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
-	if d.deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d.deadline)
-		defer cancel()
-	}
+	rc := http.NewResponseController(w)
+	// Unblock a pending body read when the daemon shuts down mid-upload.
+	stopAfter := context.AfterFunc(ctx, func() { rc.SetReadDeadline(time.Now()) })
+	defer stopAfter()
+	// Same idle-read-deadline policy as /v1/stream: an actively uploading
+	// client may take as long as it needs, only a stalled one times out.
+	src := &deadlineSource{src: iq.NewReaderCF32(r.Body), refresh: func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d.deadline > 0 {
+			return rc.SetReadDeadline(time.Now().Add(d.deadline))
+		}
+		return nil
+	}}
 	verdicts := make([]stream.Verdict, 0)
-	stats, err := d.engine.Process(ctx, iq.NewReaderCF32(r.Body), func(v stream.Verdict) {
+	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
 		verdicts = append(verdicts, v)
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if d.deadline > 0 {
+		rc.SetWriteDeadline(time.Now().Add(d.deadline))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(classifyResponse{Verdicts: verdicts, Stats: stats})
@@ -233,9 +246,14 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 
-	ctx := r.Context()
-	// Unblock a pending body read when the daemon shuts down mid-stream.
-	stopAfter := context.AfterFunc(ctx, func() { rc.SetReadDeadline(time.Now()) })
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	// Unblock pending body reads and response writes when the daemon shuts
+	// down (or the session is cancelled) mid-stream.
+	stopAfter := context.AfterFunc(ctx, func() {
+		rc.SetReadDeadline(time.Now())
+		rc.SetWriteDeadline(time.Now())
+	})
 	defer stopAfter()
 	src := &deadlineSource{src: iq.NewReaderCF32(r.Body), refresh: func() error {
 		if err := ctx.Err(); err != nil {
@@ -247,9 +265,21 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}}
 	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
-		enc.Encode(v)
+		// A write deadline per verdict: a client that streams samples but
+		// never reads responses errors the session instead of blocking its
+		// delivery goroutine (and the session's drain) forever.
+		if d.deadline > 0 {
+			rc.SetWriteDeadline(time.Now().Add(d.deadline))
+		}
+		if encErr := enc.Encode(v); encErr != nil {
+			cancel()
+			return
+		}
 		rc.Flush()
 	})
+	if d.deadline > 0 {
+		rc.SetWriteDeadline(time.Now().Add(d.deadline))
+	}
 	t := trailer{Stats: &stats}
 	if err != nil {
 		t.Err = err.Error()
@@ -302,7 +332,12 @@ func (d *daemon) serveTCP(ctx context.Context, ln net.Listener, conns *sync.Wait
 // serveConn runs one raw-TCP session: cf32 bytes in, NDJSON verdicts out,
 // a stats trailer, then close.
 func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
-	stopAfter := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopAfter := context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Now())
+		conn.SetWriteDeadline(time.Now())
+	})
 	defer stopAfter()
 	enc := json.NewEncoder(conn)
 	src := &deadlineSource{src: iq.NewReaderCF32(conn), refresh: func() error {
@@ -314,7 +349,19 @@ func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 		}
 		return nil
 	}}
-	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) { enc.Encode(v) })
+	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
+		// Bound every verdict write so a peer that stops reading errors the
+		// session rather than wedging its delivery goroutine.
+		if d.deadline > 0 {
+			conn.SetWriteDeadline(time.Now().Add(d.deadline))
+		}
+		if encErr := enc.Encode(v); encErr != nil {
+			cancel()
+		}
+	})
+	if d.deadline > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d.deadline))
+	}
 	t := trailer{Stats: &stats}
 	if err != nil {
 		t.Err = err.Error()

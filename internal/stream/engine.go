@@ -118,6 +118,7 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 	obsDecode.Since(decodeStart)
 	if err != nil {
 		v.Err = err.Error()
+		v.ErrStage = StageDecode
 		obsDecodeErrors.Inc()
 		return v
 	}
@@ -128,7 +129,8 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 	obsDetect.Since(detectStart)
 	if err != nil {
 		v.Err = err.Error()
-		obsDecodeErrors.Inc()
+		v.ErrStage = StageDetect
+		obsDetectErrors.Inc()
 		return v
 	}
 	v.C40Re = real(verdict.Cumulants.C40)

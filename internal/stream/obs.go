@@ -12,6 +12,7 @@ var (
 	obsSyncRejects  = obs.C("stream.sync_rejects")
 	obsDropped      = obs.C("stream.dropped_frames")
 	obsDecodeErrors = obs.C("stream.decode_errors")
+	obsDetectErrors = obs.C("stream.detect_errors")
 	obsSessions     = obs.C("stream.sessions")
 	obsScan         = obs.T("stream.scan")
 	obsDecode       = obs.T("stream.decode")

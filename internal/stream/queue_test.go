@@ -90,30 +90,36 @@ func TestWindowAppendDiscard(t *testing.T) {
 }
 
 // TestDeliverReordersAndCountsTombstones feeds a session's reassembly
-// stage out of order, including a Dropped tombstone, and checks emission
-// order and stats.
+// stage out of order — a decode failure, a detect failure, and a Dropped
+// tombstone — and checks emission order and per-stage stats. Emission
+// happens on the session's delivery goroutine, so the checks run after
+// drain.
 func TestDeliverReordersAndCountsTombstones(t *testing.T) {
-	var got []uint64
-	s := &Session{
-		e:       &Engine{cfg: Config{MaxPending: 8}},
-		pending: map[uint64]Verdict{},
-		emit:    func(v Verdict) { got = append(got, v.Seq) },
-	}
-	s.cond = sync.NewCond(&s.mu)
-	s.inflight = 3
-	s.deliver(Verdict{Seq: 2, Err: "decode failed"})
+	var (
+		mu  sync.Mutex
+		got []uint64
+	)
+	s := newSession(&Engine{cfg: Config{MaxPending: 8}}, nil, func(v Verdict) {
+		mu.Lock()
+		got = append(got, v.Seq)
+		mu.Unlock()
+	})
+	s.mu.Lock()
+	s.inflight = 4
+	s.mu.Unlock()
+	s.deliver(Verdict{Seq: 2, Err: "decode failed", ErrStage: StageDecode})
+	s.deliver(Verdict{Seq: 3, Err: "detect failed", ErrStage: StageDetect})
 	s.deliver(Verdict{Seq: 1, Dropped: true})
-	if len(got) != 0 {
-		t.Fatalf("emitted %v before seq 0 arrived", got)
-	}
 	s.deliver(Verdict{Seq: 0})
-	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
-		t.Fatalf("emission order %v, want [0 1 2]", got)
+	s.drain()
+	if len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 3 {
+		t.Fatalf("emission order %v, want [0 1 2 3]", got)
 	}
 	if s.inflight != 0 {
 		t.Errorf("inflight %d after full flush, want 0", s.inflight)
 	}
-	if s.stats.Dropped != 1 || s.stats.DecodeErrors != 1 {
-		t.Errorf("stats dropped=%d decodeErrors=%d, want 1/1", s.stats.Dropped, s.stats.DecodeErrors)
+	if s.stats.Dropped != 1 || s.stats.DecodeErrors != 1 || s.stats.DetectErrors != 1 {
+		t.Errorf("stats dropped=%d decodeErrors=%d detectErrors=%d, want 1/1/1",
+			s.stats.Dropped, s.stats.DecodeErrors, s.stats.DetectErrors)
 	}
 }

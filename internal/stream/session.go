@@ -23,30 +23,55 @@ type Session struct {
 	seq  uint64
 
 	// Scanner-goroutine-only stats fields (Samples..SyncRejects) plus
-	// worker-written ones (Dropped, DecodeErrors) guarded by mu.
+	// worker-written ones (Dropped, DecodeErrors, DetectErrors) guarded
+	// by mu.
 	stats Stats
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  map[uint64]Verdict
 	next     uint64
-	inflight int
+	inflight int           // submitted frames not yet emitted
+	closed   bool          // no more frames will arrive; flusher may exit
+	flushed  chan struct{} // closed when the flusher goroutine exits
+}
+
+// newSession builds a session and starts its delivery goroutine. The
+// goroutine exits (and flushed closes) after drain.
+func newSession(e *Engine, rx *zigbee.Receiver, emit func(Verdict)) *Session {
+	s := &Session{
+		e:       e,
+		rx:      rx,
+		emit:    emit,
+		pending: make(map[uint64]Verdict),
+		flushed: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.flush()
+	return s
 }
 
 // Process streams src through the engine's shared pool: the calling
 // goroutine runs ingest + preamble scanning, workers run decode + the
 // defense, and emit observes every Verdict in stream order. emit is
-// called from worker goroutines with the session's reorder lock held —
-// it must return promptly (a slow consumer throttles this session, by
-// design, but must not block forever). Process returns once the source
-// is exhausted (or ctx is cancelled) and every in-flight frame has been
-// delivered, so no emit call ever follows the return.
+// called from a dedicated per-session delivery goroutine with no locks
+// held — a slow consumer throttles only its own session (its un-emitted
+// verdicts count against MaxPending, so its reads eventually block) and
+// never blocks the shared worker pool or other sessions. Process
+// returns once the source is exhausted (or ctx is cancelled) and every
+// in-flight frame has been delivered, so no emit call ever follows the
+// return. A consumer that blocks forever inside emit blocks that
+// return; network callers should bound emit with write deadlines (as
+// cmd/hideseekd does) so a stalled reader errors the session instead.
 //
-// The scan is byte-identical to whole-capture processing: frames are
-// found at exactly the offsets zigbee.(*Receiver).ReceiveAll visits, for
-// any chunk size, because correlation lags are data-local and the window
+// For captures whose detected frames all decode, the scan is
+// byte-identical to whole-capture processing: frames are found at
+// exactly the offsets zigbee.(*Receiver).ReceiveAll visits, for any
+// chunk size, because correlation lags are data-local and the window
 // only commits to a sync decision once enough samples are buffered that
-// the decision can never change (see DESIGN.md §9 for the invariants).
+// the decision can never change (see DESIGN.md §9 for the invariants,
+// including the one accepted divergence after a frame whose header
+// validates but whose body fails to decode).
 func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (Stats, error) {
 	if src == nil {
 		return Stats{}, fmt.Errorf("stream: nil source")
@@ -69,8 +94,7 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 	if err != nil {
 		return Stats{}, err
 	}
-	s := &Session{e: e, rx: rx, emit: emit, pending: make(map[uint64]Verdict)}
-	s.cond = sync.NewCond(&s.mu)
+	s := newSession(e, rx, emit)
 
 	buf := make([]complex128, e.cfg.ChunkSize)
 	var runErr error
@@ -114,9 +138,10 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 //   - A refined sync position is only trusted once the window covers the
 //     crossing's full refinement span (2× the reference past the refined
 //     position suffices); otherwise the scanner waits and rescans.
-//   - The frame span comes from the header (FrameSpan) as soon as
-//     HeaderSamples are buffered; the frame is dispatched once its whole
-//     decode span is present (or the stream ended).
+//   - The frame span comes from the header (FrameSpan, which also
+//     validates the decoded preamble and SFD) as soon as HeaderSamples
+//     are buffered; the frame is dispatched once its whole decode span
+//     is present (or the stream ended).
 //   - Advances mirror ReceiveAll exactly: +FrameSpan past a dispatched
 //     frame, +SyncRefSamples past an undecodable sync point.
 func (s *Session) scan(eof bool) {
@@ -149,8 +174,8 @@ func (s *Session) scan(eof bool) {
 		}
 		span, spanErr := s.rx.FrameSpan(w, relStart)
 		if spanErr != nil {
-			// Undecodable header: skip this sync point exactly as
-			// ReceiveAll does.
+			// Undecodable or invalid header (bad preamble/SFD bytes
+			// included): skip this sync point exactly as ReceiveAll does.
 			s.win.discard(relStart + refLen)
 			s.stats.SyncRejects++
 			obsSyncRejects.Inc()
@@ -217,37 +242,65 @@ func (s *Session) submit(j job) {
 	}
 }
 
-// deliver accepts one worker (or eviction) result and flushes every
-// consecutively-ready verdict to emit in sequence order.
+// deliver accepts one worker (or eviction) result: it parks the verdict
+// in the reorder buffer and wakes the session's delivery goroutine.
+// deliver never calls emit and never blocks on the consumer, so pool
+// workers (and other sessions' scanners, via the eviction path) cannot
+// wedge behind one stalled session.
 func (s *Session) deliver(v Verdict) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if v.Dropped {
+	switch {
+	case v.Dropped:
 		s.stats.Dropped++
-	} else if v.Err != "" {
+	case v.Err != "" && v.ErrStage == StageDetect:
+		s.stats.DetectErrors++
+	case v.Err != "":
 		s.stats.DecodeErrors++
 	}
 	s.pending[v.Seq] = v
-	for {
-		ready, ok := s.pending[s.next]
-		if !ok {
-			break
-		}
-		delete(s.pending, s.next)
-		s.next++
-		s.inflight--
-		if s.emit != nil {
-			s.emit(ready)
-		}
-	}
 	s.cond.Broadcast()
 }
 
-// drain blocks until every submitted frame has been delivered.
+// flush is the session's delivery goroutine: it emits consecutively
+// ready verdicts in sequence order, releasing the session lock around
+// every emit call. inflight is decremented only after emit returns, so
+// drain (and hence Process) cannot return while an emit is still
+// running, and a slow consumer's backlog stays bounded by MaxPending.
+func (s *Session) flush() {
+	defer close(s.flushed)
+	s.mu.Lock()
+	for {
+		ready, ok := s.pending[s.next]
+		if !ok {
+			if s.closed && s.inflight == 0 {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		delete(s.pending, s.next)
+		s.next++
+		s.mu.Unlock()
+		if s.emit != nil {
+			s.emit(ready)
+		}
+		s.mu.Lock()
+		s.inflight--
+		s.cond.Broadcast()
+	}
+}
+
+// drain blocks until every submitted frame has been emitted, then stops
+// the delivery goroutine and waits for it to exit.
 func (s *Session) drain() {
 	s.mu.Lock()
 	for s.inflight > 0 {
 		s.cond.Wait()
 	}
+	s.closed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
+	<-s.flushed
 }

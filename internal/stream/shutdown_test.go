@@ -152,6 +152,73 @@ func TestCancelDrainsDeterministically(t *testing.T) {
 	}
 }
 
+// TestStalledConsumerDoesNotWedgePool: a consumer that blocks inside
+// emit (a client that streams samples but never reads verdicts) must not
+// wedge the shared worker pool. With a single worker, a second session
+// must still complete while the first session's consumer is stalled —
+// workers only park results; emission happens on the stalled session's
+// own delivery goroutine.
+func TestStalledConsumerDoesNotWedgePool(t *testing.T) {
+	authentic, emulated := testFrames(t, []byte("stall"))
+	captureA, err := BuildCapture(rand.New(rand.NewSource(31)), 1e-3, 700, authentic, emulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureB, err := BuildCapture(rand.New(rand.NewSource(32)), 1e-3, 700, emulated, authentic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Workers = 1 // one shared worker: blocking it would wedge everything
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	release := make(chan struct{})
+	aDone := make(chan int, 1)
+	go func() {
+		emitted := 0
+		if _, err := e.Process(context.Background(), NewSliceSource(captureA), func(Verdict) {
+			<-release // consumer reads nothing until released
+			emitted++
+		}); err != nil {
+			t.Error(err)
+		}
+		aDone <- emitted
+	}()
+
+	bDone := make(chan []Verdict, 1)
+	go func() {
+		var got []Verdict
+		if _, err := e.Process(context.Background(), NewSliceSource(captureB), func(v Verdict) {
+			got = append(got, v)
+		}); err != nil {
+			t.Error(err)
+		}
+		bDone <- got
+	}()
+
+	select {
+	case got := <-bDone:
+		if len(got) != 2 {
+			t.Errorf("session B emitted %d verdicts, want 2", len(got))
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("session B wedged behind session A's stalled consumer")
+	}
+	close(release)
+	select {
+	case emitted := <-aDone:
+		if emitted != 2 {
+			t.Errorf("session A emitted %d verdicts after release, want 2", emitted)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("session A did not drain after its consumer resumed")
+	}
+}
+
 // TestProcessOnClosedEngine: a closed engine refuses new sessions instead
 // of wedging them.
 func TestProcessOnClosedEngine(t *testing.T) {

@@ -11,11 +11,14 @@
 //     cf32 pipes, SliceSource for in-memory captures, ReplaySource for
 //     synthetic traffic).
 //   - Each session owns a sliding window buffer whose overlap policy
-//     guarantees preamble synchronization is byte-identical to
-//     whole-capture processing: correlation lags are only trusted once
-//     the window extends far enough that their value can never change,
-//     and the scanner advances by exactly the offsets
-//     zigbee.(*Receiver).ReceiveAll would use.
+//     makes preamble synchronization byte-identical to whole-capture
+//     processing for captures whose detected frames all decode:
+//     correlation lags are only trusted once the window extends far
+//     enough that their value can never change, and the scanner advances
+//     by exactly the offsets zigbee.(*Receiver).ReceiveAll would use
+//     (FrameSpan validates the decoded preamble and SFD, so invalid sync
+//     points advance identically too; see DESIGN.md §9 for the one
+//     accepted divergence after a frame whose body fails to decode).
 //   - Detected frames are copied out of the window and fanned out to a
 //     bounded worker pool shared by every session on the Engine. The
 //     queue is explicitly bounded with a drop-oldest policy (dropped
@@ -31,7 +34,11 @@
 // shared pool; past that the scanner blocks, which stops Source reads,
 // which (for a network source) pushes back on the sender. The shared
 // queue additionally drops oldest under cross-session overload so one
-// stalled session cannot wedge the pool.
+// stalled session cannot wedge the pool. Verdicts are emitted by a
+// dedicated per-session delivery goroutine — workers only park results
+// in the reorder buffer — so a consumer that stalls inside emit blocks
+// its own session (whose un-emitted verdicts count against MaxPending)
+// and nothing else.
 package stream
 
 import (
@@ -115,8 +122,11 @@ type Verdict struct {
 	// analysis ran.
 	Dropped bool `json:"dropped,omitempty"`
 	// Err records a decode or defense failure (the frame produced no
-	// decision; Attack is meaningless).
-	Err string `json:"err,omitempty"`
+	// decision; Attack is meaningless). ErrStage names the stage that
+	// failed — StageDecode (demodulation/despreading) or StageDetect
+	// (the cumulant defense) — and is empty when Err is empty.
+	Err      string `json:"err,omitempty"`
+	ErrStage string `json:"err_stage,omitempty"`
 	// Per-stage latency in nanoseconds: time in the scanner step that
 	// found the frame, time waiting in the shared queue, frame decode,
 	// and defense.
@@ -125,6 +135,12 @@ type Verdict struct {
 	DecodeNS int64 `json:"decode_ns"`
 	DetectNS int64 `json:"detect_ns"`
 }
+
+// Verdict.ErrStage values.
+const (
+	StageDecode = "decode"
+	StageDetect = "detect"
+)
 
 // Decided reports whether the verdict carries a real decision (the frame
 // was decoded and analyzed).
@@ -138,6 +154,7 @@ type Stats struct {
 	SyncRejects  int64 `json:"sync_rejects"`
 	Dropped      int64 `json:"dropped"`
 	DecodeErrors int64 `json:"decode_errors"`
+	DetectErrors int64 `json:"detect_errors"`
 }
 
 // Process runs a one-shot pipeline: a private Engine is built from cfg,

@@ -28,8 +28,12 @@ func (rx *Receiver) SyncRefSamples() int { return len(rx.syncRef) }
 // SHR through the last PSDU chip, excluding the Q-arm tail. This is
 // exactly the amount ReceiveAll advances past a decoded frame, so a
 // streaming scanner that advances by FrameSpan visits the same sync
-// offsets as whole-capture processing. Decoding the frame body needs
-// FrameSpan()+QOffsetSamples samples from start.
+// offsets as whole-capture processing. The decoded preamble and SFD
+// bytes are validated against the ParsePPDU rules: a sync point whose
+// SHR content is wrong fails here, and a scanner that then advances by
+// SyncRefSamples matches ReceiveAll's bad-frame advance (decodeFrom
+// would reject the same frame at ParsePPDU). Decoding the frame body
+// needs FrameSpan()+QOffsetSamples samples from start.
 func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
 	if start < 0 || start+len(rx.syncRef) > len(waveform) {
 		return 0, fmt.Errorf("zigbee: frame start %d outside waveform of %d samples", start, len(waveform))
@@ -58,6 +62,14 @@ func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
 	}
 	if symErrs > 0 {
 		return 0, fmt.Errorf("zigbee: %d dropped symbols in header", symErrs)
+	}
+	for i := 0; i < PreambleBytes; i++ {
+		if hdrBytes[i] != 0 {
+			return 0, fmt.Errorf("zigbee: preamble byte %d is %#x, want 0", i, hdrBytes[i])
+		}
+	}
+	if hdrBytes[PreambleBytes] != SFD {
+		return 0, fmt.Errorf("zigbee: SFD is %#x, want %#x", hdrBytes[PreambleBytes], SFD)
 	}
 	psduLen := int(hdrBytes[PreambleBytes+1] & 0x7F)
 	totalChips := (hdrSymbols + psduLen*SymbolsPerByte) * ChipsPerSymbol
