@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments manifest-smoke stream-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke examples clean
 
 all: build vet test
 
@@ -20,6 +20,18 @@ race:
 # One benchmark per paper table/figure plus per-package micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf trajectory: run the sync-path benchmarks (FFT and
+# direct variants side by side, plus the stream scan stage) and aggregate
+# ns/op, B/op, allocs/op into schema-versioned BENCH_sync.json.
+bench-json:
+	$(GO) run ./cmd/benchreport -out BENCH_sync.json -benchtime 100ms \
+		-bench 'Synchronize|ReceiveAll|Correlator|StreamScan' \
+		./internal/dsp ./internal/zigbee ./internal/stream
+
+# Validate the committed (or freshly generated) bench report schema.
+bench-check:
+	$(GO) run ./cmd/benchreport -check BENCH_sync.json
 
 # Regenerate every table and figure (several minutes at full trial counts).
 experiments:

@@ -1,0 +1,253 @@
+// Command benchreport runs the repository's benchmarks through
+// `go test -bench -benchmem -json`, aggregates ns/op, B/op, allocs/op
+// (and any custom b.ReportMetric units) per benchmark, and writes a
+// schema-versioned JSON report — the machine-readable perf trajectory
+// (BENCH_sync.json) that records each PR's before/after numbers.
+//
+// Usage:
+//
+//	benchreport -out BENCH_sync.json -bench 'Synchronize|ReceiveAll' -benchtime 100ms ./internal/...
+//	benchreport -check BENCH_sync.json
+//
+// -check validates an existing report against the schema (strict
+// decode + obs.BenchReport.Validate), the same contract manifestcheck
+// applies to run manifests.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"hideseek/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "BENCH_sync.json", "report file to write")
+		bench     = fs.String("bench", ".", "benchmark filter regexp passed to -bench")
+		benchtime = fs.String("benchtime", "100ms", "per-benchmark budget passed to -benchtime")
+		count     = fs.Int("count", 1, "benchmark repetitions passed to -count")
+		check     = fs.String("check", "", "validate an existing report instead of running benchmarks")
+		goBin     = fs.String("go", "go", "go tool to invoke")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchreport [flags] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check != "" {
+		report, err := obs.ReadBenchReport(*check)
+		if err != nil {
+			return err
+		}
+		if err := report.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", *check, err)
+		}
+		fmt.Fprintf(stdout, "%s: valid %s (%d benchmarks, %s/%s, %s)\n",
+			*check, report.Schema, len(report.Benchmarks), report.GOOS, report.GOARCH, report.GoVersion)
+		return nil
+	}
+
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./internal/dsp", "./internal/zigbee", "./internal/stream"}
+	}
+	cmdArgs := append([]string{
+		"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-json",
+	}, pkgs...)
+	cmd := exec.Command(*goBin, cmdArgs...)
+	cmd.Stderr = stderr
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("%s %s: %w", *goBin, strings.Join(cmdArgs, " "), err)
+	}
+
+	results, err := parseTestJSON(&buf)
+	if err != nil {
+		return err
+	}
+	report := obs.NewBenchReport(*benchtime, *bench, pkgs)
+	report.Benchmarks = results
+	if err := report.Validate(); err != nil {
+		return fmt.Errorf("refusing to write invalid report: %w", err)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: wrote %d benchmarks\n", *out, len(report.Benchmarks))
+	return nil
+}
+
+// testEvent is the subset of the `go test -json` (test2json) event
+// stream benchreport consumes.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// parseTestJSON extracts benchmark result lines from a test2json event
+// stream. A single result line reaches test2json in several Output
+// chunks (the benchmark name is echoed before the run, the metrics
+// after), so each package's output is reassembled in full before being
+// split into lines. Repetitions of one benchmark (-count > 1) are
+// averaged.
+func parseTestJSON(r io.Reader) ([]obs.BenchResult, error) {
+	var pkgOrder []string
+	outputs := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("malformed test2json event: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := outputs[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+			pkgOrder = append(pkgOrder, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	type agg struct {
+		obs.BenchResult
+		runs int
+	}
+	var order []string
+	byKey := make(map[string]*agg)
+	for _, pkg := range pkgOrder {
+		for _, line := range strings.Split(outputs[pkg].String(), "\n") {
+			res, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			res.Package = pkg
+			key := pkg + "." + res.Name
+			a, seen := byKey[key]
+			if !seen {
+				a = &agg{BenchResult: res, runs: 1}
+				byKey[key] = a
+				order = append(order, key)
+				continue
+			}
+			a.Iterations += res.Iterations
+			a.NsPerOp += res.NsPerOp
+			a.BytesPerOp += res.BytesPerOp
+			a.AllocsPerOp += res.AllocsPerOp
+			for k, v := range res.Extra {
+				if a.Extra == nil {
+					a.Extra = make(map[string]float64)
+				}
+				a.Extra[k] += v
+			}
+			a.runs++
+		}
+	}
+	out := make([]obs.BenchResult, 0, len(order))
+	for _, key := range order {
+		a := byKey[key]
+		if a.runs > 1 {
+			n := float64(a.runs)
+			a.NsPerOp /= n
+			a.BytesPerOp /= n
+			a.AllocsPerOp /= n
+			for k := range a.Extra {
+				a.Extra[k] /= n
+			}
+		}
+		out = append(out, a.BenchResult)
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one benchmark result line, e.g.
+//
+//	BenchmarkSynchronize-4   9253   119748 ns/op   0 B/op   0 allocs/op
+//
+// returning ok=false for non-benchmark output. Value/unit pairs beyond
+// the standard three land in Extra (custom b.ReportMetric units).
+func parseBenchLine(line string) (obs.BenchResult, bool, error) {
+	var res obs.BenchResult
+	line = strings.TrimSuffix(line, "\n")
+	if !strings.HasPrefix(line, "Benchmark") {
+		return res, false, nil
+	}
+	fields := strings.Fields(line)
+	// A result line is "Name iterations {value unit}..."; other
+	// Benchmark-prefixed output (e.g. the bare name test2json echoes
+	// before results) has no numeric second field.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return res, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return res, false, nil
+	}
+	name := fields[0]
+	res.Procs = 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			res.Procs = p
+			name = name[:i]
+		}
+	}
+	res.Name = strings.TrimPrefix(name, "Benchmark")
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return res, false, fmt.Errorf("benchmark line %q: bad value %q", line, fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = v
+		}
+	}
+	return res, true, nil
+}

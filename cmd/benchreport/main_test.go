@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hideseek/internal/obs"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok, err := parseBenchLine("BenchmarkSynchronize-4   \t    9253\t    119748 ns/op\t       0 B/op\t       0 allocs/op\n")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if res.Name != "Synchronize" || res.Procs != 4 || res.Iterations != 9253 {
+		t.Errorf("parsed %+v", res)
+	}
+	if res.NsPerOp != 119748 || res.BytesPerOp != 0 || res.AllocsPerOp != 0 {
+		t.Errorf("parsed metrics %+v", res)
+	}
+
+	// Custom ReportMetric units land in Extra.
+	res, ok, err = parseBenchLine("BenchmarkStreamScan-2 10 5000000 ns/op 1234 scan-p50-ns 5678 scan-p95-ns 0 B/op 3 allocs/op\n")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if res.Extra["scan-p50-ns"] != 1234 || res.Extra["scan-p95-ns"] != 5678 {
+		t.Errorf("extra metrics %+v", res.Extra)
+	}
+	if res.AllocsPerOp != 3 {
+		t.Errorf("allocs %v", res.AllocsPerOp)
+	}
+
+	// GOMAXPROCS=1 benchmarks have no -N suffix.
+	res, ok, _ = parseBenchLine("BenchmarkFFT64 1000 850 ns/op\n")
+	if !ok || res.Name != "FFT64" || res.Procs != 1 {
+		t.Errorf("no-suffix parse: ok=%v %+v", ok, res)
+	}
+
+	// Non-result Benchmark output (the bare name echo) is skipped.
+	if _, ok, _ = parseBenchLine("BenchmarkSynchronize\n"); ok {
+		t.Error("bare benchmark name parsed as a result")
+	}
+	if _, ok, _ = parseBenchLine("ok  \thideseek/internal/dsp\t1.2s\n"); ok {
+		t.Error("non-benchmark line parsed as a result")
+	}
+}
+
+func TestParseTestJSON(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"hideseek/internal/dsp"}`,
+		`{"Action":"output","Package":"hideseek/internal/dsp","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"hideseek/internal/dsp","Output":"BenchmarkCorrelatorFFT\n"}`,
+		`{"Action":"output","Package":"hideseek/internal/dsp","Output":"BenchmarkCorrelatorFFT-4 100 587155 ns/op 0 B/op 0 allocs/op\n"}`,
+		`{"Action":"output","Package":"hideseek/internal/zigbee","Output":"BenchmarkSynchronize-4 200 119748 ns/op 4 B/op 0 allocs/op\n"}`,
+		`{"Action":"pass","Package":"hideseek/internal/dsp"}`,
+	}, "\n")
+	results, err := parseTestJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Package != "hideseek/internal/dsp" || results[0].Name != "CorrelatorFFT" {
+		t.Errorf("result 0: %+v", results[0])
+	}
+	if results[1].Name != "Synchronize" || results[1].NsPerOp != 119748 {
+		t.Errorf("result 1: %+v", results[1])
+	}
+}
+
+// TestParseTestJSONSplitOutputEvents pins the real test2json shape: the
+// benchmark name is flushed as its own Output event (no trailing
+// newline) while it runs, and the metrics arrive in a later event.
+func TestParseTestJSONSplitOutputEvents(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"hideseek/internal/zigbee","Output":"BenchmarkSynchronize-4    \t"}`,
+		`{"Action":"output","Package":"hideseek/internal/dsp","Output":"BenchmarkCorrelatorFFT-4   \t"}`,
+		`{"Action":"output","Package":"hideseek/internal/dsp","Output":"    2042\t    587155 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+		`{"Action":"output","Package":"hideseek/internal/zigbee","Output":"    9253\t    119748 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+	}, "\n")
+	results, err := parseTestJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(results), results)
+	}
+	if results[0].Name != "Synchronize" || results[0].Iterations != 9253 || results[0].NsPerOp != 119748 {
+		t.Errorf("result 0: %+v", results[0])
+	}
+	if results[1].Name != "CorrelatorFFT" || results[1].Iterations != 2042 || results[1].NsPerOp != 587155 {
+		t.Errorf("result 1: %+v", results[1])
+	}
+}
+
+func TestParseTestJSONAveragesRepetitions(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"p","Output":"BenchmarkX-1 10 100 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Output":"BenchmarkX-1 10 300 ns/op\n"}`,
+	}, "\n")
+	results, err := parseTestJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 200 || results[0].Iterations != 20 {
+		t.Fatalf("averaged %+v", results)
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	report := obs.NewBenchReport("100ms", ".", []string{"./x"})
+	report.Benchmarks = []obs.BenchResult{{Package: "p", Name: "X", Procs: 1, Iterations: 10, NsPerOp: 5}}
+	if err := report.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-check", path}, &out, &errOut); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Errorf("check output %q", out.String())
+	}
+
+	report.Benchmarks = nil
+	bad := filepath.Join(dir, "bad.json")
+	if err := report.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-check", bad}, &out, &errOut); err == nil {
+		t.Error("empty report accepted")
+	}
+	if err := run([]string{"-check", filepath.Join(dir, "missing.json")}, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -66,6 +66,27 @@ func BenchmarkNormalizedCrossCorrelate(b *testing.B) {
 	}
 }
 
+// benchCorrelator times CorrelateInto at the ZigBee-sync shape (a ~638-
+// sample SHR reference against a frame-sized capture) on either path.
+func benchCorrelator(b *testing.B, direct bool) {
+	b.Helper()
+	x := benchSignal(7000)
+	ref := benchSignal(638)
+	c, err := NewCorrelator(ref, CorrelatorConfig{UseDirect: direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, c.Lags(len(x)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CorrelateInto(dst, x)
+	}
+}
+
+func BenchmarkCorrelatorFFT(b *testing.B)    { benchCorrelator(b, false) }
+func BenchmarkCorrelatorDirect(b *testing.B) { benchCorrelator(b, true) }
+
 func BenchmarkGoertzel(b *testing.B) {
 	x := benchSignal(64)
 	for i := 0; i < b.N; i++ {

@@ -67,6 +67,8 @@ func NormalizedCrossCorrelateInto(dst []float64, x, ref []complex128) []float64 
 		denom := math.Sqrt(winEnergy * refEnergy)
 		if denom > 0 {
 			out[l] = cmplx.Abs(acc) / denom
+		} else {
+			out[l] = 0 // zero-energy window: define, don't leave stale
 		}
 		if l+1 < lags {
 			winEnergy += sqAbs(x[l+len(ref)]) - sqAbs(x[l])
@@ -80,15 +82,17 @@ func NormalizedCrossCorrelateInto(dst []float64, x, ref []complex128) []float64 
 
 func sqAbs(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
 
-// PeakIndex returns the index of the maximum value in x, or −1 for empty
+// PeakIndex returns the index of the maximum value in x, skipping NaN
+// values (a NaN in slot 0 would otherwise win every `v > x[best]`
+// comparison and poison the peak). It returns −1 for empty or all-NaN
 // input.
 func PeakIndex(x []float64) int {
-	if len(x) == 0 {
-		return -1
-	}
-	best := 0
+	best := -1
 	for i, v := range x {
-		if v > x[best] {
+		if math.IsNaN(v) {
+			continue
+		}
+		if best < 0 || v > x[best] {
 			best = i
 		}
 	}

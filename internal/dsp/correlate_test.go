@@ -75,6 +75,63 @@ func TestPeakIndex(t *testing.T) {
 	}
 }
 
+// TestPeakIndexSkipsNaN is the regression test for the NaN poisoning
+// bug: a NaN in slot 0 made every `v > x[best]` comparison false, so the
+// NaN "won" and the peak stuck at 0.
+func TestPeakIndexSkipsNaN(t *testing.T) {
+	nan := math.NaN()
+	if got := PeakIndex([]float64{nan, 1, 3, 2}); got != 2 {
+		t.Errorf("PeakIndex([NaN 1 3 2]) = %d, want 2", got)
+	}
+	if got := PeakIndex([]float64{1, nan, 3, nan, 2}); got != 2 {
+		t.Errorf("PeakIndex with interior NaNs = %d, want 2", got)
+	}
+	if got := PeakIndex([]float64{nan, nan}); got != -1 {
+		t.Errorf("PeakIndex(all NaN) = %d, want -1", got)
+	}
+	if got := PeakIndex([]float64{nan, 7}); got != 1 {
+		t.Errorf("PeakIndex([NaN 7]) = %d, want 1", got)
+	}
+}
+
+// TestCrossCorrelateEdgeCases covers the degenerate-input contract:
+// empty reference, reference longer than the signal, zero-energy inputs.
+func TestCrossCorrelateEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := randComplexSlice(rng, 8)
+	if got := CrossCorrelate(x, randComplexSlice(rng, 9)); got != nil {
+		t.Error("ref longer than x should give nil")
+	}
+	if got := CrossCorrelate(nil, nil); got != nil {
+		t.Error("both empty should give nil")
+	}
+	if got := CrossCorrelate(x, x); len(got) != 1 {
+		t.Errorf("equal lengths give %d lags, want 1", len(got))
+	}
+	if got := NormalizedCrossCorrelate(x, randComplexSlice(rng, 9)); got != nil {
+		t.Error("normalized: ref longer than x should give nil")
+	}
+	// Zero-energy signal against a live reference: every window energy
+	// is 0, so every lag must read a defined 0 (not stale memory).
+	corr := NormalizedCrossCorrelate(make([]complex128, 20), randComplexSlice(rng, 4))
+	for l, v := range corr {
+		if v != 0 {
+			t.Errorf("zero-energy signal lag %d = %v, want 0", l, v)
+		}
+	}
+}
+
+func TestSegmentCorrelationZeroEnergyOneSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randComplexSlice(rng, 12)
+	if c := SegmentCorrelation(a, make([]complex128, 12)); c != 0 {
+		t.Errorf("zero-energy b gives %v, want 0", c)
+	}
+	if c := SegmentCorrelation(make([]complex128, 12), a); c != 0 {
+		t.Errorf("zero-energy a gives %v, want 0", c)
+	}
+}
+
 func TestSegmentCorrelation(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	a := randComplexSlice(rng, 16)

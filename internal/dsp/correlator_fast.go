@@ -1,0 +1,10 @@
+//go:build !slowsync
+
+package dsp
+
+// defaultDirectCorrelation selects the Correlator's default path. The
+// normal build uses FFT overlap-save; building with -tags slowsync flips
+// every Correlator (and therefore every receiver sync path) back to the
+// direct O(lags×ref) sweep, keeping the reference implementation
+// compiled, testable, and benchmarkable forever.
+const defaultDirectCorrelation = false

@@ -1,0 +1,7 @@
+//go:build slowsync
+
+package dsp
+
+// slowsync build: every Correlator runs the direct O(lags×ref) sweep, so
+// the whole system can be exercised on the reference sync path.
+const defaultDirectCorrelation = true

@@ -1,0 +1,217 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// newFFTCorrelator builds a correlator on the FFT path (a no-op request
+// under the slowsync build tag, where every plan is direct and the
+// FFT-vs-direct comparisons below collapse to direct-vs-direct).
+func newFFTCorrelator(t *testing.T, ref []complex128) *Correlator {
+	t.Helper()
+	c, err := NewCorrelator(ref, CorrelatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorrelatorMatchesDirectValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct{ sigLen, refLen int }{
+		{64, 5}, {100, 32}, {638, 638}, {1000, 638}, {4096, 638}, {5000, 100},
+	} {
+		x := randComplexSlice(rng, tc.sigLen)
+		ref := randComplexSlice(rng, tc.refLen)
+		c := newFFTCorrelator(t, ref)
+		got := c.Correlate(x)
+		want := NormalizedCrossCorrelate(x, ref)
+		if len(got) != len(want) {
+			t.Fatalf("sig=%d ref=%d: %d lags, want %d", tc.sigLen, tc.refLen, len(got), len(want))
+		}
+		for l := range want {
+			if math.Abs(got[l]-want[l]) > 1e-9 {
+				t.Errorf("sig=%d ref=%d lag %d: fft %v, direct %v", tc.sigLen, tc.refLen, l, got[l], want[l])
+			}
+		}
+	}
+}
+
+func TestCorrelatorExactAtBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range []struct{ sigLen, refLen int }{
+		{80, 7}, {500, 64}, {2000, 638},
+	} {
+		x := randComplexSlice(rng, tc.sigLen)
+		ref := randComplexSlice(rng, tc.refLen)
+		c := newFFTCorrelator(t, ref)
+		want := NormalizedCrossCorrelate(x, ref)
+		for l := range want {
+			if got := c.ExactAt(x, l); got != want[l] {
+				t.Fatalf("sig=%d ref=%d lag %d: ExactAt %v != direct %v (must be bitwise equal)",
+					tc.sigLen, tc.refLen, l, got, want[l])
+			}
+		}
+	}
+}
+
+// TestCorrelatorPeakAgreementFuzz is the fuzz-style property test: over
+// random signal lengths, reference lengths, embed offsets, amplitudes,
+// and noise levels, the FFT and direct paths must agree on the peak lag.
+func TestCorrelatorPeakAgreementFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		refLen := 4 + rng.Intn(700)
+		sigLen := refLen + rng.Intn(4000)
+		ref := randComplexSlice(rng, refLen)
+		x := make([]complex128, sigLen)
+		noise := math.Pow(10, -1-2*rng.Float64()) // 1e-1 .. 1e-3
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * complex(noise, 0)
+		}
+		offset := rng.Intn(sigLen - refLen + 1)
+		amp := complex(0.5+rng.Float64(), 0)
+		for i, v := range ref {
+			x[offset+i] += v * amp
+		}
+		c := newFFTCorrelator(t, ref)
+		gotPeak := PeakIndex(c.Correlate(x))
+		wantPeak := PeakIndex(NormalizedCrossCorrelate(x, ref))
+		if gotPeak != wantPeak {
+			t.Fatalf("trial %d (sig=%d ref=%d offset=%d): fft peak %d, direct peak %d",
+				trial, sigLen, refLen, offset, gotPeak, wantPeak)
+		}
+		if gotPeak != offset {
+			t.Fatalf("trial %d: peak %d, embedded at %d", trial, gotPeak, offset)
+		}
+	}
+}
+
+func TestCorrelatorIntoZeroAllocs(t *testing.T) {
+	x := randSignal(4000, 31)
+	ref := randSignal(638, 32)
+	c := newFFTCorrelator(t, ref)
+	dst := make([]float64, c.Lags(len(x)))
+	if n := testing.AllocsPerRun(20, func() { c.CorrelateInto(dst, x) }); n != 0 {
+		t.Fatalf("CorrelateInto allocated %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { c.ExactAt(x, 1234) }); n != 0 {
+		t.Fatalf("ExactAt allocated %v per run, want 0", n)
+	}
+}
+
+func TestCorrelatorClone(t *testing.T) {
+	x := randSignal(3000, 33)
+	ref := randSignal(200, 34)
+	c := newFFTCorrelator(t, ref)
+	want := c.Correlate(x)
+
+	// Clones must produce identical output and be independently usable
+	// from concurrent goroutines (shared spectrum, private scratch).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := c.Clone()
+			for iter := 0; iter < 5; iter++ {
+				got := cl.Correlate(x)
+				for l := range want {
+					if got[l] != want[l] {
+						t.Errorf("clone lag %d: %v != %v", l, got[l], want[l])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCorrelatorConfigValidation(t *testing.T) {
+	if _, err := NewCorrelator(nil, CorrelatorConfig{}); err == nil {
+		t.Error("accepted empty reference")
+	}
+	ref := randSignal(100, 35)
+	if _, err := NewCorrelator(ref, CorrelatorConfig{FFTSize: 100}); err == nil && !defaultDirectCorrelation {
+		t.Error("accepted non-power-of-two FFT size")
+	}
+	if _, err := NewCorrelator(ref, CorrelatorConfig{FFTSize: 128}); err == nil && !defaultDirectCorrelation {
+		t.Error("accepted FFT size below 2×ref")
+	}
+	c, err := NewCorrelator(ref, CorrelatorConfig{FFTSize: 512})
+	if err != nil {
+		t.Fatalf("rejected valid FFT size: %v", err)
+	}
+	if !c.Direct() && c.FFTSize() != 512 {
+		t.Errorf("FFTSize() = %d, want 512", c.FFTSize())
+	}
+}
+
+func TestCorrelatorDegenerate(t *testing.T) {
+	ref := randSignal(16, 36)
+	c := newFFTCorrelator(t, ref)
+	if got := c.Correlate(randSignal(8, 37)); got != nil {
+		t.Error("signal shorter than reference should give nil")
+	}
+	assertPanics(t, "CorrelateInto undersized", func() {
+		c.CorrelateInto(make([]float64, 1), randSignal(8, 38))
+	})
+	assertPanics(t, "CorrelateInto mis-sized dst", func() {
+		c.CorrelateInto(make([]float64, 3), randSignal(32, 39))
+	})
+	assertPanics(t, "ExactAt out of range", func() {
+		c.ExactAt(randSignal(32, 40), 30)
+	})
+
+	// Zero-energy reference: all-zero output on every path.
+	zc, err := NewCorrelator(make([]complex128, 8), CorrelatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range zc.Correlate(randSignal(64, 41)) {
+		if v != 0 {
+			t.Fatal("zero-energy reference should yield zeros")
+		}
+	}
+	if zc.ExactAt(randSignal(64, 42), 3) != 0 {
+		t.Error("zero-energy reference ExactAt should be 0")
+	}
+}
+
+// TestCorrelatorZeroEnergyWindows pins the defined-output contract for
+// zero-energy signal windows: lags whose window has no energy read 0 on
+// both paths (the direct path once left such slots stale).
+func TestCorrelatorZeroEnergyWindows(t *testing.T) {
+	ref := randSignal(8, 43)
+	x := make([]complex128, 64)
+	copy(x[40:], randSignal(16, 44)) // first 40 samples silent
+	c := newFFTCorrelator(t, ref)
+	got := c.Correlate(x)
+	dirty := make([]float64, len(got))
+	for i := range dirty {
+		dirty[i] = 999 // stale garbage the Into call must overwrite
+	}
+	NormalizedCrossCorrelateInto(dirty, x, ref)
+	for l := 0; l < 40-len(ref)+1; l++ {
+		if got[l] != 0 {
+			t.Errorf("fft lag %d over silence = %v, want 0", l, got[l])
+		}
+		if dirty[l] != 0 {
+			t.Errorf("direct lag %d over silence = %v, want 0 (stale slot)", l, dirty[l])
+		}
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchReportSchema identifies the benchmark-report layout; bump on
+// breaking change. BENCH_*.json files at the repository root carry this
+// schema and form the recorded perf trajectory across PRs.
+const BenchReportSchema = "hideseek.bench-report/v1"
+
+// BenchResult is one benchmark's aggregated numbers as `go test -bench
+// -benchmem` reports them, plus any custom b.ReportMetric units under
+// Extra (e.g. the stream scan stage's scan-p50-ns / scan-p95-ns).
+type BenchResult struct {
+	Package     string             `json:"package"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchReport is the machine-readable record of one benchmark run: build
+// identity, the run parameters, and one BenchResult per benchmark. It is
+// what cmd/benchreport writes (BENCH_sync.json) and validates, the
+// benchmark analogue of the run manifest.
+type BenchReport struct {
+	Schema      string        `json:"schema"`
+	CreatedAt   time.Time     `json:"created_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Benchtime   string        `json:"benchtime"`
+	BenchFilter string        `json:"bench_filter"`
+	Packages    []string      `json:"packages"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+}
+
+// NewBenchReport stamps a report with schema and build identity; the
+// caller appends the benchmark results.
+func NewBenchReport(benchtime, filter string, packages []string) *BenchReport {
+	return &BenchReport{
+		Schema:      BenchReportSchema,
+		CreatedAt:   time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchtime:   benchtime,
+		BenchFilter: filter,
+		Packages:    packages,
+	}
+}
+
+// Validate is the schema check: it confirms a report a tool just read
+// (or is about to write) carries everything trend consumers rely on.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchReportSchema {
+		return fmt.Errorf("obs: bench report schema %q, want %q", r.Schema, BenchReportSchema)
+	}
+	if r.CreatedAt.IsZero() {
+		return fmt.Errorf("obs: bench report has no creation time")
+	}
+	if r.Benchtime == "" {
+		return fmt.Errorf("obs: bench report has no benchtime")
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("obs: bench report lists no benchmarks")
+	}
+	for _, b := range r.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("obs: bench result with empty name")
+		}
+		if b.Package == "" {
+			return fmt.Errorf("obs: benchmark %q has no package", b.Name)
+		}
+		if b.Iterations < 1 {
+			return fmt.Errorf("obs: benchmark %q ran %d iterations", b.Name, b.Iterations)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("obs: benchmark %q reports %g ns/op", b.Name, b.NsPerOp)
+		}
+		if b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
+			return fmt.Errorf("obs: benchmark %q reports negative allocation stats", b.Name)
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshaling bench report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing bench report: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchReport loads and strictly decodes a report file: unknown
+// fields are an error, so drift between writer and schema is caught in
+// CI.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading bench report: %w", err)
+	}
+	return DecodeBenchReport(data)
+}
+
+// DecodeBenchReport strictly decodes bench-report JSON.
+func DecodeBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("obs: decoding bench report: %w", err)
+	}
+	return &r, nil
+}

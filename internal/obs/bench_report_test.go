@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validBenchReport() *BenchReport {
+	r := NewBenchReport("100ms", "Synchronize", []string{"./internal/zigbee"})
+	r.Benchmarks = []BenchResult{{
+		Package: "hideseek/internal/zigbee", Name: "Synchronize", Procs: 1,
+		Iterations: 100, NsPerOp: 12345.6, BytesPerOp: 0, AllocsPerOp: 0,
+		Extra: map[string]float64{"scan-p50-ns": 1000},
+	}}
+	return r
+}
+
+func TestBenchReportValidate(t *testing.T) {
+	if err := validBenchReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	zeroed := validBenchReport()
+	zeroed.CreatedAt = time.Time{}
+	if err := zeroed.Validate(); err == nil {
+		t.Error("accepted zero creation time")
+	}
+	breakages := []struct {
+		name  string
+		mut   func(*BenchReport)
+		wants string
+	}{
+		{"schema", func(r *BenchReport) { r.Schema = "nope" }, "schema"},
+		{"benchtime", func(r *BenchReport) { r.Benchtime = "" }, "benchtime"},
+		{"empty", func(r *BenchReport) { r.Benchmarks = nil }, "no benchmarks"},
+		{"name", func(r *BenchReport) { r.Benchmarks[0].Name = "" }, "empty name"},
+		{"package", func(r *BenchReport) { r.Benchmarks[0].Package = "" }, "no package"},
+		{"iterations", func(r *BenchReport) { r.Benchmarks[0].Iterations = 0 }, "iterations"},
+		{"nsop", func(r *BenchReport) { r.Benchmarks[0].NsPerOp = 0 }, "ns/op"},
+		{"negalloc", func(r *BenchReport) { r.Benchmarks[0].AllocsPerOp = -1 }, "negative"},
+	}
+	for _, tc := range breakages {
+		r := validBenchReport()
+		tc.mut(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: breakage accepted", tc.name)
+			continue
+		}
+		if tc.wants != "" && !strings.Contains(err.Error(), tc.wants) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wants)
+		}
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := validBenchReport()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 12345.6 {
+		t.Errorf("round trip lost data: %+v", got.Benchmarks)
+	}
+	if got.Benchmarks[0].Extra["scan-p50-ns"] != 1000 {
+		t.Errorf("round trip lost extra metrics: %+v", got.Benchmarks[0].Extra)
+	}
+}
+
+func TestBenchReportStrictDecode(t *testing.T) {
+	if _, err := DecodeBenchReport([]byte(`{"schema":"hideseek.bench-report/v1","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeBenchReport([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

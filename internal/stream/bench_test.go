@@ -1,0 +1,48 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hideseek/internal/obs"
+	"hideseek/internal/zigbee"
+)
+
+// BenchmarkStreamScan drives the streaming pipeline end to end over a
+// multi-frame capture and attaches the scan-stage latency distribution
+// (stream.scan_ns p50/p95, the numbers /v1/obs serves) as custom
+// metrics, so benchreport lands them in BENCH_sync.json alongside ns/op.
+func BenchmarkStreamScan(b *testing.B) {
+	tx := zigbee.NewTransmitter()
+	wave, err := tx.TransmitPSDU([]byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	capture, err := BuildCapture(rand.New(rand.NewSource(17)), 1e-3, 900, wave, wave, wave)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Receiver: zigbee.ReceiverConfig{SyncThreshold: 0.3}}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := e.Process(ctx, NewSliceSource(capture), func(Verdict) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Frames != 3 {
+			b.Fatalf("scanned %d frames, want 3", stats.Frames)
+		}
+	}
+	b.StopTimer()
+	if st, ok := obs.Snap().Histograms["stream.scan_ns"]; ok && st.Count > 0 {
+		b.ReportMetric(st.P50, "scan-p50-ns")
+		b.ReportMetric(st.P95, "scan-p95-ns")
+	}
+}

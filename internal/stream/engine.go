@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
@@ -16,10 +15,11 @@ import (
 // workers, which is how the daemon serves many clients with a fixed
 // resource envelope.
 type Engine struct {
-	cfg Config
-	det *emulation.Detector
-	q   *jobQueue
-	wg  sync.WaitGroup
+	cfg   Config
+	det   *emulation.Detector
+	proto *zigbee.Receiver // prototype; workers and sessions Clone it
+	q     *jobQueue
+	wg    sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -35,16 +35,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runner.DefaultWorkers()
 	}
-	// Validate the receiver config once up front so workers cannot fail
-	// to build their per-goroutine receivers later.
-	if _, err := zigbee.NewReceiver(cfg.Receiver); err != nil {
+	// Build the receiver once; workers and sessions clone it, sharing
+	// the immutable sync reference and FFT correlation plan instead of
+	// re-modulating the SHR and re-planning per goroutine.
+	proto, err := zigbee.NewReceiver(cfg.Receiver)
+	if err != nil {
 		return nil, err
 	}
 	det, err := emulation.NewDetector(cfg.Defense)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, det: det, q: newJobQueue(cfg.QueueDepth)}
+	e := &Engine{cfg: cfg, det: det, proto: proto, q: newJobQueue(cfg.QueueDepth)}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -85,11 +87,7 @@ func (e *Engine) Close() {
 // shared stateless detector.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	rx, err := zigbee.NewReceiver(e.cfg.Receiver)
-	if err != nil {
-		// Config was validated in NewEngine; this cannot happen.
-		panic(fmt.Sprintf("stream: worker receiver: %v", err))
-	}
+	rx := e.proto.Clone()
 	for {
 		j, ok := e.q.pop()
 		if !ok {

@@ -15,6 +15,7 @@ var (
 	obsDetectErrors = obs.C("stream.detect_errors")
 	obsSessions     = obs.C("stream.sessions")
 	obsScan         = obs.T("stream.scan")
+	obsScanNS       = obs.H("stream.scan_ns") // per-frame scan latency: p50/p95 via /v1/obs
 	obsDecode       = obs.T("stream.decode")
 	obsDetect       = obs.T("stream.detect")
 	obsQueueDepth   = obs.H("stream.queue_depth")

@@ -90,11 +90,7 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 	}()
 	obsSessions.Inc()
 
-	rx, err := zigbee.NewReceiver(e.cfg.Receiver)
-	if err != nil {
-		return Stats{}, err
-	}
-	s := newSession(e, rx, emit)
+	s := newSession(e, e.proto.Clone(), emit)
 
 	buf := make([]complex128, e.cfg.ChunkSize)
 	var runErr error
@@ -191,18 +187,20 @@ func (s *Session) scan(eof bool) {
 		}
 		frame := make([]complex128, end-relStart)
 		copy(frame, w[relStart:end])
+		scanNS := sinceNS(stepStart)
 		s.submit(job{
 			sess:   s,
 			seq:    s.seq,
 			offset: s.win.offset() + int64(relStart),
 			peak:   peak,
 			frame:  frame,
-			scanNS: sinceNS(stepStart),
+			scanNS: scanNS,
 		})
 		s.seq++
 		s.stats.Frames++
 		obsFrames.Inc()
 		obsScan.Since(stepStart)
+		obsScanNS.Observe(float64(scanNS))
 		adv := relStart + span
 		if adv > s.win.size() {
 			adv = s.win.size()

@@ -15,6 +15,72 @@ func benchWaveform(b *testing.B) []complex128 {
 	return wave
 }
 
+// benchSynchronize times the preamble search over one default-length
+// frame waveform on the chosen sync path.
+func benchSynchronize(b *testing.B, direct bool) {
+	b.Helper()
+	wave := benchWaveform(b)
+	rx, err := NewReceiver(ReceiverConfig{DirectSync: direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rx.Synchronize(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynchronize(b *testing.B)       { benchSynchronize(b, false) }
+func BenchmarkSynchronizeDirect(b *testing.B) { benchSynchronize(b, true) }
+
+// benchCapture is a multi-frame recording with noise-floor gaps — the
+// shape ReceiveAll and the streaming scanner chew on continuously.
+func benchCapture(b *testing.B) []complex128 {
+	b.Helper()
+	wave := benchWaveform(b)
+	rng := rand.New(rand.NewSource(9))
+	gap := func(n int) []complex128 {
+		g := make([]complex128, n)
+		for i := range g {
+			g[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-3
+		}
+		return g
+	}
+	var capture []complex128
+	for i := 0; i < 3; i++ {
+		capture = append(capture, gap(900)...)
+		capture = append(capture, wave...)
+	}
+	return append(capture, gap(900)...)
+}
+
+// benchReceiveAll times whole-capture multi-frame reception (sync +
+// decode) on the chosen sync path.
+func benchReceiveAll(b *testing.B, direct bool) {
+	b.Helper()
+	capture := benchCapture(b)
+	rx, err := NewReceiver(ReceiverConfig{DirectSync: direct})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := rx.ReceiveAll(capture, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != 3 {
+			b.Fatalf("decoded %d frames, want 3", len(recs))
+		}
+	}
+}
+
+func BenchmarkReceiveAll(b *testing.B)       { benchReceiveAll(b, false) }
+func BenchmarkReceiveAllDirect(b *testing.B) { benchReceiveAll(b, true) }
+
 func BenchmarkTransmitPSDU(b *testing.B) {
 	tx := NewTransmitter()
 	payload := []byte("00000")

@@ -38,6 +38,12 @@ type ReceiverConfig struct {
 	// SyncThreshold is the minimum normalized preamble correlation needed
 	// to declare a frame. Defaults to 0.5.
 	SyncThreshold float64
+	// DirectSync forces the direct O(lags×ref) preamble correlation
+	// instead of the FFT overlap-save plan. The two paths make the same
+	// sync decisions and report bit-identical peaks (see dsp.Correlator);
+	// direct remains available as the reference implementation and is the
+	// global default under the slowsync build tag.
+	DirectSync bool
 }
 
 // Receiver demodulates baseband waveforms back into frames and exposes the
@@ -45,13 +51,15 @@ type ReceiverConfig struct {
 //
 // A Receiver reuses internal correlation and derotation scratch buffers
 // across calls and is therefore NOT safe for concurrent use; give each
-// worker goroutine its own (the runner package's per-worker scratch hook
-// exists for exactly this).
+// worker goroutine its own via Clone, which shares the immutable sync
+// reference and correlation plan but owns fresh scratch (the runner
+// package's per-worker scratch hook exists for exactly this).
 type Receiver struct {
 	cfg     ReceiverConfig
-	syncRef []complex128 // modulated SHR used for preamble correlation
-	corr    []float64    // Synchronize scratch: correlation lags
-	avail   []complex128 // decodeFrom scratch: derotated samples
+	syncRef []complex128    // modulated SHR used for preamble correlation
+	sync    *dsp.Correlator // overlap-save (or direct) preamble correlation plan
+	corr    []float64       // Synchronize scratch: correlation lags
+	avail   []complex128    // decodeFrom scratch: derotated samples
 }
 
 // NewReceiver builds a receiver, applying config defaults.
@@ -84,7 +92,20 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	}
 	// Drop the Q tail so the reference length is a whole number of symbols.
 	ref = ref[:len(ref)-QOffsetSamples]
-	return &Receiver{cfg: cfg, syncRef: ref}, nil
+	cor, err := dsp.NewCorrelator(ref, dsp.CorrelatorConfig{UseDirect: cfg.DirectSync})
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
+	}
+	return &Receiver{cfg: cfg, syncRef: ref, sync: cor}, nil
+}
+
+// Clone returns a receiver with the same configuration that shares the
+// immutable sync reference and precomputed correlation plan but owns
+// fresh scratch buffers, so the clone is safe to use from another
+// goroutine. Cloning skips the SHR re-modulation and FFT precompute that
+// NewReceiver pays.
+func (rx *Receiver) Clone() *Receiver {
+	return &Receiver{cfg: rx.cfg, syncRef: rx.syncRef, sync: rx.sync.Clone()}
 }
 
 // Reception captures everything the receiver extracted from one waveform.
@@ -179,8 +200,15 @@ func (rx *Receiver) correlate(waveform []complex128) []float64 {
 	if cap(rx.corr) < lags {
 		rx.corr = make([]float64, lags)
 	}
-	return dsp.NormalizedCrossCorrelateInto(rx.corr[:lags], waveform, rx.syncRef)
+	return rx.sync.CorrelateInto(rx.corr[:lags], waveform)
 }
+
+// syncGuard widens the threshold test on the FFT-computed correlation so
+// borderline crossings are always confirmed against the exactly-
+// accumulated value: the two paths differ by rounding (~1e-15 relative),
+// far below this margin, so the confirmed decision matches the direct
+// path bit-for-bit.
+const syncGuard = 1e-9
 
 // Synchronize finds the frame start by normalized correlation against the
 // modulated SHR. It returns the start sample and the correlation peak.
@@ -191,10 +219,17 @@ func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
 	}
 	peak := dsp.PeakIndex(corr)
-	if corr[peak] < rx.cfg.SyncThreshold {
-		return 0, corr[peak], fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", corr[peak], rx.cfg.SyncThreshold)
+	if peak < 0 {
+		return 0, 0, fmt.Errorf("zigbee: no preamble found: correlation is all NaN")
 	}
-	return peak, corr[peak], nil
+	// Decide (and report) on the exactly-accumulated value at the peak,
+	// so the accept/reject decision and the returned peak are
+	// bit-identical to the direct correlation path.
+	v := rx.sync.ExactAt(waveform, peak)
+	if v < rx.cfg.SyncThreshold {
+		return 0, v, fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", v, rx.cfg.SyncThreshold)
+	}
+	return peak, v, nil
 }
 
 // SynchronizeFirst finds the EARLIEST frame start: the first index where
@@ -207,7 +242,12 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
 	}
 	for i, v := range corr {
-		if v < rx.cfg.SyncThreshold {
+		if v < rx.cfg.SyncThreshold-syncGuard {
+			continue
+		}
+		// Confirm the crossing with the exact accumulation so FFT
+		// rounding can never flip a borderline threshold decision.
+		if rx.sync.ExactAt(waveform, i) < rx.cfg.SyncThreshold {
 			continue
 		}
 		// Partial-overlap correlation crosses the threshold well before the
@@ -218,10 +258,14 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 				best, bestV = j, corr[j]
 			}
 		}
-		return best, bestV, nil
+		return best, rx.sync.ExactAt(waveform, best), nil
 	}
 	peak := dsp.PeakIndex(corr)
-	return 0, corr[peak], fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", corr[peak], rx.cfg.SyncThreshold)
+	if peak < 0 {
+		return 0, 0, fmt.Errorf("zigbee: no preamble found: correlation is all NaN")
+	}
+	best := rx.sync.ExactAt(waveform, peak)
+	return 0, best, fmt.Errorf("zigbee: no preamble found: best correlation %.3f below %.3f", best, rx.cfg.SyncThreshold)
 }
 
 // Receive synchronizes, demodulates, despreads, and parses one frame from
