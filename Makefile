@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke obs-smoke examples clean
 
 all: build vet test
 
@@ -49,6 +49,13 @@ manifest-smoke:
 # validate the shutdown manifest.
 stream-smoke:
 	$(GO) test ./cmd/hideseekd -run TestStreamSmoke -count=1
+
+# Smoke-test the telemetry surface: boot hideseekd with trace export on,
+# lint /metrics and /v1/obs?format=prometheus with the in-repo Prometheus
+# parser, check /healthz build/runtime/window fields, and join the
+# shutdown trace NDJSON to the classify verdicts.
+obs-smoke:
+	$(GO) test ./cmd/hideseekd -run TestObsSmoke -count=1
 
 examples:
 	$(GO) run ./examples/quickstart

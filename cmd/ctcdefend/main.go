@@ -11,12 +11,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"hideseek/internal/channel"
 	"hideseek/internal/emulation"
 	"hideseek/internal/iq"
+	"hideseek/internal/obs"
 	"hideseek/internal/stream"
 	"hideseek/internal/zigbee"
 )
@@ -175,7 +178,35 @@ func classifyFile(path string, threshold float64, realEnv bool) error {
 	if stats.Frames == 0 {
 		return fmt.Errorf("no decodable ZigBee frame in %s (%d samples scanned)", path, stats.Samples)
 	}
+	writeLatencySummary(os.Stderr, stats, obs.Snap())
 	return nil
+}
+
+// writeLatencySummary prints the end-of-run per-stage latency digest for
+// a capture classification: frame and drop counts from the session's
+// Stats, p50/p95 scan/decode/detect latency from the process-wide
+// instrument snapshot. It goes to stderr so piped verdict output stays
+// machine-readable.
+func writeLatencySummary(w io.Writer, stats stream.Stats, snap obs.Snapshot) {
+	fmt.Fprintf(w, "-- latency summary: %d frames, %d dropped, %d decode errors, %d detect errors\n",
+		stats.Frames, stats.Dropped, stats.DecodeErrors, stats.DetectErrors)
+	for _, stage := range []struct{ label, hist string }{
+		{"scan", "stream.scan_ns"},
+		{"decode", "stream.decode_ns"},
+		{"detect", "stream.detect_ns"},
+	} {
+		h, ok := snap.Histograms[stage.hist]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "--   %-6s p50 %-10s p95 %-10s (n=%d)\n",
+			stage.label, fmtNS(h.P50), fmtNS(h.P95), h.Count)
+	}
+}
+
+// fmtNS renders a nanosecond quantile as a human duration.
+func fmtNS(ns float64) string {
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
 }
 
 // runStream feeds alternating authentic frames followed by an attack burst

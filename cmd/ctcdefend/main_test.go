@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hideseek/internal/obs"
+	"hideseek/internal/stream"
+)
+
+func TestWriteLatencySummary(t *testing.T) {
+	snap := obs.Snapshot{
+		Histograms: map[string]obs.HistogramStats{
+			"stream.scan_ns":   {Count: 3, P50: 1_500, P95: 2_000},
+			"stream.decode_ns": {Count: 3, P50: 250_000, P95: 400_000},
+			"stream.detect_ns": {Count: 0}, // empty stage stays silent
+		},
+	}
+	stats := stream.Stats{Frames: 3, Dropped: 1, DecodeErrors: 2}
+	var b strings.Builder
+	writeLatencySummary(&b, stats, snap)
+	out := b.String()
+
+	for _, want := range []string{
+		"3 frames", "1 dropped", "2 decode errors",
+		"scan", "decode",
+		"1.5µs", "250µs", "400µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "--   detect") {
+		t.Errorf("summary reports empty detect stage:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(line, "--") {
+			t.Errorf("summary line %q not marked as commentary", line)
+		}
+	}
+}
+
+func TestWriteLatencySummaryNoHistograms(t *testing.T) {
+	var b strings.Builder
+	writeLatencySummary(&b, stream.Stats{Frames: 1}, obs.Snapshot{})
+	if got := strings.Count(b.String(), "\n"); got != 1 {
+		t.Fatalf("expected header line only, got %d lines:\n%s", got, b.String())
+	}
+}

@@ -8,22 +8,32 @@
 //
 //	POST /v1/classify   cf32 body in, one JSON document out (all verdicts + stats)
 //	POST /v1/stream     cf32 body in, NDJSON out (one verdict per line, stats trailer)
-//	GET  /healthz       liveness + pool status
-//	GET  /v1/obs        instrument snapshot (counters include stream.dropped_frames)
+//	GET  /healthz       liveness: pool status, build identity, runtime gauges,
+//	                    rolling last-60s/last-2min stage-latency windows
+//	GET  /v1/obs        instrument snapshot (JSON; ?format=prometheus for text format)
+//	GET  /metrics       Prometheus text exposition (counters, summaries,
+//	                    cumulative histograms, windowed quantile gauges)
+//	GET  /v1/traces     recent per-frame span traces as NDJSON (?n=max)
 //
 // With -tcp the daemon also accepts raw TCP connections carrying cf32
 // bytes (an SDR pipe, netcat) and answers with NDJSON verdicts on the
 // same connection.
 //
+// Every scanned frame gets a span trace (scan→sync→queue→decode→detect→
+// deliver) kept in a bounded in-memory ring (-traces) and, with
+// -tracefile, exported as NDJSON; Verdict.trace_id joins a verdict to
+// its timeline.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close, in-flight
-// sessions drain, the worker pool stops, and -manifest (if set) receives
-// a kind=service run manifest that cmd/manifestcheck validates.
+// sessions drain, the worker pool stops, the trace sink flushes, and
+// -manifest (if set) receives a kind=service run manifest that
+// cmd/manifestcheck validates.
 //
 // Usage:
 //
 //	hideseekd [-addr host:port] [-tcp host:port] [-workers n] [-queue n]
 //	          [-chunk n] [-pending n] [-threshold q] [-real] [-sync t]
-//	          [-deadline d] [-manifest out.json]
+//	          [-deadline d] [-manifest out.json] [-traces n] [-tracefile out.ndjson]
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -68,8 +79,37 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	syncThr := fs.Float64("sync", 0.3, "preamble sync correlation threshold")
 	deadline := fs.Duration("deadline", 30*time.Second, "per-request idle read/write deadline (0 = none)")
 	manifest := fs.String("manifest", "", "write a kind=service run manifest here on shutdown")
+	traces := fs.Int("traces", 256, "per-frame span traces kept queryable at /v1/traces (0 disables tracing)")
+	traceFile := fs.String("tracefile", "", "append every completed span trace as NDJSON here")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tracer *obs.Tracer
+	var traceSink *os.File
+	if *traceFile != "" && *traces == 0 {
+		return fmt.Errorf("-tracefile requires -traces > 0")
+	}
+	if *traces > 0 {
+		tcfg := obs.TracerConfig{Ring: *traces}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return err
+			}
+			traceSink = f
+			tcfg.Sink = f
+		}
+		tracer = obs.NewTracer(tcfg)
+	}
+	closeTracer := func() {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(logw, "hideseekd: trace sink: %v\n", err)
+		}
+		if traceSink != nil {
+			traceSink.Close()
+			traceSink = nil
+		}
 	}
 
 	engine, err := stream.NewEngine(stream.Config{
@@ -83,12 +123,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			RemoveMean: *realEnv,
 			UseAbsC40:  *realEnv,
 		},
+		Tracer: tracer,
 	})
 	if err != nil {
+		closeTracer()
 		return err
 	}
 
 	d := newDaemon(engine, *deadline)
+	d.tracer = tracer
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,6 +139,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	httpLn, err := net.Listen("tcp", *addr)
 	if err != nil {
 		engine.Close()
+		closeTracer()
 		return err
 	}
 	srv := &http.Server{
@@ -113,6 +157,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		if err != nil {
 			httpLn.Close()
 			engine.Close()
+			closeTracer()
 			return err
 		}
 		fmt.Fprintf(logw, "hideseekd: raw tcp on %s\n", tcpLn.Addr())
@@ -129,6 +174,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			conns.Wait()
 		}
 		engine.Close()
+		closeTracer()
 		return err
 	case <-sigCtx.Done():
 	}
@@ -144,8 +190,10 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		tcpLn.Close()
 		conns.Wait()
 	}
-	// All sessions have drained; now the pool can stop.
+	// All sessions have drained; now the pool can stop and the trace sink
+	// can flush — no frame will finish a trace after this point.
 	engine.Close()
+	closeTracer()
 
 	if *manifest != "" {
 		m := obs.NewManifest("hideseekd", 0, engine.Workers())
@@ -166,6 +214,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 // daemon binds the shared engine to the protocol handlers.
 type daemon struct {
 	engine   *stream.Engine
+	tracer   *obs.Tracer // nil when tracing is off
 	deadline time.Duration
 	start    time.Time
 }
@@ -179,6 +228,8 @@ func (d *daemon) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/classify", d.handleClassify)
 	mux.HandleFunc("/v1/stream", d.handleStream)
 	mux.HandleFunc("/v1/obs", d.handleObs)
+	mux.HandleFunc("/v1/traces", d.handleTraces)
+	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealth)
 	return mux
 }
@@ -289,20 +340,69 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *daemon) handleObs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		d.handleMetrics(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(obs.Snap())
 }
 
-// health is the /healthz document.
+// handleMetrics is the Prometheus scrape endpoint: the same snapshot
+// /v1/obs serves, rendered in the text exposition format.
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	obs.WritePrometheus(w, obs.Snap())
+}
+
+// handleTraces streams the most recent completed span traces as NDJSON
+// (?n bounds the count; default the whole ring).
+func (d *daemon) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if d.tracer == nil {
+		http.Error(w, "tracing disabled (-traces 0)", http.StatusNotFound)
+		return
+	}
+	max := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		max = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	d.tracer.WriteRecent(w, max)
+}
+
+// health is the /healthz document: liveness, pool state, build identity,
+// runtime gauges, and the rolling per-stage latency windows — enough to
+// tell what the service is and how it is doing right now from one probe.
 type health struct {
-	Status         string  `json:"status"`
-	UptimeMS       float64 `json:"uptime_ms"`
-	Workers        int     `json:"workers"`
-	ActiveSessions int     `json:"active_sessions"`
-	QueueDepth     int     `json:"queue_depth"`
+	Status         string                       `json:"status"`
+	UptimeMS       float64                      `json:"uptime_ms"`
+	Workers        int                          `json:"workers"`
+	ActiveSessions int                          `json:"active_sessions"`
+	QueueDepth     int                          `json:"queue_depth"`
+	Build          obs.BuildStats               `json:"build"`
+	Runtime        obs.RuntimeStats             `json:"runtime"`
+	Windows        map[string]obs.WindowedStats `json:"windows"`
+}
+
+// healthWindows names the histograms whose rolling windows /healthz
+// inlines: the per-frame stage latencies and the shared queue depth.
+var healthWindows = []string{
+	"stream.scan_ns", "stream.decode_ns", "stream.detect_ns", "stream.queue_depth",
 }
 
 func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Snap()
+	windows := make(map[string]obs.WindowedStats, len(healthWindows))
+	for _, name := range healthWindows {
+		if ws, ok := snap.Windows[name]; ok {
+			windows[name] = ws
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(health{
 		Status:         "ok",
@@ -310,6 +410,9 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Workers:        d.engine.Workers(),
 		ActiveSessions: d.engine.ActiveSessions(),
 		QueueDepth:     d.engine.QueueDepth(),
+		Build:          obs.ReadBuild(),
+		Runtime:        snap.Runtime,
+		Windows:        windows,
 	})
 }
 

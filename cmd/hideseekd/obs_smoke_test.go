@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hideseek/internal/obs"
+)
+
+// TestObsSmoke is the end-to-end observability check behind
+// `make obs-smoke`: boot the daemon with trace export on, classify a
+// capture, then verify that /metrics passes the in-repo Prometheus
+// linter, /healthz reports build identity, runtime gauges and rolling
+// latency windows, /v1/traces serves span traces, and the -tracefile
+// NDJSON written at shutdown joins to the classify verdicts with
+// scan/decode/detect spans present.
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hideseekd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	tracePath := filepath.Join(dir, "traces.ndjson")
+	proc := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-deadline", "10s",
+		"-traces", "64", "-tracefile", tracePath)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Process.Kill()
+
+	addrs := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "hideseekd: listening on http://"); ok {
+				select {
+				case addrs <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	var httpAddr string
+	select {
+	case httpAddr = <-addrs:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report its listen address")
+	}
+
+	capture, want := testCapture(t, 77)
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/classify", httpAddr),
+		"application/octet-stream", bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr classifyResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Verdicts) != len(want) {
+		t.Fatalf("classify: %d verdicts, want %d", len(cr.Verdicts), len(want))
+	}
+	wantIDs := map[uint64]uint64{} // trace id → verdict seq
+	for i, v := range cr.Verdicts {
+		if v.TraceID == 0 {
+			t.Fatalf("verdict %d carries no trace id", i)
+		}
+		wantIDs[v.TraceID] = v.Seq
+	}
+
+	// /metrics: right content type, passes the in-repo linter, carries
+	// the pipeline families and runtime gauges.
+	lintEndpoint := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			t.Errorf("GET %s content type %q, want %q", url, ct, obs.PrometheusContentType)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("GET %s fails lint: %v\n%s", url, err, buf.String())
+		}
+		return buf.String()
+	}
+	metrics := lintEndpoint(fmt.Sprintf("http://%s/metrics", httpAddr))
+	for _, fam := range []string{
+		"hideseek_stream_frames_total",
+		"# TYPE hideseek_stream_scan_ns histogram",
+		`hideseek_stream_scan_ns_bucket{le="+Inf"}`,
+		"hideseek_go_goroutines",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Errorf("/metrics lacks %q", fam)
+		}
+	}
+	lintEndpoint(fmt.Sprintf("http://%s/v1/obs?format=prometheus", httpAddr))
+
+	// /healthz: build identity, runtime gauges, rolling latency windows.
+	resp, err = http.Get(fmt.Sprintf("http://%s/healthz", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %+v, err %v", h, err)
+	}
+	if h.Build.GoVersion == "" {
+		t.Error("healthz build info lacks go version")
+	}
+	if h.Runtime.Goroutines < 1 || h.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("healthz runtime gauges implausible: %+v", h.Runtime)
+	}
+	scanWin, ok := h.Windows["stream.scan_ns"]
+	if !ok {
+		t.Fatalf("healthz lacks stream.scan_ns window (have %v)", h.Windows)
+	}
+	if scanWin.Last60s.Count < int64(len(want)) {
+		t.Errorf("last-60s scan window count %d, want >= %d", scanWin.Last60s.Count, len(want))
+	}
+
+	// /v1/traces: NDJSON, joined to the classify verdicts.
+	resp, err = http.Get(fmt.Sprintf("http://%s/v1/traces", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := decodeTraces(t, resp.Body)
+	resp.Body.Close()
+	if len(live) < len(want) {
+		t.Fatalf("/v1/traces served %d traces, want >= %d", len(live), len(want))
+	}
+
+	// Shutdown flushes the trace file; every classify verdict joins to a
+	// trace whose timeline covers scan, decode, and detect.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := decodeTraces(t, f)
+	f.Close()
+	byID := map[uint64]obs.Trace{}
+	for _, tr := range exported {
+		byID[tr.ID] = tr
+	}
+	for id, seq := range wantIDs {
+		tr, ok := byID[id]
+		if !ok {
+			t.Fatalf("trace %d (verdict seq %d) missing from %s", id, seq, tracePath)
+		}
+		if tr.Seq != seq {
+			t.Errorf("trace %d: seq %d != verdict seq %d", id, tr.Seq, seq)
+		}
+		stages := map[string]bool{}
+		for _, sp := range tr.Spans {
+			stages[sp.Stage] = true
+		}
+		for _, stage := range []string{"scan", "decode", "detect"} {
+			if !stages[stage] {
+				t.Errorf("trace %d lacks %s span: %+v", id, stage, tr.Spans)
+			}
+		}
+	}
+}
+
+// decodeTraces reads NDJSON span traces.
+func decodeTraces(t *testing.T, r interface{ Read([]byte) (int, error) }) []obs.Trace {
+	t.Helper()
+	var out []obs.Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var tr obs.Trace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("trace line %d: %v (%q)", len(out), err, sc.Text())
+		}
+		out = append(out, tr)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

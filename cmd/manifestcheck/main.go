@@ -1,15 +1,18 @@
-// Command manifestcheck validates a run manifest written by
-// `experiments -manifest` or flushed by `hideseekd` on shutdown: strict
-// JSON decode (unknown fields fail) plus the schema invariants in
-// obs.Manifest.Validate. CI runs it against a fresh manifest so
+// Command manifestcheck validates the repo's machine-readable records:
+// run manifests written by `experiments -manifest` or flushed by
+// `hideseekd` on shutdown, and bench reports written by `benchreport`
+// (BENCH_*.json). The file's "schema" field selects the validator;
+// both paths use strict JSON decode (unknown fields fail) plus the
+// schema invariants in obs. CI runs it against fresh files so
 // writer/schema drift is caught at merge time.
 //
 // Usage:
 //
-//	manifestcheck <manifest.json>
+//	manifestcheck <manifest.json | bench-report.json>
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -18,24 +21,71 @@ import (
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json>")
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json | bench-report.json>")
 		os.Exit(2)
 	}
-	path := os.Args[1]
-	m, err := obs.ReadManifest(path)
+	summary, err := check(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
 		os.Exit(1)
 	}
-	if err := m.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
-		os.Exit(1)
+	fmt.Println(summary)
+}
+
+// check validates path and returns the one-line success summary. The
+// schema field is sniffed first so the right strict decoder runs; an
+// unknown schema is an error, not a silent pass.
+func check(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
 	}
-	if m.Kind == obs.KindService {
-		fmt.Printf("ok: %s — %s service, %.0f ms wall, %d counters, %d timers\n",
-			path, m.Command, m.WallMS, len(m.Counters), len(m.Timers))
-		return
+	schema, err := sniffSchema(data)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
 	}
-	fmt.Printf("ok: %s — %s, %d experiments, %d trials, %d timers\n",
-		path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers))
+	switch schema {
+	case obs.ManifestSchema:
+		m, err := obs.DecodeManifest(data)
+		if err != nil {
+			return "", err
+		}
+		if err := m.Validate(); err != nil {
+			return "", err
+		}
+		if m.Kind == obs.KindService {
+			return fmt.Sprintf("ok: %s — %s service, %.0f ms wall, %d counters, %d timers",
+				path, m.Command, m.WallMS, len(m.Counters), len(m.Timers)), nil
+		}
+		return fmt.Sprintf("ok: %s — %s, %d experiments, %d trials, %d timers",
+			path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers)), nil
+	case obs.BenchReportSchema:
+		r, err := obs.DecodeBenchReport(data)
+		if err != nil {
+			return "", err
+		}
+		if err := r.Validate(); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ok: %s — bench report, %s/%s %s, %d benchmarks",
+			path, r.GOOS, r.GOARCH, r.GoVersion, len(r.Benchmarks)), nil
+	default:
+		return "", fmt.Errorf("%s: unknown schema %q (want %q or %q)",
+			path, schema, obs.ManifestSchema, obs.BenchReportSchema)
+	}
+}
+
+// sniffSchema extracts just the "schema" field to dispatch on; full
+// strict decoding happens in the schema-specific validator.
+func sniffSchema(data []byte) (string, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("not a JSON document: %w", err)
+	}
+	if probe.Schema == "" {
+		return "", fmt.Errorf("no schema field")
+	}
+	return probe.Schema, nil
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hideseek/internal/obs"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func validManifest(t *testing.T) string {
+	t.Helper()
+	m := obs.NewManifest("test", 1, 2)
+	m.Experiments = []obs.ExperimentStats{{Name: "exp", WallMS: 5, Trials: 10, TrialsPerSec: 2000}}
+	m.TrialsTotal = 10
+	m.Timers = map[string]obs.TimerStats{
+		"a": {Count: 1}, "b": {Count: 1}, "c": {Count: 1},
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func validBenchReport(t *testing.T) string {
+	t.Helper()
+	r := obs.NewBenchReport("100x", "BenchmarkStreamScan", []string{"./internal/stream"})
+	r.Benchmarks = []obs.BenchResult{{
+		Package: "hideseek/internal/stream", Name: "BenchmarkStreamScan-8",
+		Procs: 8, Iterations: 100, NsPerOp: 123456,
+	}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckManifest(t *testing.T) {
+	summary, err := check(validManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "1 experiments") || !strings.Contains(summary, "10 trials") {
+		t.Errorf("unexpected summary %q", summary)
+	}
+}
+
+func TestCheckBenchReport(t *testing.T) {
+	summary, err := check(validBenchReport(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "bench report") || !strings.Contains(summary, "1 benchmarks") {
+		t.Errorf("unexpected summary %q", summary)
+	}
+}
+
+func TestCheckCommittedBenchBaseline(t *testing.T) {
+	// The committed perf baseline must stay valid under the strict decoder.
+	if _, err := os.Stat("../../BENCH_sync.json"); err != nil {
+		t.Skip("no committed baseline")
+	}
+	if _, err := check("../../BENCH_sync.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsUnknownField(t *testing.T) {
+	data, err := os.ReadFile(validBenchReport(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), "\"benchtime\"", "\"surprise\": 1, \"benchtime\"", 1)
+	if _, err := check(writeTemp(t, "bad.json", mutated)); err == nil {
+		t.Fatal("unknown field passed strict decode")
+	}
+}
+
+func TestCheckRejectsUnknownSchema(t *testing.T) {
+	path := writeTemp(t, "odd.json", `{"schema": "hideseek.other/v9"}`)
+	if _, err := check(path); err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("err = %v, want unknown schema", err)
+	}
+}
+
+func TestCheckRejectsMissingSchema(t *testing.T) {
+	path := writeTemp(t, "none.json", `{"command": "x"}`)
+	if _, err := check(path); err == nil || !strings.Contains(err.Error(), "no schema") {
+		t.Fatalf("err = %v, want no schema field", err)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync"
+	"time"
 )
 
 // Histogram bucket geometry: log2-spaced octaves subdivided into 8
@@ -36,8 +37,14 @@ type histShard struct {
 // zero value is ready to use. Observe picks a shard from the value's bit
 // pattern, so concurrent observers of distinct values almost never share
 // a mutex; Summary merges the shards.
+//
+// Every observation also lands in a rolling ring of per-interval window
+// shards (12 × 10 s), so a histogram answers both "since boot" (Summary)
+// and "right now" (Window) without a second instrument or a second call
+// site.
 type Histogram struct {
 	shards [histShards]histShard
+	win    histWindow
 }
 
 // bucketOf maps a value to its bucket index.
@@ -80,6 +87,14 @@ func (h *Histogram) Observe(v float64) {
 	s.sum += v
 	s.counts[bucketOf(v)]++
 	s.mu.Unlock()
+	h.win.observe(v, time.Now())
+}
+
+// BucketCount is one cumulative Prometheus-style bucket: Count
+// observations with value ≤ UpperBound (math.Inf(1) on the final bucket).
+type BucketCount struct {
+	UpperBound float64
+	Count      uint64
 }
 
 // HistogramStats is the JSON-ready summary of one histogram.
@@ -88,9 +103,37 @@ type HistogramStats struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	Sum   float64 `json:"sum"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Buckets are the cumulative counts of the non-empty log buckets plus
+	// the +Inf bucket, for Prometheus exposition. Deliberately excluded
+	// from JSON so run manifests stay compact.
+	Buckets []BucketCount `json:"-"`
+}
+
+// statsFromMerged turns merged bucket counts plus exact extremes into the
+// summary: mean, interpolated quantiles, and cumulative buckets.
+func statsFromMerged(merged []uint64, n uint64, min, max, sum float64) HistogramStats {
+	st := HistogramStats{Count: int64(n), Min: min, Max: max, Sum: sum}
+	if n == 0 {
+		return HistogramStats{}
+	}
+	st.Mean = sum / float64(n)
+	st.P50 = quantileFrom(merged, n, 0.50, min, max)
+	st.P95 = quantileFrom(merged, n, 0.95, min, max)
+	st.P99 = quantileFrom(merged, n, 0.99, min, max)
+	var cum uint64
+	for b, c := range merged {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		st.Buckets = append(st.Buckets, BucketCount{UpperBound: bucketLower(b + 1), Count: cum})
+	}
+	st.Buckets = append(st.Buckets, BucketCount{UpperBound: math.Inf(1), Count: n})
+	return st
 }
 
 // Summary merges the shards and returns counts, extremes, and the
@@ -98,19 +141,19 @@ type HistogramStats struct {
 // concurrent Observe stream only delays it, never blocks on it.
 func (h *Histogram) Summary() HistogramStats {
 	var merged [histBuckets]uint64
-	var st HistogramStats
-	var sum float64
+	var n uint64
+	var min, max, sum float64
 	for i := range h.shards {
 		s := &h.shards[i]
 		s.mu.Lock()
 		if s.n > 0 {
-			if st.Count == 0 || s.min < st.Min {
-				st.Min = s.min
+			if n == 0 || s.min < min {
+				min = s.min
 			}
-			if st.Count == 0 || s.max > st.Max {
-				st.Max = s.max
+			if n == 0 || s.max > max {
+				max = s.max
 			}
-			st.Count += int64(s.n)
+			n += s.n
 			sum += s.sum
 			for b, c := range s.counts {
 				merged[b] += uint64(c)
@@ -118,14 +161,15 @@ func (h *Histogram) Summary() HistogramStats {
 		}
 		s.mu.Unlock()
 	}
-	if st.Count == 0 {
-		return st
-	}
-	st.Mean = sum / float64(st.Count)
-	st.P50 = h.quantileFrom(merged[:], uint64(st.Count), 0.50, st.Min, st.Max)
-	st.P95 = h.quantileFrom(merged[:], uint64(st.Count), 0.95, st.Min, st.Max)
-	st.P99 = h.quantileFrom(merged[:], uint64(st.Count), 0.99, st.Min, st.Max)
-	return st
+	return statsFromMerged(merged[:], n, min, max, sum)
+}
+
+// Window returns the summary of everything observed during the last d
+// (clamped to the ring's two-minute reach, rounded to whole 10 s
+// intervals). The ring trades exactness for fixed memory: a window covers
+// between d-10s and d of history depending on interval phase.
+func (h *Histogram) Window(d time.Duration) HistogramStats {
+	return h.win.stats(time.Now(), d)
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) of everything observed
@@ -153,13 +197,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		s.mu.Unlock()
 	}
-	return h.quantileFrom(merged[:], n, q, st.Min, st.Max)
+	return quantileFrom(merged[:], n, q, st.Min, st.Max)
 }
 
 // quantileFrom walks the merged bucket counts to the q-quantile rank and
 // interpolates linearly inside the landing bucket, clamped to the exact
 // observed [min, max].
-func (h *Histogram) quantileFrom(merged []uint64, n uint64, q, min, max float64) float64 {
+func quantileFrom(merged []uint64, n uint64, q, min, max float64) float64 {
 	if n == 0 {
 		return 0
 	}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusRoundTrip is the exposition contract: whatever a
+// populated registry renders must pass the in-repo Prometheus linter.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.frames").Add(42)
+	r.Counter("test.drops") // zero-valued counter still renders
+	r.Timer("test.decode").Observe(3 * time.Millisecond)
+	h := r.Histogram("test.scan_ns")
+	for _, v := range []float64{100, 250, 1000, 1e6, 3.5e6} {
+		h.Observe(v)
+	}
+	r.Histogram("test.empty") // never observed
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snap()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("rendered exposition fails lint: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"hideseek_test_frames_total 42",
+		"# TYPE hideseek_test_decode_seconds summary",
+		"hideseek_test_decode_seconds_count 1",
+		"# TYPE hideseek_test_scan_ns histogram",
+		`hideseek_test_scan_ns_bucket{le="+Inf"} 5`,
+		"hideseek_test_scan_ns_count 5",
+		`hideseek_test_empty_bucket{le="+Inf"} 0`,
+		`window="60s"`,
+		"hideseek_go_goroutines",
+		"hideseek_go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	// Fresh observations all land in the rolling window, so the p50 gauge
+	// must be present for the short window.
+	if !strings.Contains(out, `hideseek_test_scan_ns_p50{window="60s"}`) {
+		t.Errorf("exposition lacks windowed p50 gauge:\n%s", out)
+	}
+}
+
+func TestWritePrometheusStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(1)
+	r.Counter("a").Add(2)
+	r.Histogram("z").Observe(5)
+	s := r.Snap()
+	var one, two bytes.Buffer
+	if err := WritePrometheus(&one, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&two, s); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatal("same snapshot rendered differently")
+	}
+	if strings.Index(one.String(), "hideseek_a_total") > strings.Index(one.String(), "hideseek_b_total") {
+		t.Fatal("families not in sorted order")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"stream.scan_ns":  "hideseek_stream_scan_ns",
+		"runner.trial-ns": "hideseek_runner_trial_ns",
+		"x":               "hideseek_x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestLintRejectsMalformed drives the linter with the failure shapes the
+// smoke test relies on it to catch.
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name": "1metric 5\n",
+		"bad value":       "metric five\n",
+		"negative counter": "# TYPE m_total counter\n" +
+			"m_total -3\n",
+		"duplicate series": "m 1\nm 2\n",
+		"duplicate type": "# TYPE m counter\n" +
+			"# TYPE m gauge\nm 1\n",
+		"histogram without +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-monotone le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n",
+		"decreasing cumulative counts": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 3\nh_count 3\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n",
+		"summary without count": "# TYPE s summary\n" +
+			"s_sum 3\n",
+		"bucket without le": "# TYPE h histogram\n" +
+			"h_bucket 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted\n%s", name, text)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	text := "# HELP m a counter\n# TYPE m_total counter\nm_total 3\n" +
+		"# TYPE g gauge\ng{window=\"60s\"} 1.5\ng{window=\"120s\"} 2.5\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 2.5\nh_count 2\n" +
+		"# TYPE s summary\ns_sum 0.5\ns_count 4\n"
+	if err := LintPrometheus(strings.NewReader(text)); err != nil {
+		t.Fatalf("lint rejected well-formed exposition: %v", err)
+	}
+}

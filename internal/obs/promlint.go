@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus is the in-repo Prometheus text-format checker behind
+// `make obs-smoke`: it parses an exposition (format 0.0.4) and enforces
+// the invariants a real scraper relies on —
+//
+//   - every line is a well-formed comment or sample (name, optional
+//     labels, float value);
+//   - TYPE declarations name a known type and precede their samples;
+//   - no series (name + label set) appears twice;
+//   - counter samples are finite and non-negative;
+//   - histogram families have monotone non-decreasing cumulative buckets
+//     with strictly increasing le edges, a +Inf bucket, and a _count
+//     equal to the +Inf bucket; _sum and _count must both be present.
+//
+// It returns the first violation found (with its line number), or nil.
+func LintPrometheus(r io.Reader) error {
+	l := newPromLint()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		l.line++
+		if err := l.feed(sc.Text()); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("promlint: read: %w", err)
+	}
+	return l.finish()
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	line   int
+	labels string // canonicalized label string ("" when none)
+	le     string // value of the le label, histograms only
+	value  float64
+}
+
+// promFamily accumulates one metric family's declared type and samples.
+type promFamily struct {
+	typ     string
+	samples map[string][]promSample // keyed by suffix: "", _bucket, _sum, _count...
+}
+
+type promLint struct {
+	line     int
+	families map[string]*promFamily
+	order    []string
+	seen     map[string]int // series (name{labels}) → first line
+}
+
+func newPromLint() *promLint {
+	return &promLint{
+		families: map[string]*promFamily{},
+		seen:     map[string]int{},
+	}
+}
+
+func (l *promLint) errf(format string, args ...any) error {
+	return fmt.Errorf("promlint: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// feed consumes one exposition line.
+func (l *promLint) feed(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.feedComment(line)
+	}
+	return l.feedSample(line)
+}
+
+func (l *promLint) feedComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return l.errf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validMetricName(name) {
+			return l.errf("invalid metric name %q in TYPE", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return l.errf("unknown metric type %q for %q", typ, name)
+		}
+		if f := l.families[name]; f != nil && f.typ != "" {
+			return l.errf("duplicate TYPE for %q", name)
+		}
+		l.family(name).typ = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return l.errf("malformed HELP comment %q", line)
+		}
+	}
+	return nil
+}
+
+// family returns (creating) the family record for a base name.
+func (l *promLint) family(name string) *promFamily {
+	f, ok := l.families[name]
+	if !ok {
+		f = &promFamily{samples: map[string][]promSample{}}
+		l.families[name] = f
+		l.order = append(l.order, name)
+	}
+	return f
+}
+
+// feedSample parses `name{labels} value [timestamp]`.
+func (l *promLint) feedSample(line string) error {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ \t")
+	if nameEnd < 0 {
+		return l.errf("sample without value: %q", line)
+	}
+	name := rest[:nameEnd]
+	if !validMetricName(name) {
+		return l.errf("invalid metric name %q", name)
+	}
+	rest = rest[nameEnd:]
+	var labels, le string
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return l.errf("unterminated label set: %q", line)
+		}
+		var err error
+		labels, le, err = parseLabels(rest[1:end])
+		if err != nil {
+			return l.errf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return l.errf("expected value (and optional timestamp) after %q", name)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return l.errf("bad value %q for %q", fields[0], name)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return l.errf("bad timestamp %q for %q", fields[1], name)
+		}
+	}
+	series := name + "{" + labels + "}"
+	if first, dup := l.seen[series]; dup {
+		return l.errf("duplicate series %s (first at line %d)", series, first)
+	}
+	l.seen[series] = l.line
+
+	base, suffix := splitFamily(name, l.families)
+	f := l.family(base)
+	f.samples[suffix] = append(f.samples[suffix], promSample{line: l.line, labels: labels, le: le, value: v})
+	return nil
+}
+
+// splitFamily resolves which declared family a sample belongs to: the
+// longest declared base name the sample name extends with a known suffix,
+// else the sample name itself.
+func splitFamily(name string, families map[string]*promFamily) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		b := strings.TrimSuffix(name, s)
+		if b == name {
+			continue
+		}
+		if f, ok := families[b]; ok && (f.typ == "histogram" || f.typ == "summary") {
+			return b, s
+		}
+	}
+	return name, ""
+}
+
+// parseLabels validates `k="v",k2="v2"` pairs and returns the canonical
+// label string plus the value of le, if present.
+func parseLabels(s string) (canon, le string, err error) {
+	if s == "" {
+		return "", "", nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return "", "", fmt.Errorf("label pair %q without '='", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !validLabelName(k) {
+			return "", "", fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", "", fmt.Errorf("label value %s not quoted", v)
+		}
+		if k == "le" {
+			le = v[1 : len(v)-1]
+		}
+	}
+	return s, le, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func validLabelName(s string) bool {
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// finish runs the whole-family checks once every line has been fed.
+func (l *promLint) finish() error {
+	for _, name := range l.order {
+		f := l.families[name]
+		if err := l.checkFamily(name, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *promLint) checkFamily(name string, f *promFamily) error {
+	fail := func(line int, format string, args ...any) error {
+		return fmt.Errorf("promlint: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+	switch f.typ {
+	case "counter":
+		for _, s := range f.samples[""] {
+			if s.value < 0 || math.IsNaN(s.value) || math.IsInf(s.value, 0) {
+				return fail(s.line, "counter %s has non-monotonic-capable value %g", name, s.value)
+			}
+		}
+	case "histogram":
+		buckets := f.samples["_bucket"]
+		if len(buckets) == 0 {
+			return fmt.Errorf("promlint: histogram %s has no _bucket series", name)
+		}
+		// Group buckets by their non-le labels; our expositions carry only
+		// le, so this is one group.
+		groups := map[string][]promSample{}
+		for _, b := range buckets {
+			if b.le == "" {
+				return fail(b.line, "histogram %s bucket without le label", name)
+			}
+			key := stripLe(b.labels)
+			groups[key] = append(groups[key], b)
+		}
+		counts := f.samples["_count"]
+		if len(f.samples["_sum"]) == 0 || len(counts) == 0 {
+			return fmt.Errorf("promlint: histogram %s missing _sum or _count", name)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			bs := groups[key]
+			prevLe := math.Inf(-1)
+			prevCount := -1.0
+			sawInf := false
+			for _, b := range bs {
+				edge, err := parsePromValue(b.le)
+				if err != nil {
+					return fail(b.line, "histogram %s has unparseable le=%q", name, b.le)
+				}
+				if edge <= prevLe {
+					return fail(b.line, "histogram %s buckets not in increasing le order (%g after %g)", name, edge, prevLe)
+				}
+				if b.value < prevCount {
+					return fail(b.line, "histogram %s cumulative bucket counts decrease (%g after %g)", name, b.value, prevCount)
+				}
+				prevLe, prevCount = edge, b.value
+				if math.IsInf(edge, 1) {
+					sawInf = true
+					if got := totalFor(counts, key); got != b.value {
+						return fail(b.line, "histogram %s _count %g != +Inf bucket %g", name, got, b.value)
+					}
+				}
+			}
+			if !sawInf {
+				return fmt.Errorf("promlint: histogram %s lacks a le=\"+Inf\" bucket", name)
+			}
+		}
+	case "summary":
+		if len(f.samples["_sum"]) == 0 || len(f.samples["_count"]) == 0 {
+			return fmt.Errorf("promlint: summary %s missing _sum or _count", name)
+		}
+		for _, s := range f.samples["_count"] {
+			if s.value < 0 {
+				return fail(s.line, "summary %s has negative _count", name)
+			}
+		}
+	}
+	return nil
+}
+
+// stripLe removes the le pair from a canonical label string so buckets
+// group by their remaining labels.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// totalFor finds the _count sample matching a bucket group's labels.
+func totalFor(counts []promSample, key string) float64 {
+	for _, c := range counts {
+		if stripLe(c.labels) == key {
+			return c.value
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSnapshotWhileObserving hammers readers (Snap +
+// WritePrometheus) against writers (Inc/Observe/Since) on one registry.
+// Its real teeth are CI's -race run: any unsynchronized access in the
+// snapshot/exposition path shows up here.
+func TestConcurrentSnapshotWhileObserving(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer.events")
+			tm := r.Timer("hammer.step")
+			h := r.Histogram("hammer.value_ns")
+			for v := 1.0; ; v += 17 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				tm.Observe(time.Microsecond)
+				h.Observe(v)
+				if v > 1e9 {
+					v = 1
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snap()
+				if err := WritePrometheus(io.Discard, s); err != nil {
+					t.Error(err)
+					return
+				}
+				if h, ok := s.Histograms["hammer.value_ns"]; ok && h.Count > 0 && h.Max < h.Min {
+					t.Errorf("torn histogram summary: min %g > max %g", h.Min, h.Max)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	s := r.Snap()
+	if s.Counters["hammer.events"] != s.Timers["hammer.step"].Count {
+		t.Fatalf("counter %d != timer count %d after quiesce",
+			s.Counters["hammer.events"], s.Timers["hammer.step"].Count)
+	}
+	if int64(s.Counters["hammer.events"]) != s.Histograms["hammer.value_ns"].Count {
+		t.Fatalf("counter %d != histogram count %d after quiesce",
+			s.Counters["hammer.events"], s.Histograms["hammer.value_ns"].Count)
+	}
+}
+
+// TestConcurrentTracerFinishClose races Finish/Recent against Close —
+// the shutdown path that once could send on a closed sink channel.
+func TestConcurrentTracerFinishClose(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		tr := NewTracer(TracerConfig{Ring: 8, Sink: io.Discard})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for seq := uint64(0); seq < 50; seq++ {
+					tr.Finish(mkTrace(tr, seq))
+					tr.Recent(3)
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Close()
+		}()
+		wg.Wait()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// RuntimeStats are the Go runtime gauges a scrape or liveness probe
+// reports: scheduler load, heap pressure, and GC cost. Collected on
+// demand (ReadMemStats is microseconds), never on the hot path.
+type RuntimeStats struct {
+	Goroutines     int     `json:"goroutines"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
+	NumGC          uint32  `json:"num_gc"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	LastGCPauseUS  float64 `json:"last_gc_pause_us"`
+}
+
+// ReadRuntime collects the current runtime gauges.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		GCPauseTotalMS: float64(ms.PauseTotalNs) / float64(time.Millisecond),
+	}
+	if ms.NumGC > 0 {
+		st.LastGCPauseUS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / float64(time.Microsecond)
+	}
+	return st
+}
+
+// BuildStats identifies the running binary: Go version plus the VCS
+// revision stamped by the toolchain, so a deployment is identifiable from
+// its liveness probe alone.
+type BuildStats struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildStats
+)
+
+// ReadBuild returns the binary's build identity (cached after first use).
+// Binaries built outside a VCS checkout report only the Go version.
+func ReadBuild() BuildStats {
+	buildOnce.Do(func() {
+		buildInfo = BuildStats{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Path = bi.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

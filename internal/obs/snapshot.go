@@ -18,6 +18,12 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Timers     map[string]TimerStats     `json:"timers"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	// Windows carries each histogram's rolling last-60s/last-2min
+	// summaries — the "right now" view a long-running daemon needs next
+	// to the cumulative-since-boot Histograms.
+	Windows map[string]WindowedStats `json:"windows,omitempty"`
+	// Runtime is the Go runtime state at snapshot time.
+	Runtime RuntimeStats `json:"runtime"`
 }
 
 // Snap captures a snapshot of the registry.
@@ -41,6 +47,8 @@ func (r *Registry) Snap() Snapshot {
 		Counters:   make(map[string]int64, len(counters)),
 		Timers:     make(map[string]TimerStats, len(timers)),
 		Histograms: make(map[string]HistogramStats, len(hists)),
+		Windows:    make(map[string]WindowedStats, len(hists)),
+		Runtime:    ReadRuntime(),
 	}
 	for _, name := range sortedKeys(counters) {
 		snap.Counters[name] = counters[name].Value()
@@ -55,6 +63,7 @@ func (r *Registry) Snap() Snapshot {
 	}
 	for _, name := range sortedKeys(hists) {
 		snap.Histograms[name] = hists[name].Summary()
+		snap.Windows[name] = hists[name].Windowed()
 	}
 	return snap
 }

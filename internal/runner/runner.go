@@ -77,8 +77,11 @@ var trialsExecuted atomic.Int64
 // Observability instruments, looked up once. trialLatency and workerBusy
 // let manifest consumers derive per-trial cost distributions and worker
 // utilization (busy time / (wall × workers)); the counters feed the error
-// and fan-out tallies. Everything here is measurement only — no instrument
-// influences scheduling or results.
+// and fan-out tallies. The trial_ns histogram additionally maintains
+// rolling last-60s/last-2min windows (obs.Histogram.Windowed), so a
+// long sweep's recent throughput is visible in snapshots and Prometheus
+// exposition next to the cumulative totals. Everything here is
+// measurement only — no instrument influences scheduling or results.
 var (
 	obsTrials       = obs.C("runner.trials")
 	obsTrialErrors  = obs.C("runner.trial_errors")

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hideseek/internal/emulation"
@@ -20,6 +21,7 @@ type Engine struct {
 	proto *zigbee.Receiver // prototype; workers and sessions Clone it
 	q     *jobQueue
 	wg    sync.WaitGroup
+	sids  atomic.Uint64 // session-id allocator (stamped on traces)
 
 	mu     sync.Mutex
 	closed bool
@@ -95,6 +97,7 @@ func (e *Engine) worker() {
 		}
 		wait := time.Since(j.enqueued)
 		obsQueueWaitUS.Observe(float64(wait.Microseconds()))
+		j.trace.AddSpanDur(traceStageQueue, j.enqueued, wait, nil)
 		v := e.processJob(rx, j, wait)
 		j.sess.deliver(v)
 	}
@@ -109,11 +112,15 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 		SyncPeak: j.peak,
 		ScanNS:   j.scanNS,
 		QueueNS:  wait.Nanoseconds(),
+		TraceID:  j.trace.TraceID(),
+		trace:    j.trace,
 	}
 	decodeStart := time.Now()
 	rec, err := rx.DecodeAt(j.frame, 0, j.peak)
 	v.DecodeNS = sinceNS(decodeStart)
 	obsDecode.Since(decodeStart)
+	obsDecodeNS.Observe(float64(v.DecodeNS))
+	j.trace.AddSpanDur(StageDecode, decodeStart, time.Duration(v.DecodeNS), err)
 	if err != nil {
 		v.Err = err.Error()
 		v.ErrStage = StageDecode
@@ -125,6 +132,8 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 	verdict, err := e.det.AnalyzeReception(rec)
 	v.DetectNS = sinceNS(detectStart)
 	obsDetect.Since(detectStart)
+	obsDetectNS.Observe(float64(v.DetectNS))
+	j.trace.AddSpanDur(StageDetect, detectStart, time.Duration(v.DetectNS), err)
 	if err != nil {
 		v.Err = err.Error()
 		v.ErrStage = StageDetect

@@ -15,9 +15,20 @@ var (
 	obsDetectErrors = obs.C("stream.detect_errors")
 	obsSessions     = obs.C("stream.sessions")
 	obsScan         = obs.T("stream.scan")
-	obsScanNS       = obs.H("stream.scan_ns") // per-frame scan latency: p50/p95 via /v1/obs
+	obsScanNS       = obs.H("stream.scan_ns") // per-frame scan latency: p50/p95 via /v1/obs + /metrics
 	obsDecode       = obs.T("stream.decode")
+	obsDecodeNS     = obs.H("stream.decode_ns") // per-frame decode latency distribution
 	obsDetect       = obs.T("stream.detect")
+	obsDetectNS     = obs.H("stream.detect_ns") // per-frame defense latency distribution
 	obsQueueDepth   = obs.H("stream.queue_depth")
 	obsQueueWaitUS  = obs.H("stream.queue_wait_us")
+)
+
+// Trace stage names, in pipeline order. StageDecode and StageDetect
+// (stream.go) double as Verdict.ErrStage values.
+const (
+	traceStageScan    = "scan"
+	traceStageSync    = "sync"
+	traceStageQueue   = "queue"
+	traceStageDeliver = "deliver"
 )

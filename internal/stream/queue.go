@@ -3,6 +3,8 @@ package stream
 import (
 	"sync"
 	"time"
+
+	"hideseek/internal/obs"
 )
 
 // job is one detected frame on its way to the worker pool.
@@ -14,6 +16,7 @@ type job struct {
 	frame    []complex128 // copied out of the session window
 	scanNS   int64
 	enqueued time.Time
+	trace    *obs.Trace // nil when tracing is off
 }
 
 // jobQueue is the bounded frame queue shared by every session on an

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hideseek/internal/obs"
 	"hideseek/internal/zigbee"
 )
 
@@ -16,11 +17,13 @@ import (
 // and driven by Engine.Process; they are not safe for concurrent use
 // (each connection gets its own).
 type Session struct {
-	e    *Engine
-	rx   *zigbee.Receiver // scanner-side receiver (sync + header decode)
-	win  window
-	emit func(Verdict)
-	seq  uint64
+	e      *Engine
+	rx     *zigbee.Receiver // scanner-side receiver (sync + header decode)
+	win    window
+	emit   func(Verdict)
+	seq    uint64
+	sid    uint64      // engine-unique session id, stamped on traces
+	tracer *obs.Tracer // nil when tracing is off
 
 	// Scanner-goroutine-only stats fields (Samples..SyncRejects) plus
 	// worker-written ones (Dropped, DecodeErrors, DetectErrors) guarded
@@ -43,6 +46,8 @@ func newSession(e *Engine, rx *zigbee.Receiver, emit func(Verdict)) *Session {
 		e:       e,
 		rx:      rx,
 		emit:    emit,
+		sid:     e.sids.Add(1),
+		tracer:  e.cfg.Tracer,
 		pending: make(map[uint64]Verdict),
 		flushed: make(chan struct{}),
 	}
@@ -168,6 +173,10 @@ func (s *Session) scan(eof bool) {
 		if !eof && s.win.size() < relStart+zigbee.HeaderSamples {
 			return // header not fully buffered yet
 		}
+		var syncAt time.Time
+		if s.tracer != nil {
+			syncAt = time.Now() // scan span ends, sync span begins
+		}
 		span, spanErr := s.rx.FrameSpan(w, relStart)
 		if spanErr != nil {
 			// Undecodable or invalid header (bad preamble/SFD bytes
@@ -188,6 +197,12 @@ func (s *Session) scan(eof bool) {
 		frame := make([]complex128, end-relStart)
 		copy(frame, w[relStart:end])
 		scanNS := sinceNS(stepStart)
+		var tr *obs.Trace
+		if s.tracer != nil {
+			tr = s.tracer.StartAt(stepStart, s.sid, s.seq, s.win.offset()+int64(relStart))
+			tr.AddSpanDur(traceStageScan, stepStart, syncAt.Sub(stepStart), nil)
+			tr.AddSpan(traceStageSync, syncAt, nil)
+		}
 		s.submit(job{
 			sess:   s,
 			seq:    s.seq,
@@ -195,6 +210,7 @@ func (s *Session) scan(eof bool) {
 			peak:   peak,
 			frame:  frame,
 			scanNS: scanNS,
+			trace:  tr,
 		})
 		s.seq++
 		s.stats.Frames++
@@ -225,17 +241,21 @@ func (s *Session) submit(j job) {
 	obsQueueDepth.Observe(float64(s.e.q.depth()))
 	for _, ev := range evicted {
 		obsDropped.Inc()
+		ev.trace.AddSpan(traceStageQueue, ev.enqueued, errDroppedOldest)
 		ev.sess.deliver(Verdict{
 			Seq: ev.seq, Offset: ev.offset, SyncPeak: ev.peak,
 			Dropped: true, ScanNS: ev.scanNS, QueueNS: sinceNS(ev.enqueued),
+			TraceID: ev.trace.TraceID(), trace: ev.trace,
 		})
 	}
 	if !ok {
 		// Engine closed under us: keep the verdict stream complete.
 		obsDropped.Inc()
+		j.trace.AddSpan(traceStageQueue, j.enqueued, errEngineClosed)
 		s.deliver(Verdict{
 			Seq: j.seq, Offset: j.offset, SyncPeak: j.peak,
 			Dropped: true, ScanNS: j.scanNS,
+			TraceID: j.trace.TraceID(), trace: j.trace,
 		})
 	}
 }
@@ -281,7 +301,14 @@ func (s *Session) flush() {
 		delete(s.pending, s.next)
 		s.next++
 		s.mu.Unlock()
-		if s.emit != nil {
+		if ready.trace != nil {
+			deliverStart := time.Now()
+			if s.emit != nil {
+				s.emit(ready)
+			}
+			ready.trace.AddSpan(traceStageDeliver, deliverStart, nil)
+			s.tracer.Finish(ready.trace)
+		} else if s.emit != nil {
 			s.emit(ready)
 		}
 		s.mu.Lock()

@@ -43,10 +43,12 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"hideseek/internal/emulation"
+	"hideseek/internal/obs"
 	"hideseek/internal/zigbee"
 )
 
@@ -71,6 +73,11 @@ type Config struct {
 	Receiver zigbee.ReceiverConfig
 	// Defense configures the cumulant detector shared by the workers.
 	Defense emulation.DefenseConfig
+	// Tracer, when set, records a per-frame span trace
+	// (scan→sync→queue→decode→detect→deliver) for every scanned frame,
+	// joined to its Verdict via Verdict.TraceID. nil disables tracing;
+	// the pipeline then takes no extra timestamps and allocates nothing.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() error {
@@ -134,12 +141,26 @@ type Verdict struct {
 	QueueNS  int64 `json:"queue_ns"`
 	DecodeNS int64 `json:"decode_ns"`
 	DetectNS int64 `json:"detect_ns"`
+	// TraceID joins the verdict to its span trace when the pipeline runs
+	// with a Tracer (0 / absent otherwise). The trace's Seq mirrors this
+	// verdict's Seq.
+	TraceID uint64 `json:"trace_id,omitempty"`
+
+	// trace is the in-flight span trace riding along with the verdict
+	// until the delivery goroutine finishes it.
+	trace *obs.Trace
 }
 
 // Verdict.ErrStage values.
 const (
 	StageDecode = "decode"
 	StageDetect = "detect"
+)
+
+// Sentinel errors recorded on the queue span of dropped frames' traces.
+var (
+	errDroppedOldest = errors.New("dropped: bounded queue evicted oldest frame")
+	errEngineClosed  = errors.New("dropped: engine closed")
 )
 
 // Decided reports whether the verdict carries a real decision (the frame
