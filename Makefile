@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke obs-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke lora-smoke obs-smoke examples clean
 
 all: build vet test
 
@@ -49,6 +49,13 @@ manifest-smoke:
 # validate the shutdown manifest.
 stream-smoke:
 	$(GO) test ./cmd/hideseekd -run TestStreamSmoke -count=1
+
+# Smoke-test the second victim PHY end to end: boot hideseekd serving
+# zigbee+lora, classify a Wi-Lo capture via HTTP ?proto=lora and the raw
+# TCP #HSPROTO preamble, lint the proto-labeled metrics, and check the
+# shutdown manifest records the served protocol set.
+lora-smoke:
+	$(GO) test ./cmd/hideseekd -run TestLoRaSmoke -count=1
 
 # Smoke-test the telemetry surface: boot hideseekd with trace export on,
 # lint /metrics and /v1/obs?format=prometheus with the in-repo Prometheus

@@ -1,8 +1,14 @@
 // Command hideseekd is the online defense service: a daemon that accepts
 // captured or live 4 MS/s I/Q streams and runs the streaming detection
-// pipeline (internal/stream) over them — ZigBee frame sync, DSSS
-// despreading, and the constellation-cumulant emulation defense — with
-// one shared worker pool batching frames across every connection.
+// pipeline (internal/stream) over them with one shared worker pool
+// batching frames across every connection. The pipeline is
+// protocol-generic (internal/phy): -protos selects which victim PHYs the
+// daemon serves (default "zigbee,lora" — ZigBee O-QPSK frame sync +
+// constellation-cumulant defense, and LoRa CSS dechirp + off-peak-energy
+// defense). Each session binds one protocol: HTTP clients pick with
+// ?proto=<name> on /v1/classify and /v1/stream, raw TCP clients with an
+// optional "#HSPROTO <name>\n" preamble line; unspecified sessions get
+// the first configured protocol.
 //
 // Endpoints:
 //
@@ -31,12 +37,14 @@
 //
 // Usage:
 //
-//	hideseekd [-addr host:port] [-tcp host:port] [-workers n] [-queue n]
-//	          [-chunk n] [-pending n] [-threshold q] [-real] [-sync t]
+//	hideseekd [-addr host:port] [-tcp host:port] [-protos list] [-workers n]
+//	          [-queue n] [-chunk n] [-pending n] [-threshold q] [-real] [-sync t]
 //	          [-deadline d] [-manifest out.json] [-traces n] [-tracefile out.ndjson]
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -47,15 +55,19 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
-	"hideseek/internal/emulation"
 	"hideseek/internal/iq"
 	"hideseek/internal/obs"
+	"hideseek/internal/phy"
 	"hideseek/internal/stream"
-	"hideseek/internal/zigbee"
+
+	// Served victim-PHY plugins register themselves on import.
+	_ "hideseek/internal/phy/loraphy"
+	_ "hideseek/internal/phy/zigbeephy"
 )
 
 func main() {
@@ -70,13 +82,14 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	fs.SetOutput(logw)
 	addr := fs.String("addr", "127.0.0.1:8473", "HTTP listen address")
 	tcpAddr := fs.String("tcp", "", "raw TCP listen address: cf32 in, NDJSON verdicts out (empty = disabled)")
+	protos := fs.String("protos", "zigbee,lora", "comma-separated victim protocols to serve (first is the session default)")
 	workers := fs.Int("workers", 0, "decode/detect worker pool width (0 = derived from GOMAXPROCS)")
 	queue := fs.Int("queue", 256, "shared frame queue depth; oldest frames drop past this")
 	chunk := fs.Int("chunk", 4096, "samples per ingest block")
 	pending := fs.Int("pending", 64, "max in-flight frames per session before its reads block")
-	threshold := fs.Float64("threshold", emulation.DefaultThreshold, "decision threshold Q")
+	threshold := fs.Float64("threshold", 0, "decision threshold Q for every served protocol (0 = per-protocol default)")
 	realEnv := fs.Bool("real", false, "real-environment statistics: mean removal + |C40| (Sec. VI-C)")
-	syncThr := fs.Float64("sync", 0.3, "preamble sync correlation threshold")
+	syncThr := fs.Float64("sync", 0, "preamble sync correlation threshold for every served protocol (0 = per-protocol default; zigbee's daemon default is 0.3)")
 	deadline := fs.Duration("deadline", 30*time.Second, "per-request idle read/write deadline (0 = none)")
 	manifest := fs.String("manifest", "", "write a kind=service run manifest here on shutdown")
 	traces := fs.Int("traces", 256, "per-frame span traces kept queryable at /v1/traces (0 disables tracing)")
@@ -112,18 +125,38 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		}
 	}
 
+	var pipelines []*phy.Pipeline
+	for _, name := range strings.Split(*protos, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		opts := phy.Options{SyncThreshold: *syncThr, Threshold: *threshold, RealEnv: *realEnv}
+		if opts.SyncThreshold == 0 && name == "zigbee" {
+			// The daemon has always run zigbee sync at 0.3 (below the
+			// receiver's own 0.5 default) to catch weak preambles; keep that
+			// operating point unless -sync overrides it.
+			opts.SyncThreshold = 0.3
+		}
+		p, err := phy.Build(name, opts)
+		if err != nil {
+			closeTracer()
+			return fmt.Errorf("-protos: %w (registered: %v)", err, phy.Protocols())
+		}
+		pipelines = append(pipelines, p)
+	}
+	if len(pipelines) == 0 {
+		closeTracer()
+		return fmt.Errorf("-protos %q selects no protocols", *protos)
+	}
+
 	engine, err := stream.NewEngine(stream.Config{
 		ChunkSize:  *chunk,
 		Workers:    *workers,
 		QueueDepth: *queue,
 		MaxPending: *pending,
-		Receiver:   zigbee.ReceiverConfig{SyncThreshold: *syncThr},
-		Defense: emulation.DefenseConfig{
-			Threshold:  *threshold,
-			RemoveMean: *realEnv,
-			UseAbsC40:  *realEnv,
-		},
-		Tracer: tracer,
+		Pipelines:  pipelines,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		closeTracer()
@@ -142,6 +175,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		closeTracer()
 		return err
 	}
+	fmt.Fprintf(logw, "hideseekd: serving protocols %v\n", engine.Protocols())
 	srv := &http.Server{
 		Handler: d.routes(),
 		// Request contexts descend from the signal context, so streaming
@@ -198,6 +232,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if *manifest != "" {
 		m := obs.NewManifest("hideseekd", 0, engine.Workers())
 		m.Kind = obs.KindService
+		m.Protocols = engine.Protocols()
 		m.WallMS = float64(time.Since(d.start).Microseconds()) / 1000
 		m.Snapshot = obs.Snap()
 		if err := m.Validate(); err != nil {
@@ -248,9 +283,30 @@ type trailer struct {
 	Err   string        `json:"error,omitempty"`
 }
 
+// sessionProto resolves a request's ?proto= selector against the served
+// set, so protocol typos fail with 400 before any samples are consumed
+// ("" = the engine default).
+func (d *daemon) sessionProto(r *http.Request) (string, error) {
+	proto := r.URL.Query().Get("proto")
+	if proto == "" {
+		return "", nil
+	}
+	for _, served := range d.engine.Protocols() {
+		if proto == served {
+			return proto, nil
+		}
+	}
+	return "", fmt.Errorf("protocol %q not served (have %v)", proto, d.engine.Protocols())
+}
+
 func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a cf32 capture", http.StatusMethodNotAllowed)
+		return
+	}
+	proto, err := d.sessionProto(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	ctx := r.Context()
@@ -270,7 +326,7 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}}
 	verdicts := make([]stream.Verdict, 0)
-	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
+	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
 		verdicts = append(verdicts, v)
 	})
 	if err != nil {
@@ -287,6 +343,11 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a cf32 stream", http.StatusMethodNotAllowed)
+		return
+	}
+	proto, err := d.sessionProto(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	rc := http.NewResponseController(w)
@@ -315,7 +376,7 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}}
-	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
+	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
 		// A write deadline per verdict: a client that streams samples but
 		// never reads responses errors the session instead of blocking its
 		// delivery goroutine (and the session's drain) forever.
@@ -381,6 +442,7 @@ func (d *daemon) handleTraces(w http.ResponseWriter, r *http.Request) {
 type health struct {
 	Status         string                       `json:"status"`
 	UptimeMS       float64                      `json:"uptime_ms"`
+	Protocols      []string                     `json:"protocols"`
 	Workers        int                          `json:"workers"`
 	ActiveSessions int                          `json:"active_sessions"`
 	QueueDepth     int                          `json:"queue_depth"`
@@ -407,6 +469,7 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(health{
 		Status:         "ok",
 		UptimeMS:       float64(time.Since(d.start).Microseconds()) / 1000,
+		Protocols:      d.engine.Protocols(),
 		Workers:        d.engine.Workers(),
 		ActiveSessions: d.engine.ActiveSessions(),
 		QueueDepth:     d.engine.QueueDepth(),
@@ -432,8 +495,33 @@ func (d *daemon) serveTCP(ctx context.Context, ln net.Listener, conns *sync.Wait
 	}
 }
 
-// serveConn runs one raw-TCP session: cf32 bytes in, NDJSON verdicts out,
-// a stats trailer, then close.
+// protoPreamble is the optional first line of a raw TCP session selecting
+// its protocol; everything after the newline is cf32 samples.
+const protoPreamble = "#HSPROTO "
+
+// sniffProto peeks at the head of a raw TCP stream for a
+// "#HSPROTO <name>\n" selector line. Without one the stream is untouched
+// cf32 and the session runs the engine default (the marker bytes cannot
+// open a plain stream by accident without also being consumed here).
+func sniffProto(br *bufio.Reader) (string, error) {
+	head, err := br.Peek(len(protoPreamble))
+	if err != nil || !bytes.Equal(head, []byte(protoPreamble)) {
+		return "", nil // short or markerless stream: plain cf32
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("unterminated %q line", protoPreamble)
+	}
+	proto := strings.TrimSpace(strings.TrimPrefix(line, protoPreamble))
+	if proto == "" {
+		return "", fmt.Errorf("empty protocol in %q line", protoPreamble)
+	}
+	return proto, nil
+}
+
+// serveConn runs one raw-TCP session: an optional "#HSPROTO <name>\n"
+// selector line, cf32 bytes in, NDJSON verdicts out, a stats trailer,
+// then close.
 func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -443,7 +531,16 @@ func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 	})
 	defer stopAfter()
 	enc := json.NewEncoder(conn)
-	src := &deadlineSource{src: iq.NewReaderCF32(conn), refresh: func() error {
+	if d.deadline > 0 {
+		conn.SetReadDeadline(time.Now().Add(d.deadline))
+	}
+	br := bufio.NewReader(conn)
+	proto, err := sniffProto(br)
+	if err != nil {
+		enc.Encode(trailer{Err: err.Error()})
+		return
+	}
+	src := &deadlineSource{src: iq.NewReaderCF32(br), refresh: func() error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -452,7 +549,7 @@ func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 		}
 		return nil
 	}}
-	stats, err := d.engine.Process(ctx, src, func(v stream.Verdict) {
+	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
 		// Bound every verdict write so a peer that stops reading errors the
 		// session rather than wedging its delivery goroutine.
 		if d.deadline > 0 {

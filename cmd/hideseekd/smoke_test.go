@@ -182,4 +182,173 @@ func TestStreamSmoke(t *testing.T) {
 	if m.Counters["stream.frames"] < 4 {
 		t.Errorf("manifest stream.frames = %d, want >= 4", m.Counters["stream.frames"])
 	}
+	if len(m.Protocols) == 0 || m.Protocols[0] != "zigbee" {
+		t.Errorf("manifest protocols %v, want zigbee first", m.Protocols)
+	}
+}
+
+// TestLoRaSmoke is the end-to-end check behind `make lora-smoke`: it
+// boots the daemon serving both protocols, classifies an authentic +
+// Wi-Lo-emulated LoRa capture over HTTP (?proto=lora), repeats it over
+// raw TCP with the "#HSPROTO lora" preamble, verifies the proto-labeled
+// stream metrics pass the Prometheus linter on a live scrape, and
+// validates the served protocol set in the shutdown manifest.
+func TestLoRaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hideseekd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	manifestPath := filepath.Join(dir, "manifest.json")
+	proc := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-tcp", "127.0.0.1:0",
+		"-protos", "zigbee,lora",
+		"-workers", "2", "-deadline", "10s",
+		"-manifest", manifestPath)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Process.Kill()
+
+	addrs := make(chan [2]string, 1)
+	go func() {
+		var httpAddr, tcpAddr string
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "hideseekd: listening on http://"); ok {
+				httpAddr = rest
+			}
+			if rest, ok := strings.CutPrefix(line, "hideseekd: raw tcp on "); ok {
+				tcpAddr = rest
+			}
+			if httpAddr != "" && tcpAddr != "" {
+				addrs <- [2]string{httpAddr, tcpAddr}
+				httpAddr, tcpAddr = "", "dup"
+			}
+		}
+	}()
+	var httpAddr, tcpAddr string
+	select {
+	case a := <-addrs:
+		httpAddr, tcpAddr = a[0], a[1]
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report listen addresses")
+	}
+
+	capture, want := loraTestCapture(t, 57)
+
+	// HTTP classify with ?proto=lora: authentic passes, emulated flagged.
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/classify?proto=lora", httpAddr),
+		"application/octet-stream", bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr classifyResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Verdicts) != len(want) {
+		t.Fatalf("classify: %d verdicts, want %d", len(cr.Verdicts), len(want))
+	}
+	for i, v := range cr.Verdicts {
+		if !v.Decided() || v.Attack != want[i] || v.Proto != "lora" {
+			t.Fatalf("classify verdict %d: proto=%q attack=%v err=%q, want lora attack=%v",
+				i, v.Proto, v.Attack, v.Err, want[i])
+		}
+	}
+
+	// Raw TCP with the protocol preamble line.
+	conn, err := net.Dial("tcp", tcpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("#HSPROTO lora\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(capture); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	verdicts, trail := readStream(t, sc)
+	conn.Close()
+	if trail.Err != "" {
+		t.Fatalf("tcp trailer error: %q", trail.Err)
+	}
+	if len(verdicts) != len(want) {
+		t.Fatalf("tcp: %d verdicts, want %d", len(verdicts), len(want))
+	}
+	for i, v := range verdicts {
+		if v.Attack != want[i] {
+			t.Fatalf("tcp verdict %d: attack=%v, want %v", i, v.Attack, want[i])
+		}
+	}
+
+	// Live /metrics scrape: lints clean and carries the lora-labeled
+	// stream families alongside the globals.
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	_, err = metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintPrometheus(bytes.NewReader(metrics.Bytes())); err != nil {
+		t.Fatalf("/metrics fails lint: %v", err)
+	}
+	for _, fam := range []string{
+		"hideseek_stream_frames_total",
+		"hideseek_stream_lora_frames_total 4",
+		"hideseek_stream_lora_sessions_total 2",
+		"hideseek_stream_zigbee_frames_total 0",
+	} {
+		if !strings.Contains(metrics.String(), fam) {
+			t.Errorf("/metrics lacks %q", fam)
+		}
+	}
+
+	// Shutdown manifest records the served protocol set.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	m, err := obs.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("shutdown manifest invalid: %v", err)
+	}
+	if len(m.Protocols) != 2 || m.Protocols[0] != "zigbee" || m.Protocols[1] != "lora" {
+		t.Errorf("manifest protocols %v, want [zigbee lora]", m.Protocols)
+	}
+	if m.Counters["stream.lora.frames"] < 4 {
+		t.Errorf("manifest stream.lora.frames = %d, want >= 4", m.Counters["stream.lora.frames"])
+	}
 }

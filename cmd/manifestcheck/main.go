@@ -54,8 +54,8 @@ func check(path string) (string, error) {
 			return "", err
 		}
 		if m.Kind == obs.KindService {
-			return fmt.Sprintf("ok: %s — %s service, %.0f ms wall, %d counters, %d timers",
-				path, m.Command, m.WallMS, len(m.Counters), len(m.Timers)), nil
+			return fmt.Sprintf("ok: %s — %s service, protocols %v, %.0f ms wall, %d counters, %d timers",
+				path, m.Command, m.Protocols, m.WallMS, len(m.Counters), len(m.Timers)), nil
 		}
 		return fmt.Sprintf("ok: %s — %s, %d experiments, %d trials, %d timers",
 			path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers)), nil

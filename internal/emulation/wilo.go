@@ -1,0 +1,40 @@
+package emulation
+
+import (
+	"fmt"
+
+	"hideseek/internal/lora"
+)
+
+// Wi-Lo: the waveform-emulation attack pointed at a LoRa victim instead
+// of ZigBee (PAPERS.md). The emulation core is victim-agnostic — Emulate
+// interpolates any 4 MS/s observation ×5, re-synthesizes it as 64-
+// subcarrier WiFi OFDM symbols, and decimates back — so the LoRa pipeline
+// reuses it unchanged. Two properties make the reuse exact rather than
+// approximate:
+//
+//   - LoRa frames here are whole multiples of lora.SymbolSamples = 1024
+//     samples, which interpolate to multiples of 5120 = 64·80 WiFi-rate
+//     samples: every frame divides evenly into 80-sample OFDM segments
+//     with no zero-padding tail.
+//   - The chirp sweeps ±lora.Bandwidth/2 = ±0.5 MHz, inside the emulator's
+//     default ±1.09 MHz kept-subcarrier window, so bin truncation removes
+//     only interpolation images, not signal.
+//
+// What survives as evidence is the same footprint the defense keys on for
+// ZigBee: QAM quantization error and the cyclic-prefix seam discontinuity
+// every 4 µs, which the dechirp-and-FFT receiver sees as energy smeared
+// off the symbol's peak bin (lora.Detector).
+
+// ForgeLoRaPayload synthesizes a fresh LoRa frame carrying payload and
+// emulates its waveform — the Wi-Lo analogue of ForgePSDU.
+func ForgeLoRaPayload(em *Emulator, payload []byte) (*Result, error) {
+	if em == nil {
+		return nil, fmt.Errorf("emulation: nil emulator")
+	}
+	wave, err := lora.NewTransmitter().TransmitPayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("emulation: wi-lo forge: %w", err)
+	}
+	return em.Emulate(wave)
+}

@@ -1,0 +1,58 @@
+package lora
+
+import "math"
+
+// twoPi is the phase accumulator's period.
+const twoPi = 2 * math.Pi
+
+// chirpInto writes the SymbolSamples-long upchirp for symbol value s into
+// dst. The instantaneous frequency starts at (s/N − ½)·Bandwidth, ramps
+// up at Bandwidth per symbol, and wraps once past +Bandwidth/2 back to
+// −Bandwidth/2; the phase is accumulated so the waveform is continuous
+// through the wrap.
+//
+// Per-sample phase increments are exact rationals of 2π — with
+// u(n) = (s·Oversample + n) mod SymbolSamples,
+//
+//	Δφ(n) = 2π · (u(n)/(SymbolSamples·Oversample) − 1/(2·Oversample))
+//
+// — so the wrap of symbol s lands on decimated-sample boundary
+// Oversample·(N−s) and the dechirped, chip-rate-decimated symbol is an
+// exact DFT tone at bin s (see the package comment).
+func chirpInto(dst []complex128, s int) {
+	phase := 0.0
+	u := (s * Oversample) % SymbolSamples
+	for n := 0; n < SymbolSamples; n++ {
+		sin, cos := math.Sincos(phase)
+		dst[n] = complex(cos, sin)
+		phase += twoPi * (float64(u)/float64(SymbolSamples*Oversample) - 1/(2.0*Oversample))
+		if phase > math.Pi {
+			phase -= twoPi
+		} else if phase < -math.Pi {
+			phase += twoPi
+		}
+		u++
+		if u == SymbolSamples {
+			u = 0
+		}
+	}
+}
+
+// Upchirp returns the modulated upchirp for symbol value s ∈ [0, N).
+func Upchirp(s int) []complex128 {
+	dst := make([]complex128, SymbolSamples)
+	chirpInto(dst, s%ChipsPerSymbol)
+	return dst
+}
+
+// Downchirp returns the base downchirp — the conjugate of the base
+// upchirp, so a received downchirp dechirped against the base upchirp is
+// exactly DC (bin 0).
+func Downchirp() []complex128 {
+	dst := make([]complex128, SymbolSamples)
+	chirpInto(dst, 0)
+	for i, v := range dst {
+		dst[i] = complex(real(v), -imag(v))
+	}
+	return dst
+}

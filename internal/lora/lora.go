@@ -1,0 +1,75 @@
+// Package lora implements a LoRa-style chirp spread spectrum (CSS)
+// physical layer at the simulation's 4 MS/s baseband clock — the second
+// victim PHY of the waveform-emulation attack, after ZigBee. Wi-Lo
+// (PAPERS.md) shows the same COTS-WiFi emulation trick reproduces LoRa
+// chirps; this package supplies the modulator, the dechirp-and-FFT-peak
+// demodulator, and the spectral-concentration defense that the phy plugin
+// (internal/phy/loraphy) wires into the streaming engine.
+//
+// Numerology. Spreading factor 8 over a 1 MHz bandwidth at the shared
+// 4 MS/s clock: N = 2⁸ = 256 chips per symbol, 4× oversampling, 1024
+// samples (256 µs) per symbol, one payload byte per symbol. Keeping the
+// victim at the ZigBee capture clock means the WiFi emulator
+// (internal/emulation) applies unchanged — its interpolate ×5 → 80-sample
+// segment → 64-FFT → quantize loop is victim-agnostic over 4 MS/s
+// observations, and LoRa's ±0.5 MHz occupancy sits inside the emulator's
+// default ±1.09 MHz kept-bin window.
+//
+// Demodulation is the textbook dechirp: multiply by the conjugate base
+// upchirp, decimate to chip rate, N-point FFT, take the peak bin. With
+// this package's chirp phase ramp the frequency wrap of symbol s lands
+// exactly on a decimated sample boundary, so a clean symbol dechirps to
+// an exact DFT tone at bin s — the peak search is noise-limited, not
+// self-interference-limited.
+package lora
+
+// PHY constants at the 4 MS/s baseband clock.
+const (
+	// SampleRate is the baseband sample rate in Hz — deliberately the
+	// ZigBee capture clock, so emulation and channel code apply unchanged.
+	SampleRate = 4e6
+	// Bandwidth is the chirp sweep width in Hz.
+	Bandwidth = 1e6
+	// SpreadingFactor is the LoRa SF: chips per symbol = 2^SF.
+	SpreadingFactor = 8
+	// ChipsPerSymbol is 2^SpreadingFactor.
+	ChipsPerSymbol = 1 << SpreadingFactor
+	// Oversample is samples per chip (SampleRate / Bandwidth).
+	Oversample = 4
+	// SymbolSamples is the span of one CSS symbol: 1024 samples = 256 µs.
+	SymbolSamples = ChipsPerSymbol * Oversample
+	// PreambleUpchirps is the number of base upchirps opening a frame.
+	PreambleUpchirps = 6
+	// SyncDownchirps is the number of downchirps terminating the preamble
+	// (they break the upchirp train's ±1-symbol self-similarity, giving
+	// the correlation sync an unambiguous peak).
+	SyncDownchirps = 2
+	// PreambleSymbols is the full preamble span in symbols.
+	PreambleSymbols = PreambleUpchirps + SyncDownchirps
+	// HeaderSymbols is the explicit header: payload length and its
+	// checksum complement.
+	HeaderSymbols = 2
+	// MaxPayload bounds the payload length a header may announce.
+	MaxPayload = 64
+	// HeaderChecksumMask is XORed with the length byte to form the second
+	// header symbol; a corrupted header fails the complement check.
+	HeaderChecksumMask = 0xA5
+)
+
+// Sample-span constants for incremental (streaming) frame scanning,
+// mirroring the zigbee package's contract.
+const (
+	// PreambleSamples is the synchronization reference span.
+	PreambleSamples = PreambleSymbols * SymbolSamples
+	// HeaderSamples is the span FrameSpan needs past a frame start:
+	// preamble plus the two header symbols.
+	HeaderSamples = (PreambleSymbols + HeaderSymbols) * SymbolSamples
+	// MaxFrameSamples is the decode span of a maximum-length frame.
+	MaxFrameSamples = (PreambleSymbols + HeaderSymbols + MaxPayload) * SymbolSamples
+)
+
+// FrameSamples returns the sample span of a frame carrying n payload
+// bytes (one byte per SF8 symbol).
+func FrameSamples(n int) int {
+	return (PreambleSymbols + HeaderSymbols + n) * SymbolSamples
+}

@@ -1,0 +1,318 @@
+package lora
+
+import (
+	"fmt"
+
+	"hideseek/internal/dsp"
+)
+
+// ReceiverConfig parameterizes a Receiver.
+type ReceiverConfig struct {
+	// SyncThreshold is the minimum normalized preamble correlation needed
+	// to declare a frame. Defaults to 0.5.
+	SyncThreshold float64
+	// DirectSync forces the direct preamble correlation instead of the
+	// FFT overlap-save plan (see dsp.Correlator; the global default flips
+	// under the slowsync build tag).
+	DirectSync bool
+}
+
+// Receiver demodulates CSS baseband waveforms back into frames and
+// exposes the per-symbol spectral statistics the defense consumes.
+//
+// A Receiver reuses internal dechirp/FFT scratch buffers across calls and
+// is therefore NOT safe for concurrent use; give each worker goroutine
+// its own via Clone, which shares the immutable sync reference, dechirp
+// references, and correlation plan but owns fresh scratch.
+type Receiver struct {
+	cfg       ReceiverConfig
+	syncRef   []complex128    // modulated preamble used for correlation sync
+	sync      *dsp.Correlator // overlap-save (or direct) preamble correlation plan
+	dechirpUp []complex128    // conj(base upchirp): dechirps upchirp symbols
+	dechirpDn []complex128    // base upchirp: dechirps the preamble downchirps
+	plan      *dsp.Plan       // ChipsPerSymbol-point FFT (per-clone; pow2, stateless)
+	corr      []float64       // Synchronize scratch: correlation lags
+	dec       []complex128    // demodSymbol scratch: decimated dechirped symbol
+	spec      []complex128    // demodSymbol scratch: symbol spectrum
+}
+
+// NewReceiver builds a receiver, applying config defaults.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	if cfg.SyncThreshold == 0 {
+		cfg.SyncThreshold = 0.5
+	}
+	if cfg.SyncThreshold < 0 || cfg.SyncThreshold > 1 {
+		return nil, fmt.Errorf("lora: sync threshold %v outside [0, 1]", cfg.SyncThreshold)
+	}
+	ref := NewTransmitter().preamble
+	cor, err := dsp.NewCorrelator(ref, dsp.CorrelatorConfig{UseDirect: cfg.DirectSync})
+	if err != nil {
+		return nil, fmt.Errorf("lora: receiver init: %w", err)
+	}
+	up := Upchirp(0)
+	return &Receiver{
+		cfg:       cfg,
+		syncRef:   ref,
+		sync:      cor,
+		dechirpUp: dsp.Conj(up),
+		dechirpDn: up,
+		plan:      dsp.NewPlan(ChipsPerSymbol),
+	}, nil
+}
+
+// Clone returns a receiver with the same configuration that shares the
+// immutable sync/dechirp references and precomputed correlation plan but
+// owns fresh scratch buffers, so the clone is safe to use from another
+// goroutine.
+func (rx *Receiver) Clone() *Receiver {
+	return &Receiver{
+		cfg:       rx.cfg,
+		syncRef:   rx.syncRef,
+		sync:      rx.sync.Clone(),
+		dechirpUp: rx.dechirpUp,
+		dechirpDn: rx.dechirpDn,
+		plan:      dsp.NewPlan(ChipsPerSymbol),
+	}
+}
+
+// SyncRefSamples is the length of the modulated-preamble synchronization
+// reference: the minimum window SynchronizeFirst can search, and the
+// amount ReceiveAll skips past an undecodable sync point.
+func (rx *Receiver) SyncRefSamples() int { return len(rx.syncRef) }
+
+// Reception captures everything the receiver extracted from one frame.
+type Reception struct {
+	// Payload is the decoded payload (nil if decoding failed).
+	Payload []byte
+	// StartSample is where the frame begins in the input.
+	StartSample int
+	// SyncPeak is the normalized preamble correlation at the sync point.
+	SyncPeak float64
+	// SymbolBins holds the demodulated FFT peak bin of every symbol, in
+	// frame order (preamble, downchirps, header, payload).
+	SymbolBins []int
+	// Concentrations holds, per symbol, the fraction of dechirped
+	// spectral energy in the peak bin — 1 for a clean chirp, lower when
+	// noise or emulation distortion spreads energy across bins.
+	Concentrations []float64
+	// WideConcentrations holds the same statistic measured over the peak
+	// bin ±1 (cyclically). Multipath delay spread and residual CFO smear
+	// an authentic tone into the adjacent bins, so the wide window is the
+	// robust variant real-environment detectors use (DetectorConfig.
+	// WidePeak); emulation distortion is broadband and stays outside it.
+	WideConcentrations []float64
+	// OffPeakRatio is the mean of (1 − concentration) over the frame's
+	// symbols: the defense's distance statistic (see Detector).
+	OffPeakRatio float64
+}
+
+// demodSymbol dechirps one symbol against ref, decimates to chip rate,
+// and returns the FFT peak bin, the peak bin's share of the symbol's
+// spectral energy, and the share of the peak bin ±1 (the real-environment
+// window; see Reception.WideConcentrations).
+func (rx *Receiver) demodSymbol(sym, ref []complex128) (bin int, concentration, wide float64) {
+	if rx.dec == nil {
+		rx.dec = make([]complex128, ChipsPerSymbol)
+		rx.spec = make([]complex128, ChipsPerSymbol)
+	}
+	for m := 0; m < ChipsPerSymbol; m++ {
+		rx.dec[m] = sym[m*Oversample] * ref[m*Oversample]
+	}
+	rx.plan.Forward(rx.spec, rx.dec)
+	var total, best float64
+	for k, v := range rx.spec {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		total += p
+		if p > best {
+			best, bin = p, k
+		}
+	}
+	if total > 0 {
+		concentration = best / total
+		win := best
+		for _, k := range [2]int{(bin + 1) % ChipsPerSymbol, (bin + ChipsPerSymbol - 1) % ChipsPerSymbol} {
+			v := rx.spec[k]
+			win += real(v)*real(v) + imag(v)*imag(v)
+		}
+		wide = win / total
+	}
+	return bin, concentration, wide
+}
+
+// syncGuard mirrors the zigbee receiver: borderline FFT-correlation
+// threshold crossings are confirmed against the exactly-accumulated
+// value, so the sync decision matches the direct path bit-for-bit.
+const syncGuard = 1e-9
+
+// SynchronizeFirst finds the EARLIEST frame start: the first index where
+// the normalized preamble correlation crosses the threshold, refined to
+// the local maximum within the following reference length. The downchirp
+// tail of the preamble breaks the upchirp train's ±1-symbol
+// self-similarity, so the refined peak is the true frame start.
+func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error) {
+	lags := len(waveform) - len(rx.syncRef) + 1
+	if lags < 1 {
+		return 0, 0, fmt.Errorf("lora: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
+	}
+	if cap(rx.corr) < lags {
+		rx.corr = make([]float64, lags)
+	}
+	corr := rx.sync.CorrelateInto(rx.corr[:lags], waveform)
+	for i, v := range corr {
+		if v < rx.cfg.SyncThreshold-syncGuard {
+			continue
+		}
+		if rx.sync.ExactAt(waveform, i) < rx.cfg.SyncThreshold {
+			continue
+		}
+		// Partial-overlap correlation crosses the threshold before the
+		// true start; the peak lies within one reference length.
+		best, bestV := i, v
+		for j := i + 1; j < len(corr) && j <= i+len(rx.syncRef); j++ {
+			if corr[j] > bestV {
+				best, bestV = j, corr[j]
+			}
+		}
+		return best, rx.sync.ExactAt(waveform, best), nil
+	}
+	peak := dsp.PeakIndex(corr)
+	if peak < 0 {
+		return 0, 0, fmt.Errorf("lora: no preamble found: correlation is all NaN")
+	}
+	best := rx.sync.ExactAt(waveform, peak)
+	return 0, best, fmt.Errorf("lora: no preamble found: best correlation %.3f below %.3f", best, rx.cfg.SyncThreshold)
+}
+
+// header demodulates and validates the preamble and header symbols of a
+// frame starting at start, returning the payload length plus the
+// demodulated bins and concentrations of the first
+// PreambleSymbols+HeaderSymbols symbols.
+func (rx *Receiver) header(waveform []complex128, start int) (payloadLen int, bins []int, conc, wide []float64, err error) {
+	if start < 0 || start+HeaderSamples > len(waveform) {
+		return 0, nil, nil, nil, fmt.Errorf("lora: header demodulation: waveform too short")
+	}
+	total := PreambleSymbols + HeaderSymbols
+	bins = make([]int, 0, total+MaxPayload)
+	conc = make([]float64, 0, total+MaxPayload)
+	wide = make([]float64, 0, total+MaxPayload)
+	symbol := func(k int, ref []complex128) int {
+		b, c, w := rx.demodSymbol(waveform[start+k*SymbolSamples:], ref)
+		bins = append(bins, b)
+		conc = append(conc, c)
+		wide = append(wide, w)
+		return b
+	}
+	for k := 0; k < PreambleUpchirps; k++ {
+		if b := symbol(k, rx.dechirpUp); b != 0 {
+			return 0, nil, nil, nil, fmt.Errorf("lora: preamble upchirp %d demodulates to %d, want 0", k, b)
+		}
+	}
+	for k := 0; k < SyncDownchirps; k++ {
+		if b := symbol(PreambleUpchirps+k, rx.dechirpDn); b != 0 {
+			return 0, nil, nil, nil, fmt.Errorf("lora: preamble downchirp %d demodulates to %d, want 0", k, b)
+		}
+	}
+	length := symbol(PreambleSymbols, rx.dechirpUp)
+	check := symbol(PreambleSymbols+1, rx.dechirpUp)
+	if length < 1 || length > MaxPayload {
+		return 0, nil, nil, nil, fmt.Errorf("lora: header length %d outside [1, %d]", length, MaxPayload)
+	}
+	if check != length^HeaderChecksumMask {
+		return 0, nil, nil, nil, fmt.Errorf("lora: header checksum %#x, want %#x", check, length^HeaderChecksumMask)
+	}
+	return length, bins, conc, wide, nil
+}
+
+// FrameSpan decodes the header of a frame known to start at start (e.g.
+// found by SynchronizeFirst) and returns the whole frame's sample span.
+// This is exactly the amount ReceiveAll advances past a decoded frame. A
+// sync point whose preamble or header content is invalid fails here, and
+// a scanner that then advances by SyncRefSamples matches ReceiveAll's
+// bad-frame advance. The frame body needs no samples past the span (the
+// CSS waveform has no modulation tail).
+func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
+	length, _, _, _, err := rx.header(waveform, start)
+	if err != nil {
+		return 0, err
+	}
+	return FrameSamples(length), nil
+}
+
+// DecodeAt runs the post-synchronization receive pipeline on a frame
+// known to start at start, skipping the preamble search. syncPeak is
+// recorded in the Reception.
+func (rx *Receiver) DecodeAt(waveform []complex128, start int, syncPeak float64) (*Reception, error) {
+	return rx.decodeFrom(waveform, start, syncPeak)
+}
+
+// decodeFrom demodulates a whole frame starting at start.
+func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (*Reception, error) {
+	rec := &Reception{StartSample: start, SyncPeak: peak}
+	length, bins, conc, wide, err := rx.header(waveform, start)
+	if err != nil {
+		return rec, err
+	}
+	if start+FrameSamples(length) > len(waveform) {
+		return rec, fmt.Errorf("lora: frame body: waveform too short (%d of %d payload symbols buffered)",
+			(len(waveform)-start)/SymbolSamples-(PreambleSymbols+HeaderSymbols), length)
+	}
+	payload := make([]byte, length)
+	for k := 0; k < length; k++ {
+		b, c, w := rx.demodSymbol(waveform[start+(PreambleSymbols+HeaderSymbols+k)*SymbolSamples:], rx.dechirpUp)
+		bins = append(bins, b)
+		conc = append(conc, c)
+		wide = append(wide, w)
+		payload[k] = byte(b)
+	}
+	rec.SymbolBins = bins
+	rec.Concentrations = conc
+	rec.WideConcentrations = wide
+	var off float64
+	for _, c := range conc {
+		off += 1 - c
+	}
+	rec.OffPeakRatio = off / float64(len(conc))
+	rec.Payload = payload
+	return rec, nil
+}
+
+// Receive synchronizes and decodes one frame from the waveform.
+func (rx *Receiver) Receive(waveform []complex128) (*Reception, error) {
+	start, peak, err := rx.SynchronizeFirst(waveform)
+	if err != nil {
+		return &Reception{SyncPeak: peak}, err
+	}
+	return rx.decodeFrom(waveform, start, peak)
+}
+
+// ReceiveAll extracts successive frames from one capture: after each
+// decoded frame the search resumes past its end. Decode failures after a
+// successful sync advance past the bad sync point rather than aborting.
+// maxFrames bounds the output (0 = no bound). The advance rules mirror
+// zigbee.(*Receiver).ReceiveAll, which is what makes the streaming
+// scanner's chunked scan byte-identical to this batch path.
+func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Reception, error) {
+	var out []*Reception
+	offset := 0
+	for {
+		if maxFrames > 0 && len(out) >= maxFrames {
+			return out, nil
+		}
+		if offset >= len(waveform) || len(waveform)-offset < len(rx.syncRef) {
+			return out, nil
+		}
+		start, peak, err := rx.SynchronizeFirst(waveform[offset:])
+		if err != nil {
+			return out, nil // no further preambles
+		}
+		rec, err := rx.decodeFrom(waveform[offset:], start, peak)
+		if err != nil {
+			// Bad frame: skip past this sync point and keep searching.
+			offset += start + len(rx.syncRef)
+			continue
+		}
+		rec.StartSample += offset
+		out = append(out, rec)
+		offset = rec.StartSample + FrameSamples(len(rec.Payload))
+	}
+}

@@ -1,0 +1,52 @@
+package lora
+
+import "fmt"
+
+// Transmitter modulates payloads into CSS frames:
+//
+//	6 base upchirps · 2 downchirps · length symbol · checksum symbol ·
+//	one upchirp per payload byte
+//
+// At SF8 a symbol carries exactly one byte. Transmitters precompute the
+// preamble and are safe for concurrent use (all methods write only to
+// freshly allocated output).
+type Transmitter struct {
+	preamble []complex128
+}
+
+// NewTransmitter builds a transmitter with its preamble pre-modulated.
+func NewTransmitter() *Transmitter {
+	pre := make([]complex128, 0, PreambleSamples)
+	up := Upchirp(0)
+	down := Downchirp()
+	for i := 0; i < PreambleUpchirps; i++ {
+		pre = append(pre, up...)
+	}
+	for i := 0; i < SyncDownchirps; i++ {
+		pre = append(pre, down...)
+	}
+	return &Transmitter{preamble: pre}
+}
+
+// TransmitPayload modulates one frame carrying payload.
+func (tx *Transmitter) TransmitPayload(payload []byte) ([]complex128, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("lora: empty payload")
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("lora: payload %d bytes exceeds %d", len(payload), MaxPayload)
+	}
+	out := make([]complex128, 0, FrameSamples(len(payload)))
+	out = append(out, tx.preamble...)
+	sym := make([]complex128, SymbolSamples)
+	emit := func(s int) {
+		chirpInto(sym, s)
+		out = append(out, sym...)
+	}
+	emit(len(payload))
+	emit(len(payload) ^ HeaderChecksumMask)
+	for _, b := range payload {
+		emit(int(b))
+	}
+	return out, nil
+}

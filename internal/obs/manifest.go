@@ -45,6 +45,7 @@ type Manifest struct {
 	Command      string            `json:"command"`
 	Seed         int64             `json:"seed"`
 	Workers      int               `json:"workers"`
+	Protocols    []string          `json:"protocols,omitempty"`
 	TrialsTotal  int64             `json:"trials_total"`
 	WallMS       float64           `json:"wall_ms"`
 	TrialsPerSec float64           `json:"trials_per_sec"`
@@ -97,12 +98,26 @@ func (m *Manifest) Validate() error {
 		}
 	case KindService:
 		// A daemon manifest has no experiment table; its run identity is
-		// the service's wall time and the instrument snapshot.
+		// the service's wall time, the protocol set it served, and the
+		// instrument snapshot.
 		if m.WallMS < 0 {
 			return fmt.Errorf("obs: service manifest reports negative wall time %g ms", m.WallMS)
 		}
+		if len(m.Protocols) == 0 {
+			return fmt.Errorf("obs: service manifest lists no protocols")
+		}
 	default:
 		return fmt.Errorf("obs: unknown manifest kind %q", m.Kind)
+	}
+	seen := make(map[string]bool, len(m.Protocols))
+	for _, p := range m.Protocols {
+		if p == "" {
+			return fmt.Errorf("obs: manifest lists an empty protocol name")
+		}
+		if seen[p] {
+			return fmt.Errorf("obs: manifest lists protocol %q twice", p)
+		}
+		seen[p] = true
 	}
 	if len(m.Timers) < 3 {
 		return fmt.Errorf("obs: manifest has %d stage timers, want at least 3", len(m.Timers))

@@ -99,6 +99,7 @@ func serviceManifest() *Manifest {
 	m := NewManifest("hideseekd", 0, 8)
 	m.Kind = KindService
 	m.WallMS = 60000
+	m.Protocols = []string{"zigbee", "lora"}
 	m.Snapshot = Snapshot{
 		Counters: map[string]int64{"stream.frames": 12, "stream.dropped_frames": 0},
 		Timers: map[string]TimerStats{
@@ -133,10 +134,27 @@ func TestServiceManifestValidates(t *testing.T) {
 	if err := got.Validate(); err != nil {
 		t.Fatalf("round-tripped service manifest invalid: %v", err)
 	}
-	// Negative wall time is the one service-specific invariant.
+	// Negative wall time is rejected.
 	m.WallMS = -1
 	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "wall") {
 		t.Errorf("negative service wall time not rejected: %v", err)
+	}
+	// The served protocol set is mandatory for service manifests and must
+	// be well-formed for all kinds.
+	m = serviceManifest()
+	m.Protocols = nil
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "protocols") {
+		t.Errorf("service manifest without protocols not rejected: %v", err)
+	}
+	m = serviceManifest()
+	m.Protocols = []string{"zigbee", "zigbee"}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate protocol not rejected: %v", err)
+	}
+	m = serviceManifest()
+	m.Protocols = []string{""}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "empty protocol") {
+		t.Errorf("empty protocol name not rejected: %v", err)
 	}
 	// Experiment manifests must still demand their experiment table.
 	e := sampleManifest()

@@ -42,6 +42,9 @@ type Trace struct {
 	// Seq is the frame's sequence number within its session — the join
 	// key to Verdict.Seq.
 	Seq uint64 `json:"seq"`
+	// Proto names the session's victim-PHY protocol, when the pipeline
+	// labels traces (cmd/hideseekd sessions do).
+	Proto string `json:"proto,omitempty"`
 	// Offset is the frame's absolute sample offset in the stream.
 	Offset int64 `json:"offset"`
 	// Start is the wall-clock time of the scan step that found the frame.

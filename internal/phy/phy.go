@@ -1,0 +1,103 @@
+// Package phy defines the victim-PHY plugin contract: the interface a
+// protocol implementation (ZigBee O-QPSK, LoRa CSS, ...) exposes so the
+// streaming engine (internal/stream), the daemon (cmd/hideseekd), and the
+// CLI tools can scan, decode, and run an emulation defense over its
+// frames without knowing the protocol.
+//
+// The contract mirrors what internal/zigbee grew for the streaming
+// pipeline — preamble synchronization, header-only frame sizing, and
+// post-sync decode — so a protocol that satisfies it inherits the
+// engine's chunk-size-invariance guarantees (see DESIGN.md §12):
+//
+//   - SynchronizeFirst must report the EARLIEST threshold crossing of a
+//     normalized, data-local correlation, refined to the local maximum
+//     within one reference length. Data-locality is what lets the engine
+//     trust a sync decision once the refinement span is buffered.
+//   - FrameSpan must learn the frame's full span from the first
+//     HeaderSamples past the frame start and must validate the decoded
+//     header (a sync point with invalid header content errors here), so
+//     the streaming scanner advances exactly as the protocol's batch
+//     ReceiveAll would.
+//   - DecodeAt needs FrameSpan()+TailSamples() samples from the frame
+//     start (TailSamples covers modulation tails past the last decoded
+//     payload sample, e.g. ZigBee's offset-Q arm).
+//
+// Receivers hold scratch state and are NOT safe for concurrent use; the
+// engine Clones the registered prototype per goroutine. Clone must be
+// cheap (share immutable references and precomputed plans) and safe to
+// call concurrently with other Clones of the same prototype. Detectors
+// must be stateless and safe for concurrent use; one instance is shared
+// by every worker.
+package phy
+
+// Reception is a decoded frame as the engine sees it: the payload plus
+// whatever protocol-specific taps the paired Detector consumes. Concrete
+// types are protocol-private; the engine only moves them from Receiver to
+// Detector.
+type Reception interface {
+	// Payload returns the decoded MAC-layer payload.
+	Payload() []byte
+}
+
+// Receiver is the scan/decode side of a victim PHY. See the package
+// comment for the streaming obligations behind each method.
+type Receiver interface {
+	// Clone returns an independent receiver sharing immutable state
+	// (references, FFT plans) but owning fresh scratch, safe for use from
+	// another goroutine.
+	Clone() Receiver
+	// SyncRefSamples is the synchronization reference length: the minimum
+	// window SynchronizeFirst can search and the advance past a sync
+	// point whose header fails to validate.
+	SyncRefSamples() int
+	// HeaderSamples is how many samples past a frame start FrameSpan
+	// needs to size and validate the frame.
+	HeaderSamples() int
+	// MaxFrameSamples bounds FrameSpan()+TailSamples() for any decodable
+	// frame, so stream windows never need to grow past it.
+	MaxFrameSamples() int
+	// TailSamples is the modulation tail past FrameSpan that DecodeAt
+	// needs (0 for most protocols; ZigBee's offset-Q arm is 2).
+	TailSamples() int
+	// SynchronizeFirst finds the earliest frame start in the waveform and
+	// returns its index and normalized correlation peak, or an error when
+	// no lag crosses the sync threshold.
+	SynchronizeFirst(waveform []complex128) (start int, peak float64, err error)
+	// FrameSpan decodes and validates the header of a frame starting at
+	// start and returns the frame's sample span (start through the last
+	// payload-bearing sample, excluding TailSamples).
+	FrameSpan(waveform []complex128, start int) (int, error)
+	// DecodeAt runs the full post-synchronization decode of a frame
+	// starting at start; syncPeak is recorded in the Reception.
+	DecodeAt(waveform []complex128, start int, syncPeak float64) (Reception, error)
+}
+
+// Detection is one defense decision in protocol-neutral form. C40/C42
+// carry the constellation cumulants for detectors that estimate them
+// (ZigBee's D²E) and are zero for detectors with a different feature
+// (LoRa's spectral-concentration distance); DistanceSquared is always the
+// thresholded statistic.
+type Detection struct {
+	C40             complex128
+	C42             float64
+	DistanceSquared float64
+	Attack          bool
+}
+
+// Detector is the defense side of a victim PHY: it decides whether a
+// decoded frame is an authentic transmission or a WiFi waveform-emulation
+// attack. Implementations must be stateless and safe for concurrent use.
+type Detector interface {
+	Analyze(rec Reception) (Detection, error)
+}
+
+// Pipeline bundles one protocol's receiver prototype and shared detector
+// under its registry name — the unit the streaming engine serves.
+type Pipeline struct {
+	// Protocol is the registry name ("zigbee", "lora").
+	Protocol string
+	// Receiver is the prototype the engine Clones per goroutine.
+	Receiver Receiver
+	// Detector is shared by every worker.
+	Detector Detector
+}

@@ -1,0 +1,77 @@
+package phy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Options are the protocol-neutral knobs an edge (daemon flag, CLI flag,
+// HTTP query) can set when building a pipeline. Zero values select each
+// protocol's defaults; protocol-specific configuration beyond these goes
+// through the protocol package's own constructors.
+type Options struct {
+	// SyncThreshold is the minimum normalized preamble correlation to
+	// declare a frame (0 = protocol default).
+	SyncThreshold float64
+	// Threshold is the defense decision threshold in the protocol's
+	// feature space (0 = protocol default).
+	Threshold float64
+	// RealEnv selects the real-environment statistics variant where the
+	// protocol has one (ZigBee: mean removal + |C40|, Sec. VI-C).
+	RealEnv bool
+}
+
+// Builder constructs one protocol's pipeline from edge options.
+type Builder func(Options) (*Pipeline, error)
+
+var (
+	regMu    sync.RWMutex
+	builders = map[string]Builder{}
+)
+
+// Register installs a protocol builder under name. Protocol packages call
+// it from init; importing a protocol adapter (internal/phy/zigbeephy,
+// internal/phy/loraphy) is what makes the protocol buildable. Register
+// panics on a duplicate or empty name — both are wiring bugs.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("phy: Register with empty name or nil builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builders[name]; dup {
+		panic(fmt.Sprintf("phy: protocol %q registered twice", name))
+	}
+	builders[name] = b
+}
+
+// Build constructs the named protocol's pipeline.
+func Build(name string, opts Options) (*Pipeline, error) {
+	regMu.RLock()
+	b, ok := builders[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown protocol %q (registered: %v)", name, Protocols())
+	}
+	p, err := b(opts)
+	if err != nil {
+		return nil, err
+	}
+	if p.Protocol == "" {
+		p.Protocol = name
+	}
+	return p, nil
+}
+
+// Protocols returns the registered protocol names, sorted.
+func Protocols() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

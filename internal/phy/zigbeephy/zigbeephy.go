@@ -1,0 +1,125 @@
+// Package zigbeephy adapts the ZigBee O-QPSK receiver (internal/zigbee)
+// and the constellation-cumulant defense (internal/emulation) to the
+// victim-PHY plugin contract (internal/phy). Importing it registers the
+// "zigbee" protocol.
+//
+// The adapter is a zero-logic shim: every method forwards to the exact
+// call the streaming pipeline made before the phy split, so pipelines
+// built through it are byte-identical to the historical zigbee-only
+// engine (the stream package's chunk/offset parity tests run against this
+// adapter).
+package zigbeephy
+
+import (
+	"fmt"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/phy"
+	"hideseek/internal/zigbee"
+)
+
+// Protocol is the registry name.
+const Protocol = "zigbee"
+
+func init() {
+	phy.Register(Protocol, func(o phy.Options) (*phy.Pipeline, error) {
+		return NewPipeline(
+			zigbee.ReceiverConfig{SyncThreshold: o.SyncThreshold},
+			emulation.DefenseConfig{
+				Threshold:  o.Threshold,
+				RemoveMean: o.RealEnv,
+				UseAbsC40:  o.RealEnv,
+			},
+		)
+	})
+}
+
+// NewPipeline builds the zigbee pipeline from the protocol's native
+// configs — the constructor the stream package's legacy Config path and
+// the CLI tools use when they need knobs phy.Options does not carry
+// (despread mode, chip source, ...).
+func NewPipeline(rc zigbee.ReceiverConfig, dc emulation.DefenseConfig) (*phy.Pipeline, error) {
+	rx, err := zigbee.NewReceiver(rc)
+	if err != nil {
+		return nil, err
+	}
+	det, err := emulation.NewDetector(dc)
+	if err != nil {
+		return nil, err
+	}
+	return &phy.Pipeline{
+		Protocol: Protocol,
+		Receiver: Receiver{rx},
+		Detector: Detector{det},
+	}, nil
+}
+
+// Reception wraps a zigbee.Reception as a phy.Reception.
+type Reception struct {
+	Rec *zigbee.Reception
+}
+
+// Payload implements phy.Reception.
+func (r Reception) Payload() []byte { return r.Rec.PSDU }
+
+// Receiver wraps a zigbee.Receiver as a phy.Receiver.
+type Receiver struct {
+	Rx *zigbee.Receiver
+}
+
+// Clone implements phy.Receiver.
+func (r Receiver) Clone() phy.Receiver { return Receiver{r.Rx.Clone()} }
+
+// SyncRefSamples implements phy.Receiver.
+func (r Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
+
+// HeaderSamples implements phy.Receiver.
+func (r Receiver) HeaderSamples() int { return zigbee.HeaderSamples }
+
+// MaxFrameSamples implements phy.Receiver.
+func (r Receiver) MaxFrameSamples() int { return zigbee.MaxFrameSamples }
+
+// TailSamples is the offset-Q arm tail DecodeAt needs past FrameSpan.
+func (r Receiver) TailSamples() int { return zigbee.QOffsetSamples }
+
+// SynchronizeFirst implements phy.Receiver.
+func (r Receiver) SynchronizeFirst(w []complex128) (int, float64, error) {
+	return r.Rx.SynchronizeFirst(w)
+}
+
+// FrameSpan implements phy.Receiver.
+func (r Receiver) FrameSpan(w []complex128, start int) (int, error) {
+	return r.Rx.FrameSpan(w, start)
+}
+
+// DecodeAt implements phy.Receiver.
+func (r Receiver) DecodeAt(w []complex128, start int, syncPeak float64) (phy.Reception, error) {
+	rec, err := r.Rx.DecodeAt(w, start, syncPeak)
+	if err != nil {
+		return nil, err
+	}
+	return Reception{rec}, nil
+}
+
+// Detector wraps an emulation.Detector as a phy.Detector.
+type Detector struct {
+	Det *emulation.Detector
+}
+
+// Analyze implements phy.Detector.
+func (d Detector) Analyze(rec phy.Reception) (phy.Detection, error) {
+	zr, ok := rec.(Reception)
+	if !ok {
+		return phy.Detection{}, fmt.Errorf("zigbeephy: reception type %T is not a zigbee reception", rec)
+	}
+	v, err := d.Det.AnalyzeReception(zr.Rec)
+	if err != nil {
+		return phy.Detection{}, err
+	}
+	return phy.Detection{
+		C40:             v.Cumulants.C40,
+		C42:             v.Cumulants.C42,
+		DistanceSquared: v.DistanceSquared,
+		Attack:          v.Attack,
+	}, nil
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"hideseek/internal/lora"
+	"hideseek/internal/runner"
+)
+
+// TestLoRaFidelitySeparation sanity-checks the Wi-Lo sweep: at moderate
+// SNR both classes decode reliably and the defense statistic separates
+// them, with authentic D² tracking the 1/(1+γ) noise floor.
+func TestLoRaFidelitySeparation(t *testing.T) {
+	res, err := LoRaFidelity(Config{Seed: 5, SNRsDB: []float64{15}, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AuthRate[0] < 0.9 || res.EmulRate[0] < 0.9 {
+		t.Errorf("decode rates authentic %v emulated %v, want ≥ 0.9 at 15 dB", res.AuthRate[0], res.EmulRate[0])
+	}
+	if res.AuthD2[0] >= lora.DefaultThreshold {
+		t.Errorf("authentic D² %v above default threshold %v at 15 dB", res.AuthD2[0], lora.DefaultThreshold)
+	}
+	if res.EmulD2[0] <= lora.DefaultThreshold {
+		t.Errorf("emulated D² %v below default threshold %v", res.EmulD2[0], lora.DefaultThreshold)
+	}
+	if rows := len(res.Render().Rows); rows != 1 {
+		t.Errorf("rendered %d rows, want 1", rows)
+	}
+}
+
+// TestLoRaROCPerfectSeparationAt10dB pins the clean-AWGN operating
+// picture: at 10 dB the off-peak statistic still separates the classes
+// completely, so the curve is the unit step and AUC is 1.
+func TestLoRaROCPerfectSeparationAt10dB(t *testing.T) {
+	res, err := LoRaROC(Config{Seed: 2, Trials: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SNRdB != 10 {
+		t.Errorf("default SNR %v, want 10", res.SNRdB)
+	}
+	if res.AUC < 0.999 {
+		t.Errorf("AUC %v, want ≈ 1 at 10 dB", res.AUC)
+	}
+}
+
+// TestLoRaFidelityDeterministicAcrossWorkerCounts extends the suite's
+// determinism guarantee to the lora drivers.
+func TestLoRaFidelityDeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := runner.DefaultWorkers()
+	defer runner.SetDefaultWorkers(prev)
+
+	render := func(workers int) string {
+		runner.SetDefaultWorkers(workers)
+		res, err := LoRaFidelity(Config{Seed: 7, SNRsDB: []float64{10, 15}, Trials: 12})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Render().Markdown()
+	}
+
+	serial := render(1)
+	if got := render(8); got != serial {
+		t.Errorf("workers=8 table differs from serial run:\n--- serial ---\n%s\n--- workers=8 ---\n%s", serial, got)
+	}
+}

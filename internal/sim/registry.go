@@ -130,6 +130,12 @@ var registry = []Experiment{
 		Run: wrap(func(cfg Config) (*AMCResult, error) { return AMC(cfg) })},
 	{Name: "csma", Desc: "attacker channel access vs gateway duty cycle",
 		Run: wrap(func(cfg Config) (*CSMAScenarioResult, error) { return CSMAScenario(cfg, nil) })},
+	// The shared footer prints the zigbee cumulant defense's Q; the lora
+	// experiments use the off-peak detector's own threshold, so they omit it.
+	{Name: "lora-fidelity", Desc: "Wi-Lo emulated LoRa frame fidelity and D² separation vs SNR", OmitFooter: true,
+		Run: wrap(func(cfg Config) (*LoRaFidelityResult, error) { return LoRaFidelity(cfg) })},
+	{Name: "lora-roc", Desc: "Wi-Lo off-peak-ratio detector operating curve", OmitFooter: true,
+		Run: wrap(func(cfg Config) (*LoRaROCResult, error) { return LoRaROC(cfg) })},
 }
 
 // Registry returns every experiment in canonical order (the order `all`

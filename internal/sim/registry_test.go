@@ -13,7 +13,7 @@ var canonicalOrder = []string{
 	"ablation-subcarriers", "ablation-alpha", "ablation-source",
 	"ablation-samples", "ablation-interp", "ablation-coarse",
 	"spectrum", "accuracy", "session", "adaptive", "coded",
-	"roc", "evasion", "amc", "csma",
+	"roc", "evasion", "amc", "csma", "lora-fidelity", "lora-roc",
 }
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {

@@ -63,6 +63,10 @@ const (
 	regionAdaptiveTrain
 	regionAdaptiveTest
 	regionFig7
+	// New regions append AFTER the existing ones: the iota values feed the
+	// salt derivation, so reordering would silently change every golden.
+	regionLoRaFidelity
+	regionLoRaROC
 )
 
 // sweepBase returns the salt block for one sweep point of one region.

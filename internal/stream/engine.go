@@ -1,34 +1,51 @@
 package stream
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"hideseek/internal/emulation"
+	"hideseek/internal/phy"
+	"hideseek/internal/phy/zigbeephy"
 	"hideseek/internal/runner"
-	"hideseek/internal/zigbee"
 )
+
+// enginePipe is one served protocol: the receiver prototype workers and
+// sessions Clone, the shared detector, the retention sizes the scanner
+// needs (cached as plain ints so the hot scan loop makes no interface
+// calls), and the protocol-labelled instruments.
+type enginePipe struct {
+	idx  int // position in Engine.pipes; workers index their clones by it
+	name string
+	rx   phy.Receiver // prototype; workers and sessions Clone it
+	det  phy.Detector
+
+	refLen int // Receiver.SyncRefSamples()
+	hdr    int // Receiver.HeaderSamples()
+	tail   int // Receiver.TailSamples()
+	obs    protoObs
+}
 
 // Engine owns the shared decode/detect worker pool and the bounded frame
 // queue. Many sessions (one per connection or capture) feed one Engine
-// concurrently; frames from every session are batched through the same
-// workers, which is how the daemon serves many clients with a fixed
-// resource envelope.
+// concurrently; frames from every session — across every served protocol
+// — are batched through the same workers, which is how the daemon serves
+// many clients with a fixed resource envelope.
 type Engine struct {
-	cfg   Config
-	det   *emulation.Detector
-	proto *zigbee.Receiver // prototype; workers and sessions Clone it
-	q     *jobQueue
-	wg    sync.WaitGroup
-	sids  atomic.Uint64 // session-id allocator (stamped on traces)
+	cfg    Config
+	pipes  []*enginePipe
+	byName map[string]*enginePipe
+	q      *jobQueue
+	wg     sync.WaitGroup
+	sids   atomic.Uint64 // session-id allocator (stamped on traces)
 
 	mu     sync.Mutex
 	closed bool
 	active int // sessions currently running
 }
 
-// NewEngine validates cfg, builds the shared detector, and starts the
+// NewEngine validates cfg, builds the served pipelines, and starts the
 // worker pool. Close must be called to release the workers.
 func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
@@ -37,18 +54,45 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runner.DefaultWorkers()
 	}
-	// Build the receiver once; workers and sessions clone it, sharing
-	// the immutable sync reference and FFT correlation plan instead of
-	// re-modulating the SHR and re-planning per goroutine.
-	proto, err := zigbee.NewReceiver(cfg.Receiver)
-	if err != nil {
-		return nil, err
+	pipelines := cfg.Pipelines
+	if len(pipelines) == 0 {
+		// Legacy single-protocol path: a zigbee pipeline from the flat
+		// Receiver/Defense fields. Building through the adapter keeps one
+		// code path — the parity tests exercise exactly this route.
+		p, err := zigbeephy.NewPipeline(cfg.Receiver, cfg.Defense)
+		if err != nil {
+			return nil, err
+		}
+		pipelines = []*phy.Pipeline{p}
 	}
-	det, err := emulation.NewDetector(cfg.Defense)
-	if err != nil {
-		return nil, err
+	e := &Engine{cfg: cfg, byName: make(map[string]*enginePipe, len(pipelines)), q: newJobQueue(cfg.QueueDepth)}
+	for i, p := range pipelines {
+		if p == nil || p.Receiver == nil || p.Detector == nil {
+			return nil, fmt.Errorf("stream: pipeline %d is incomplete", i)
+		}
+		if p.Protocol == "" {
+			return nil, fmt.Errorf("stream: pipeline %d has no protocol name", i)
+		}
+		if _, dup := e.byName[p.Protocol]; dup {
+			return nil, fmt.Errorf("stream: protocol %q configured twice", p.Protocol)
+		}
+		ep := &enginePipe{
+			idx:    i,
+			name:   p.Protocol,
+			rx:     p.Receiver,
+			det:    p.Detector,
+			refLen: p.Receiver.SyncRefSamples(),
+			hdr:    p.Receiver.HeaderSamples(),
+			tail:   p.Receiver.TailSamples(),
+			obs:    newProtoObs(p.Protocol),
+		}
+		if ep.refLen < 1 || ep.hdr < ep.refLen || p.Receiver.MaxFrameSamples() < ep.hdr || ep.tail < 0 {
+			return nil, fmt.Errorf("stream: protocol %q reports inconsistent sizes (ref %d, header %d, max %d, tail %d)",
+				p.Protocol, ep.refLen, ep.hdr, p.Receiver.MaxFrameSamples(), ep.tail)
+		}
+		e.pipes = append(e.pipes, ep)
+		e.byName[p.Protocol] = ep
 	}
-	e := &Engine{cfg: cfg, det: det, proto: proto, q: newJobQueue(cfg.QueueDepth)}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -61,6 +105,31 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 
 // QueueDepth returns the current number of frames waiting for a worker.
 func (e *Engine) QueueDepth() int { return e.q.depth() }
+
+// Protocols returns the served protocol names in configuration order
+// (the first is the default).
+func (e *Engine) Protocols() []string {
+	names := make([]string, len(e.pipes))
+	for i, p := range e.pipes {
+		names[i] = p.name
+	}
+	return names
+}
+
+// DefaultProtocol returns the protocol Process binds sessions to.
+func (e *Engine) DefaultProtocol() string { return e.pipes[0].name }
+
+// pipeline resolves a protocol name ("" = default) to its served pipe.
+func (e *Engine) pipeline(proto string) (*enginePipe, error) {
+	if proto == "" {
+		return e.pipes[0], nil
+	}
+	p, ok := e.byName[proto]
+	if !ok {
+		return nil, fmt.Errorf("stream: protocol %q not served (have %v)", proto, e.Protocols())
+	}
+	return p, nil
+}
 
 // ActiveSessions returns how many sessions are currently running.
 func (e *Engine) ActiveSessions() int {
@@ -84,12 +153,16 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// worker is the decode/detect stage: per-goroutine receiver scratch (the
-// zigbee.Receiver reuses internal buffers and is not concurrency-safe),
-// shared stateless detector.
+// worker is the decode/detect stage: one receiver clone per served
+// protocol (receivers reuse internal scratch and are not
+// concurrency-safe; Clone shares the immutable references and plans),
+// shared stateless detectors.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	rx := e.proto.Clone()
+	rxs := make([]phy.Receiver, len(e.pipes))
+	for i, p := range e.pipes {
+		rxs[i] = p.rx.Clone()
+	}
 	for {
 		j, ok := e.q.pop()
 		if !ok {
@@ -98,16 +171,17 @@ func (e *Engine) worker() {
 		wait := time.Since(j.enqueued)
 		obsQueueWaitUS.Observe(float64(wait.Microseconds()))
 		j.trace.AddSpanDur(traceStageQueue, j.enqueued, wait, nil)
-		v := e.processJob(rx, j, wait)
+		v := e.processJob(rxs[j.pipe.idx], j, wait)
 		j.sess.deliver(v)
 	}
 }
 
-// processJob runs DSSS despreading (full frame decode) and the cumulant
-// defense on one scanned frame.
-func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verdict {
+// processJob runs the full frame decode and the protocol's defense on one
+// scanned frame.
+func (e *Engine) processJob(rx phy.Receiver, j job, wait time.Duration) Verdict {
 	v := Verdict{
 		Seq:      j.seq,
+		Proto:    j.pipe.name,
 		Offset:   j.offset,
 		SyncPeak: j.peak,
 		ScanNS:   j.scanNS,
@@ -125,11 +199,12 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 		v.Err = err.Error()
 		v.ErrStage = StageDecode
 		obsDecodeErrors.Inc()
+		j.pipe.obs.decodeErrors.Inc()
 		return v
 	}
-	v.PSDU = rec.PSDU
+	v.PSDU = rec.Payload()
 	detectStart := time.Now()
-	verdict, err := e.det.AnalyzeReception(rec)
+	det, err := j.pipe.det.Analyze(rec)
 	v.DetectNS = sinceNS(detectStart)
 	obsDetect.Since(detectStart)
 	obsDetectNS.Observe(float64(v.DetectNS))
@@ -138,12 +213,13 @@ func (e *Engine) processJob(rx *zigbee.Receiver, j job, wait time.Duration) Verd
 		v.Err = err.Error()
 		v.ErrStage = StageDetect
 		obsDetectErrors.Inc()
+		j.pipe.obs.detectErrors.Inc()
 		return v
 	}
-	v.C40Re = real(verdict.Cumulants.C40)
-	v.C40Im = imag(verdict.Cumulants.C40)
-	v.C42 = verdict.Cumulants.C42
-	v.DistanceSquared = verdict.DistanceSquared
-	v.Attack = verdict.Attack
+	v.C40Re = real(det.C40)
+	v.C40Im = imag(det.C40)
+	v.C42 = det.C42
+	v.DistanceSquared = det.DistanceSquared
+	v.Attack = det.Attack
 	return v
 }

@@ -32,3 +32,32 @@ const (
 	traceStageQueue   = "queue"
 	traceStageDeliver = "deliver"
 )
+
+// protoObs is the protocol-labelled slice of the stream instruments:
+// the same tallies as the globals above, name-prefixed per served
+// protocol ("stream.zigbee.frames", "stream.lora.frames", ...) so
+// /metrics distinguishes tenants on a multi-protocol engine. The global
+// (unlabelled) instruments keep counting every protocol, preserving the
+// historical series.
+type protoObs struct {
+	frames       *obs.Counter
+	samples      *obs.Counter
+	sessions     *obs.Counter
+	syncRejects  *obs.Counter
+	dropped      *obs.Counter
+	decodeErrors *obs.Counter
+	detectErrors *obs.Counter
+}
+
+func newProtoObs(proto string) protoObs {
+	pre := "stream." + proto + "."
+	return protoObs{
+		frames:       obs.C(pre + "frames"),
+		samples:      obs.C(pre + "samples"),
+		sessions:     obs.C(pre + "sessions"),
+		syncRejects:  obs.C(pre + "sync_rejects"),
+		dropped:      obs.C(pre + "dropped_frames"),
+		decodeErrors: obs.C(pre + "decode_errors"),
+		detectErrors: obs.C(pre + "detect_errors"),
+	}
+}

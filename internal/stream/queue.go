@@ -10,6 +10,7 @@ import (
 // job is one detected frame on its way to the worker pool.
 type job struct {
 	sess     *Session
+	pipe     *enginePipe // the session's protocol pipeline
 	seq      uint64
 	offset   int64
 	peak     float64

@@ -3,7 +3,29 @@ package stream
 import (
 	"sync"
 	"testing"
+
+	"hideseek/internal/emulation"
+	"hideseek/internal/phy/zigbeephy"
+	"hideseek/internal/zigbee"
 )
+
+// testPipe builds a served-pipe fixture for white-box session tests.
+func testPipe(t *testing.T) *enginePipe {
+	t.Helper()
+	p, err := zigbeephy.NewPipeline(zigbee.ReceiverConfig{}, emulation.DefenseConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &enginePipe{
+		name:   p.Protocol,
+		rx:     p.Receiver,
+		det:    p.Detector,
+		refLen: p.Receiver.SyncRefSamples(),
+		hdr:    p.Receiver.HeaderSamples(),
+		tail:   p.Receiver.TailSamples(),
+		obs:    newProtoObs(p.Protocol),
+	}
+}
 
 func TestJobQueueDropOldest(t *testing.T) {
 	q := newJobQueue(2)
@@ -99,7 +121,7 @@ func TestDeliverReordersAndCountsTombstones(t *testing.T) {
 		mu  sync.Mutex
 		got []uint64
 	)
-	s := newSession(&Engine{cfg: Config{MaxPending: 8}}, nil, func(v Verdict) {
+	s := newSession(&Engine{cfg: Config{MaxPending: 8}}, testPipe(t), func(v Verdict) {
 		mu.Lock()
 		got = append(got, v.Seq)
 		mu.Unlock()

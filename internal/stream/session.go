@@ -8,17 +8,22 @@ import (
 	"time"
 
 	"hideseek/internal/obs"
-	"hideseek/internal/zigbee"
+	"hideseek/internal/phy"
 )
 
 // Session is one stream's scan state: the sliding window, the frame
 // sequence counter, and the reorder buffer that turns unordered worker
 // completions back into stream-ordered verdicts. Sessions are created
 // and driven by Engine.Process; they are not safe for concurrent use
-// (each connection gets its own).
+// (each connection gets its own). A session is bound to one protocol
+// pipeline for its whole life.
 type Session struct {
 	e      *Engine
-	rx     *zigbee.Receiver // scanner-side receiver (sync + header decode)
+	pipe   *enginePipe
+	rx     phy.Receiver // scanner-side receiver (sync + header decode)
+	refLen int          // pipe.refLen: sync reference length
+	hdr    int          // pipe.hdr: samples FrameSpan needs past a frame start
+	tail   int          // pipe.tail: decode tail past FrameSpan
 	win    window
 	emit   func(Verdict)
 	seq    uint64
@@ -39,12 +44,17 @@ type Session struct {
 	flushed  chan struct{} // closed when the flusher goroutine exits
 }
 
-// newSession builds a session and starts its delivery goroutine. The
-// goroutine exits (and flushed closes) after drain.
-func newSession(e *Engine, rx *zigbee.Receiver, emit func(Verdict)) *Session {
+// newSession builds a session bound to one protocol pipe and starts its
+// delivery goroutine. The goroutine exits (and flushed closes) after
+// drain.
+func newSession(e *Engine, pipe *enginePipe, emit func(Verdict)) *Session {
 	s := &Session{
 		e:       e,
-		rx:      rx,
+		pipe:    pipe,
+		rx:      pipe.rx.Clone(),
+		refLen:  pipe.refLen,
+		hdr:     pipe.hdr,
+		tail:    pipe.tail,
 		emit:    emit,
 		sid:     e.sids.Add(1),
 		tracer:  e.cfg.Tracer,
@@ -56,30 +66,41 @@ func newSession(e *Engine, rx *zigbee.Receiver, emit func(Verdict)) *Session {
 	return s
 }
 
-// Process streams src through the engine's shared pool: the calling
-// goroutine runs ingest + preamble scanning, workers run decode + the
-// defense, and emit observes every Verdict in stream order. emit is
-// called from a dedicated per-session delivery goroutine with no locks
-// held — a slow consumer throttles only its own session (its un-emitted
-// verdicts count against MaxPending, so its reads eventually block) and
-// never blocks the shared worker pool or other sessions. Process
-// returns once the source is exhausted (or ctx is cancelled) and every
-// in-flight frame has been delivered, so no emit call ever follows the
-// return. A consumer that blocks forever inside emit blocks that
-// return; network callers should bound emit with write deadlines (as
-// cmd/hideseekd does) so a stalled reader errors the session instead.
+// Process streams src through the engine's shared pool under the default
+// (first-configured) protocol. See ProcessProto.
+func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (Stats, error) {
+	return e.ProcessProto(ctx, "", src, emit)
+}
+
+// ProcessProto streams src through the engine's shared pool as one
+// session of the named protocol ("" = the default): the calling goroutine
+// runs ingest + preamble scanning, workers run decode + the defense, and
+// emit observes every Verdict in stream order. emit is called from a
+// dedicated per-session delivery goroutine with no locks held — a slow
+// consumer throttles only its own session (its un-emitted verdicts count
+// against MaxPending, so its reads eventually block) and never blocks the
+// shared worker pool or other sessions. ProcessProto returns once the
+// source is exhausted (or ctx is cancelled) and every in-flight frame has
+// been delivered, so no emit call ever follows the return. A consumer
+// that blocks forever inside emit blocks that return; network callers
+// should bound emit with write deadlines (as cmd/hideseekd does) so a
+// stalled reader errors the session instead.
 //
 // For captures whose detected frames all decode, the scan is
 // byte-identical to whole-capture processing: frames are found at
-// exactly the offsets zigbee.(*Receiver).ReceiveAll visits, for any
+// exactly the offsets the protocol's batch ReceiveAll visits, for any
 // chunk size, because correlation lags are data-local and the window
 // only commits to a sync decision once enough samples are buffered that
 // the decision can never change (see DESIGN.md §9 for the invariants,
 // including the one accepted divergence after a frame whose header
 // validates but whose body fails to decode).
-func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (Stats, error) {
+func (e *Engine) ProcessProto(ctx context.Context, proto string, src Source, emit func(Verdict)) (Stats, error) {
 	if src == nil {
 		return Stats{}, fmt.Errorf("stream: nil source")
+	}
+	pipe, err := e.pipeline(proto)
+	if err != nil {
+		return Stats{}, err
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -94,8 +115,9 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 		e.mu.Unlock()
 	}()
 	obsSessions.Inc()
+	pipe.obs.sessions.Inc()
 
-	s := newSession(e, e.proto.Clone(), emit)
+	s := newSession(e, pipe, emit)
 
 	buf := make([]complex128, e.cfg.ChunkSize)
 	var runErr error
@@ -108,6 +130,7 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 		if n > 0 {
 			obsChunks.Inc()
 			obsSamples.Add(int64(n))
+			s.pipe.obs.samples.Add(int64(n))
 			s.stats.Chunks++
 			s.stats.Samples += int64(n)
 			s.win.append(buf[:n])
@@ -130,7 +153,9 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 }
 
 // scan advances the window state machine as far as the buffered samples
-// allow. Invariants that make it chunk-size-invariant:
+// allow. Invariants that make it chunk-size-invariant (all retention
+// sizes come from the session's phy.Receiver — SyncRefSamples,
+// HeaderSamples, TailSamples — cached on the session at bind time):
 //
 //   - A normalized correlation lag depends only on the samples it spans,
 //     so lag values never change once computable; "no crossing among the
@@ -140,13 +165,13 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 //     crossing's full refinement span (2× the reference past the refined
 //     position suffices); otherwise the scanner waits and rescans.
 //   - The frame span comes from the header (FrameSpan, which also
-//     validates the decoded preamble and SFD) as soon as HeaderSamples
-//     are buffered; the frame is dispatched once its whole decode span
-//     is present (or the stream ended).
-//   - Advances mirror ReceiveAll exactly: +FrameSpan past a dispatched
-//     frame, +SyncRefSamples past an undecodable sync point.
+//     validates the decoded header content) as soon as HeaderSamples are
+//     buffered; the frame is dispatched once its whole decode span
+//     (FrameSpan + TailSamples) is present (or the stream ended).
+//   - Advances mirror the protocol's ReceiveAll exactly: +FrameSpan past
+//     a dispatched frame, +SyncRefSamples past an undecodable sync point.
 func (s *Session) scan(eof bool) {
-	refLen := s.rx.SyncRefSamples()
+	refLen := s.refLen
 	for {
 		stepStart := time.Now()
 		w := s.win.view()
@@ -170,7 +195,7 @@ func (s *Session) scan(eof bool) {
 		if !eof && s.win.size() < relStart+2*refLen {
 			return // refinement span not fully buffered; rescan later
 		}
-		if !eof && s.win.size() < relStart+zigbee.HeaderSamples {
+		if !eof && s.win.size() < relStart+s.hdr {
 			return // header not fully buffered yet
 		}
 		var syncAt time.Time
@@ -179,14 +204,15 @@ func (s *Session) scan(eof bool) {
 		}
 		span, spanErr := s.rx.FrameSpan(w, relStart)
 		if spanErr != nil {
-			// Undecodable or invalid header (bad preamble/SFD bytes
-			// included): skip this sync point exactly as ReceiveAll does.
+			// Undecodable or invalid header: skip this sync point exactly
+			// as the protocol's ReceiveAll does.
 			s.win.discard(relStart + refLen)
 			s.stats.SyncRejects++
 			obsSyncRejects.Inc()
+			s.pipe.obs.syncRejects.Inc()
 			continue
 		}
-		copySpan := span + zigbee.QOffsetSamples
+		copySpan := span + s.tail
 		if !eof && s.win.size() < relStart+copySpan {
 			return // wait for the frame's full decode span
 		}
@@ -200,11 +226,13 @@ func (s *Session) scan(eof bool) {
 		var tr *obs.Trace
 		if s.tracer != nil {
 			tr = s.tracer.StartAt(stepStart, s.sid, s.seq, s.win.offset()+int64(relStart))
+			tr.Proto = s.pipe.name
 			tr.AddSpanDur(traceStageScan, stepStart, syncAt.Sub(stepStart), nil)
 			tr.AddSpan(traceStageSync, syncAt, nil)
 		}
 		s.submit(job{
 			sess:   s,
+			pipe:   s.pipe,
 			seq:    s.seq,
 			offset: s.win.offset() + int64(relStart),
 			peak:   peak,
@@ -215,6 +243,7 @@ func (s *Session) scan(eof bool) {
 		s.seq++
 		s.stats.Frames++
 		obsFrames.Inc()
+		s.pipe.obs.frames.Inc()
 		obsScan.Since(stepStart)
 		obsScanNS.Observe(float64(scanNS))
 		adv := relStart + span
@@ -241,9 +270,10 @@ func (s *Session) submit(j job) {
 	obsQueueDepth.Observe(float64(s.e.q.depth()))
 	for _, ev := range evicted {
 		obsDropped.Inc()
+		ev.pipe.obs.dropped.Inc()
 		ev.trace.AddSpan(traceStageQueue, ev.enqueued, errDroppedOldest)
 		ev.sess.deliver(Verdict{
-			Seq: ev.seq, Offset: ev.offset, SyncPeak: ev.peak,
+			Seq: ev.seq, Proto: ev.pipe.name, Offset: ev.offset, SyncPeak: ev.peak,
 			Dropped: true, ScanNS: ev.scanNS, QueueNS: sinceNS(ev.enqueued),
 			TraceID: ev.trace.TraceID(), trace: ev.trace,
 		})
@@ -251,9 +281,10 @@ func (s *Session) submit(j job) {
 	if !ok {
 		// Engine closed under us: keep the verdict stream complete.
 		obsDropped.Inc()
+		j.pipe.obs.dropped.Inc()
 		j.trace.AddSpan(traceStageQueue, j.enqueued, errEngineClosed)
 		s.deliver(Verdict{
-			Seq: j.seq, Offset: j.offset, SyncPeak: j.peak,
+			Seq: j.seq, Proto: j.pipe.name, Offset: j.offset, SyncPeak: j.peak,
 			Dropped: true, ScanNS: j.scanNS,
 			TraceID: j.trace.TraceID(), trace: j.trace,
 		})

@@ -1,6 +1,9 @@
 // Package stream is the online-detection subsystem: a chunked pipeline
-// that runs ZigBee frame synchronization, DSSS despreading, and the
-// cumulant defense over unbounded I/Q streams.
+// that runs victim-PHY frame synchronization, frame decode, and the
+// emulation defense over unbounded I/Q streams. The pipeline is generic
+// over the phy.Receiver/phy.Detector plugin contract (internal/phy): one
+// Engine can serve several protocols (ZigBee O-QPSK, LoRa CSS, ...) from
+// one worker pool, with each session bound to one protocol.
 //
 // Shape of the pipeline:
 //
@@ -15,18 +18,19 @@
 //     processing for captures whose detected frames all decode:
 //     correlation lags are only trusted once the window extends far
 //     enough that their value can never change, and the scanner advances
-//     by exactly the offsets zigbee.(*Receiver).ReceiveAll would use
-//     (FrameSpan validates the decoded preamble and SFD, so invalid sync
-//     points advance identically too; see DESIGN.md §9 for the one
-//     accepted divergence after a frame whose body fails to decode).
+//     by exactly the offsets the protocol's batch ReceiveAll would use
+//     (FrameSpan validates the decoded header, so invalid sync points
+//     advance identically too; see DESIGN.md §9 for the one accepted
+//     divergence after a frame whose body fails to decode, and §12 for
+//     the obligations a phy plugin owes this scanner).
 //   - Detected frames are copied out of the window and fanned out to a
 //     bounded worker pool shared by every session on the Engine. The
 //     queue is explicitly bounded with a drop-oldest policy (dropped
 //     frames surface as Verdicts with Dropped set and count in
 //     "stream.dropped_frames"); nothing in the pipeline grows without
 //     bound.
-//   - Workers run the full frame decode (zigbee.DecodeAt) and the
-//     cumulant defense (emulation.Detector); each session reassembles
+//   - Workers run the full frame decode (phy.Receiver.DecodeAt) and the
+//     protocol's defense (phy.Detector); each session reassembles
 //     worker results into verdict order, so callers observe frames in
 //     stream order regardless of worker scheduling.
 //
@@ -49,6 +53,7 @@ import (
 
 	"hideseek/internal/emulation"
 	"hideseek/internal/obs"
+	"hideseek/internal/phy"
 	"hideseek/internal/zigbee"
 )
 
@@ -68,10 +73,18 @@ type Config struct {
 	// MaxPending bounds how many frames one session may have in flight
 	// (queued or decoding) before its scanner blocks (default 32).
 	MaxPending int
-	// Receiver configures the ZigBee receivers (scanner and workers).
+	// Pipelines are the victim-PHY pipelines the engine serves, one per
+	// protocol (build them with phy.Build or a protocol adapter's
+	// NewPipeline). The first entry is the default protocol for Process.
+	// When empty, the engine serves a single zigbee pipeline built from
+	// the legacy Receiver/Defense fields below.
+	Pipelines []*phy.Pipeline
+	// Receiver configures the ZigBee receivers (scanner and workers) of
+	// the legacy single-protocol path; ignored when Pipelines is set.
 	// Zero value = zigbee defaults; most callers set SyncThreshold.
 	Receiver zigbee.ReceiverConfig
-	// Defense configures the cumulant detector shared by the workers.
+	// Defense configures the cumulant detector of the legacy
+	// single-protocol path; ignored when Pipelines is set.
 	Defense emulation.DefenseConfig
 	// Tracer, when set, records a per-frame span trace
 	// (scan→sync→queue→decode→detect→deliver) for every scanned frame,
@@ -110,6 +123,8 @@ func (c *Config) applyDefaults() error {
 type Verdict struct {
 	// Seq numbers the frames of one session in scan order, from 0.
 	Seq uint64 `json:"seq"`
+	// Proto names the session's victim-PHY protocol ("zigbee", "lora").
+	Proto string `json:"proto,omitempty"`
 	// Offset is the absolute sample index of the frame start (SHR) in
 	// the stream.
 	Offset int64 `json:"offset"`

@@ -140,10 +140,10 @@ func TestDroppedFrameTraceRecordsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newSession(e, e.proto.Clone(), nil)
+	s := newSession(e, e.pipes[0], nil)
 	e.Close() // push now refuses jobs: submit takes the dropped-verdict path
 	tr := tracer.StartAt(time.Now(), s.sid, 0, 100)
-	s.submit(job{sess: s, seq: 0, offset: 100, trace: tr})
+	s.submit(job{sess: s, pipe: s.pipe, seq: 0, offset: 100, trace: tr})
 	s.drain()
 
 	traces := tracer.Recent(0)
