@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-check experiments manifest-smoke stream-smoke lora-smoke obs-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check soak soak-smoke experiments manifest-smoke stream-smoke lora-smoke obs-smoke examples clean
 
 all: build vet test
 
@@ -29,9 +29,26 @@ bench-json:
 		-bench 'Synchronize|ReceiveAll|Correlator|StreamScan' \
 		./internal/dsp ./internal/zigbee ./internal/stream
 
-# Validate the committed (or freshly generated) bench report schema.
+# Validate the committed (or freshly generated) bench report schemas.
 bench-check:
 	$(GO) run ./cmd/benchreport -check BENCH_sync.json
+	$(GO) run ./cmd/benchreport -check BENCH_stream.json
+
+# Fleet soak: stampede the sharded, admission-controlled fleet with
+# 256/1k/4k/10k concurrent replay sessions and aggregate frames/s, p99
+# verdict latency, and drop/shed rate per offered load into
+# BENCH_stream.json (the capacity-planning numbers README quotes).
+soak:
+	$(GO) run ./cmd/benchreport -out BENCH_stream.json -benchtime 1x \
+		-bench 'EngineSaturation' ./internal/stream
+
+# CI-sized soak: the 256-session point only, validated against the bench
+# report schema alongside the committed baselines, then discarded.
+soak-smoke:
+	$(GO) run ./cmd/benchreport -out .soak-smoke.json -benchtime 1x \
+		-bench 'EngineSaturation/sessions=256$$' ./internal/stream
+	$(GO) run ./cmd/manifestcheck .soak-smoke.json BENCH_stream.json
+	rm -f .soak-smoke.json
 
 # Regenerate every table and figure (several minutes at full trial counts).
 experiments:

@@ -1,24 +1,36 @@
 // Command hideseekd is the online defense service: a daemon that accepts
 // captured or live 4 MS/s I/Q streams and runs the streaming detection
-// pipeline (internal/stream) over them with one shared worker pool
-// batching frames across every connection. The pipeline is
-// protocol-generic (internal/phy): -protos selects which victim PHYs the
-// daemon serves (default "zigbee,lora" — ZigBee O-QPSK frame sync +
-// constellation-cumulant defense, and LoRa CSS dechirp + off-peak-energy
-// defense). Each session binds one protocol: HTTP clients pick with
-// ?proto=<name> on /v1/classify and /v1/stream, raw TCP clients with an
-// optional "#HSPROTO <name>\n" preamble line; unspecified sessions get
-// the first configured protocol.
+// pipeline (internal/stream) over them. Sessions are sharded across
+// -shards independent engines (one worker pool + bounded queue each)
+// behind a stream.Fleet; each session is pinned to one shard by its
+// session key — ?session=<key> on HTTP requests, defaulting to the
+// client's host — so one client's sessions share a queue and a latency
+// budget. The pipeline is protocol-generic (internal/phy): -protos
+// selects which victim PHYs the daemon serves (default "zigbee,lora" —
+// ZigBee O-QPSK frame sync + constellation-cumulant defense, and LoRa
+// CSS dechirp + off-peak-energy defense). Each session binds one
+// protocol: HTTP clients pick with ?proto=<name> on /v1/classify and
+// /v1/stream, raw TCP clients with an optional "#HSPROTO <name>\n"
+// preamble line; unspecified sessions get the first configured protocol.
+//
+// With -admission each shard runs tiered admission control: under load
+// new sessions are degraded (raised sync threshold, tightened in-flight
+// budget; their verdicts carry "degraded":true) and past that shed at
+// admission — HTTP clients get 503, raw TCP clients an error trailer —
+// keeping accepted sessions' latency bounded instead of letting every
+// session slowly starve.
 //
 // Endpoints:
 //
 //	POST /v1/classify   cf32 body in, one JSON document out (all verdicts + stats)
 //	POST /v1/stream     cf32 body in, NDJSON out (one verdict per line, stats trailer)
-//	GET  /healthz       liveness: pool status, build identity, runtime gauges,
-//	                    rolling last-60s/last-2min stage-latency windows
+//	GET  /healthz       liveness: per-shard table (load + admission tier), pool
+//	                    status, build identity, runtime gauges, rolling
+//	                    last-60s/last-2min stage-latency windows
 //	GET  /v1/obs        instrument snapshot (JSON; ?format=prometheus for text format)
 //	GET  /metrics       Prometheus text exposition (counters, summaries,
-//	                    cumulative histograms, windowed quantile gauges)
+//	                    cumulative histograms, windowed quantile gauges,
+//	                    per-shard stream.shard<i>.* series)
 //	GET  /v1/traces     recent per-frame span traces as NDJSON (?n=max)
 //
 // With -tcp the daemon also accepts raw TCP connections carrying cf32
@@ -37,9 +49,10 @@
 //
 // Usage:
 //
-//	hideseekd [-addr host:port] [-tcp host:port] [-protos list] [-workers n]
-//	          [-queue n] [-chunk n] [-pending n] [-threshold q] [-real] [-sync t]
-//	          [-deadline d] [-manifest out.json] [-traces n] [-tracefile out.ndjson]
+//	hideseekd [-addr host:port] [-tcp host:port] [-protos list] [-shards n]
+//	          [-admission] [-workers n] [-queue n] [-chunk n] [-pending n]
+//	          [-threshold q] [-real] [-sync t] [-deadline d] [-manifest out.json]
+//	          [-traces n] [-tracefile out.ndjson]
 package main
 
 import (
@@ -47,6 +60,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -83,7 +97,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8473", "HTTP listen address")
 	tcpAddr := fs.String("tcp", "", "raw TCP listen address: cf32 in, NDJSON verdicts out (empty = disabled)")
 	protos := fs.String("protos", "zigbee,lora", "comma-separated victim protocols to serve (first is the session default)")
-	workers := fs.Int("workers", 0, "decode/detect worker pool width (0 = derived from GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "independent engine shards; sessions pin to shards by session key")
+	admission := fs.Bool("admission", false, "tiered admission control per shard: degrade under load, shed past that (503)")
+	workers := fs.Int("workers", 0, "decode/detect worker pool width per shard (0 = derived from GOMAXPROCS)")
 	queue := fs.Int("queue", 256, "shared frame queue depth; oldest frames drop past this")
 	chunk := fs.Int("chunk", 4096, "samples per ingest block")
 	pending := fs.Int("pending", 64, "max in-flight frames per session before its reads block")
@@ -150,20 +166,24 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-protos %q selects no protocols", *protos)
 	}
 
-	engine, err := stream.NewEngine(stream.Config{
-		ChunkSize:  *chunk,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MaxPending: *pending,
-		Pipelines:  pipelines,
-		Tracer:     tracer,
+	fleet, err := stream.NewFleet(stream.FleetConfig{
+		Config: stream.Config{
+			ChunkSize:  *chunk,
+			Workers:    *workers,
+			QueueDepth: *queue,
+			MaxPending: *pending,
+			Pipelines:  pipelines,
+			Tracer:     tracer,
+		},
+		Shards:    *shards,
+		Admission: stream.AdmissionConfig{Enabled: *admission},
 	})
 	if err != nil {
 		closeTracer()
 		return err
 	}
 
-	d := newDaemon(engine, *deadline)
+	d := newDaemon(fleet, *deadline)
 	d.tracer = tracer
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -171,11 +191,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 
 	httpLn, err := net.Listen("tcp", *addr)
 	if err != nil {
-		engine.Close()
+		fleet.Close()
 		closeTracer()
 		return err
 	}
-	fmt.Fprintf(logw, "hideseekd: serving protocols %v\n", engine.Protocols())
+	fmt.Fprintf(logw, "hideseekd: serving protocols %v on %d shard(s), admission control %v\n",
+		fleet.Protocols(), fleet.Shards(), fleet.AdmissionEnabled())
 	srv := &http.Server{
 		Handler: d.routes(),
 		// Request contexts descend from the signal context, so streaming
@@ -190,7 +211,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		tcpLn, err = net.Listen("tcp", *tcpAddr)
 		if err != nil {
 			httpLn.Close()
-			engine.Close()
+			fleet.Close()
 			closeTracer()
 			return err
 		}
@@ -207,7 +228,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			tcpLn.Close()
 			conns.Wait()
 		}
-		engine.Close()
+		fleet.Close()
 		closeTracer()
 		return err
 	case <-sigCtx.Done():
@@ -224,15 +245,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		tcpLn.Close()
 		conns.Wait()
 	}
-	// All sessions have drained; now the pool can stop and the trace sink
+	// All sessions have drained; now the pools can stop and the trace sink
 	// can flush — no frame will finish a trace after this point.
-	engine.Close()
+	fleet.Close()
 	closeTracer()
 
 	if *manifest != "" {
-		m := obs.NewManifest("hideseekd", 0, engine.Workers())
+		m := obs.NewManifest("hideseekd", 0, fleet.Workers())
 		m.Kind = obs.KindService
-		m.Protocols = engine.Protocols()
+		m.Protocols = fleet.Protocols()
 		m.WallMS = float64(time.Since(d.start).Microseconds()) / 1000
 		m.Snapshot = obs.Snap()
 		if err := m.Validate(); err != nil {
@@ -246,16 +267,16 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	return nil
 }
 
-// daemon binds the shared engine to the protocol handlers.
+// daemon binds the shard fleet to the protocol handlers.
 type daemon struct {
-	engine   *stream.Engine
+	fleet    *stream.Fleet
 	tracer   *obs.Tracer // nil when tracing is off
 	deadline time.Duration
 	start    time.Time
 }
 
-func newDaemon(e *stream.Engine, deadline time.Duration) *daemon {
-	return &daemon{engine: e, deadline: deadline, start: time.Now()}
+func newDaemon(f *stream.Fleet, deadline time.Duration) *daemon {
+	return &daemon{fleet: f, deadline: deadline, start: time.Now()}
 }
 
 func (d *daemon) routes() *http.ServeMux {
@@ -285,18 +306,46 @@ type trailer struct {
 
 // sessionProto resolves a request's ?proto= selector against the served
 // set, so protocol typos fail with 400 before any samples are consumed
-// ("" = the engine default).
+// ("" = the fleet default).
 func (d *daemon) sessionProto(r *http.Request) (string, error) {
 	proto := r.URL.Query().Get("proto")
 	if proto == "" {
 		return "", nil
 	}
-	for _, served := range d.engine.Protocols() {
+	for _, served := range d.fleet.Protocols() {
 		if proto == served {
 			return proto, nil
 		}
 	}
-	return "", fmt.Errorf("protocol %q not served (have %v)", proto, d.engine.Protocols())
+	return "", fmt.Errorf("protocol %q not served (have %v)", proto, d.fleet.Protocols())
+}
+
+// sessionKey picks a request's shard-affinity key: an explicit
+// ?session=<key> wins; otherwise the client host, so one client's
+// sessions land on one shard and share its queue and latency budget.
+func sessionKey(r *http.Request) string {
+	if key := r.URL.Query().Get("session"); key != "" {
+		return key
+	}
+	return hostOf(r.RemoteAddr)
+}
+
+// hostOf strips the port from a remote address ("" stays "" — a keyless
+// session spreads round-robin).
+func hostOf(addr string) string {
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
+}
+
+// sessionStatus maps a Process error to an HTTP status: shed-at-admission
+// is backpressure (503, retry later), everything else a client error.
+func sessionStatus(err error) int {
+	if errors.Is(err, stream.ErrShed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -326,11 +375,11 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}}
 	verdicts := make([]stream.Verdict, 0)
-	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
+	stats, err := d.fleet.Process(ctx, src, func(v stream.Verdict) {
 		verdicts = append(verdicts, v)
-	})
+	}, stream.WithProto(proto), stream.WithSessionKey(sessionKey(r)))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), sessionStatus(err))
 		return
 	}
 	if d.deadline > 0 {
@@ -354,9 +403,15 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Full duplex lets us emit verdicts while the client is still sending
 	// samples (best effort: HTTP/2 already behaves this way).
 	_ = rc.EnableFullDuplex()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	// The 200 goes out with the first verdict (or the trailer): admission
+	// rejects a session before anything is emitted, and that must still be
+	// able to surface as a 503 status line.
+	var headerOnce sync.Once
+	writeHeader := func() {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
 
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
@@ -376,7 +431,8 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}}
-	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
+	stats, err := d.fleet.Process(ctx, src, func(v stream.Verdict) {
+		headerOnce.Do(writeHeader)
 		// A write deadline per verdict: a client that streams samples but
 		// never reads responses errors the session instead of blocking its
 		// delivery goroutine (and the session's drain) forever.
@@ -388,7 +444,18 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rc.Flush()
-	})
+	}, stream.WithProto(proto), stream.WithSessionKey(sessionKey(r)))
+	if errors.Is(err, stream.ErrShed) {
+		// Rejected at admission: no verdict was emitted, the header is
+		// still ours to set. The body was never read (admission decides
+		// before the first sample) and full duplex is on, so close the
+		// connection rather than letting the server try to reuse it while
+		// the client is still mid-upload.
+		w.Header().Set("Connection", "close")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	headerOnce.Do(writeHeader)
 	if d.deadline > 0 {
 		rc.SetWriteDeadline(time.Now().Add(d.deadline))
 	}
@@ -436,16 +503,20 @@ func (d *daemon) handleTraces(w http.ResponseWriter, r *http.Request) {
 	d.tracer.WriteRecent(w, max)
 }
 
-// health is the /healthz document: liveness, pool state, build identity,
-// runtime gauges, and the rolling per-stage latency windows — enough to
-// tell what the service is and how it is doing right now from one probe.
+// health is the /healthz document: liveness, fleet state (per-shard load
+// and admission tier), build identity, runtime gauges, and the rolling
+// per-stage latency windows — enough to tell what the service is and how
+// it is doing right now from one probe.
 type health struct {
 	Status         string                       `json:"status"`
 	UptimeMS       float64                      `json:"uptime_ms"`
 	Protocols      []string                     `json:"protocols"`
+	Shards         int                          `json:"shards"`
+	Admission      bool                         `json:"admission"`
 	Workers        int                          `json:"workers"`
 	ActiveSessions int                          `json:"active_sessions"`
 	QueueDepth     int                          `json:"queue_depth"`
+	ShardTable     []stream.ShardStatus         `json:"shard_table"`
 	Build          obs.BuildStats               `json:"build"`
 	Runtime        obs.RuntimeStats             `json:"runtime"`
 	Windows        map[string]obs.WindowedStats `json:"windows"`
@@ -469,10 +540,13 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(health{
 		Status:         "ok",
 		UptimeMS:       float64(time.Since(d.start).Microseconds()) / 1000,
-		Protocols:      d.engine.Protocols(),
-		Workers:        d.engine.Workers(),
-		ActiveSessions: d.engine.ActiveSessions(),
-		QueueDepth:     d.engine.QueueDepth(),
+		Protocols:      d.fleet.Protocols(),
+		Shards:         d.fleet.Shards(),
+		Admission:      d.fleet.AdmissionEnabled(),
+		Workers:        d.fleet.Workers(),
+		ActiveSessions: d.fleet.ActiveSessions(),
+		QueueDepth:     d.fleet.QueueDepth(),
+		ShardTable:     d.fleet.ShardTable(),
 		Build:          obs.ReadBuild(),
 		Runtime:        snap.Runtime,
 		Windows:        windows,
@@ -549,7 +623,7 @@ func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 		}
 		return nil
 	}}
-	stats, err := d.engine.ProcessProto(ctx, proto, src, func(v stream.Verdict) {
+	stats, err := d.fleet.Process(ctx, src, func(v stream.Verdict) {
 		// Bound every verdict write so a peer that stops reading errors the
 		// session rather than wedging its delivery goroutine.
 		if d.deadline > 0 {
@@ -558,7 +632,7 @@ func (d *daemon) serveConn(ctx context.Context, conn net.Conn) {
 		if encErr := enc.Encode(v); encErr != nil {
 			cancel()
 		}
-	})
+	}, stream.WithProto(proto), stream.WithSessionKey(hostOf(conn.RemoteAddr().String())))
 	if d.deadline > 0 {
 		conn.SetWriteDeadline(time.Now().Add(d.deadline))
 	}

@@ -48,18 +48,21 @@ func testCapture(t *testing.T, seed int64) ([]byte, []bool) {
 
 func testDaemon(t *testing.T, workers int) (*daemon, *httptest.Server) {
 	t.Helper()
-	engine, err := stream.NewEngine(stream.Config{
-		Workers:  workers,
-		Receiver: zigbee.ReceiverConfig{SyncThreshold: 0.3},
+	fleet, err := stream.NewFleet(stream.FleetConfig{
+		Config: stream.Config{
+			Workers:  workers,
+			Receiver: zigbee.ReceiverConfig{SyncThreshold: 0.3},
+		},
+		Shards: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := newDaemon(engine, 30*time.Second)
+	d := newDaemon(fleet, 30*time.Second)
 	ts := httptest.NewServer(d.routes())
 	t.Cleanup(func() {
 		ts.Close()
-		engine.Close()
+		fleet.Close()
 	})
 	return d, ts
 }
@@ -194,8 +197,16 @@ func TestMethodAndHealthEndpoints(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Workers != d.engine.Workers() {
+	if h.Status != "ok" || h.Workers != d.fleet.Workers() {
 		t.Errorf("health %+v", h)
+	}
+	if h.Shards != d.fleet.Shards() || len(h.ShardTable) != d.fleet.Shards() {
+		t.Errorf("health shard table %+v, want %d shards", h.ShardTable, d.fleet.Shards())
+	}
+	for i, row := range h.ShardTable {
+		if row.Shard != i || row.Tier != "accept" {
+			t.Errorf("shard row %d: %+v, want shard %d tier accept", i, row, i)
+		}
 	}
 }
 
@@ -214,5 +225,57 @@ func TestObsEndpointExposesDropCounter(t *testing.T) {
 	}
 	if _, ok := snap.Counters["stream.dropped_frames"]; !ok {
 		t.Errorf("snapshot lacks stream.dropped_frames: %v", snap.Counters)
+	}
+}
+
+// TestAdmissionShedsWith503: with admission enabled and the latency
+// thresholds set to one nanosecond, the first session (cold shard, empty
+// latency window) is served normally; once it has scanned frames the
+// shard's windowed scan p95 trips both tiers and the next session on the
+// same shard is shed — /v1/classify and /v1/stream must answer 503, not
+// a half-open NDJSON stream.
+func TestAdmissionShedsWith503(t *testing.T) {
+	fleet, err := stream.NewFleet(stream.FleetConfig{
+		Config: stream.Config{
+			Workers:  2,
+			Receiver: zigbee.ReceiverConfig{SyncThreshold: 0.3},
+		},
+		Admission: stream.AdmissionConfig{
+			Enabled:          true,
+			DegradeScanP95NS: 1, ShedScanP95NS: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDaemon(fleet, 30*time.Second)
+	ts := httptest.NewServer(d.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		fleet.Close()
+	})
+
+	capture, _ := testCapture(t, 23)
+	// Warm the shard's latency window. Instruments are name-registered and
+	// process-global, so an earlier test in this binary may already have
+	// heated shard 0's scan histogram — then this request itself sheds,
+	// which is fine: either way the follow-ups below must see 503.
+	warm, err := http.Post(ts.URL+"/v1/classify?session=hot-client", "application/octet-stream", bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK && warm.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("warming classify: status %d, want 200 or 503", warm.StatusCode)
+	}
+	for _, path := range []string{"/v1/classify", "/v1/stream"} {
+		resp, err := http.Post(ts.URL+path+"?session=hot-client", "application/octet-stream", bytes.NewReader(capture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s on hot shard: status %d, want 503", path, resp.StatusCode)
+		}
 	}
 }

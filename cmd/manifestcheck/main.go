@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	manifestcheck <manifest.json | bench-report.json>
+//	manifestcheck <manifest.json | bench-report.json> [more.json ...]
+//
+// Every argument is validated; the run fails on the first invalid file,
+// so CI can check a whole artifact set (BENCH_sync.json BENCH_stream.json
+// manifest.json) in one invocation.
 package main
 
 import (
@@ -20,16 +24,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json | bench-report.json>")
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: manifestcheck <manifest.json | bench-report.json> [more.json ...]")
 		os.Exit(2)
 	}
-	summary, err := check(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "manifestcheck:", err)
-		os.Exit(1)
+	for _, path := range os.Args[1:] {
+		summary, err := check(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "manifestcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println(summary)
 	}
-	fmt.Println(summary)
 }
 
 // check validates path and returns the one-line success summary. The

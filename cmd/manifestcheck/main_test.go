@@ -68,12 +68,15 @@ func TestCheckBenchReport(t *testing.T) {
 }
 
 func TestCheckCommittedBenchBaseline(t *testing.T) {
-	// The committed perf baseline must stay valid under the strict decoder.
-	if _, err := os.Stat("../../BENCH_sync.json"); err != nil {
-		t.Skip("no committed baseline")
-	}
-	if _, err := check("../../BENCH_sync.json"); err != nil {
-		t.Fatal(err)
+	// The committed perf baselines must stay valid under the strict
+	// decoder: the sync-path micro-benches and the fleet soak report.
+	for _, name := range []string{"../../BENCH_sync.json", "../../BENCH_stream.json"} {
+		if _, err := os.Stat(name); err != nil {
+			t.Skipf("no committed baseline %s", name)
+		}
+		if _, err := check(name); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -75,6 +75,23 @@ func (rx *Receiver) Clone() *Receiver {
 	}
 }
 
+// SyncThreshold reports the receiver's effective preamble sync threshold
+// (after config defaulting).
+func (rx *Receiver) SyncThreshold() float64 { return rx.cfg.SyncThreshold }
+
+// CloneWithSyncThreshold is Clone with the sync threshold replaced; the
+// clone shares the immutable dechirp references and correlation plan (the
+// threshold is only consulted at decision time). The streaming tier's
+// degraded admission mode uses it to raise the sync bar under overload.
+func (rx *Receiver) CloneWithSyncThreshold(t float64) (*Receiver, error) {
+	if t < 0 || t > 1 {
+		return nil, fmt.Errorf("lora: sync threshold %v outside [0, 1]", t)
+	}
+	c := rx.Clone()
+	c.cfg.SyncThreshold = t
+	return c, nil
+}
+
 // SyncRefSamples is the length of the modulated-preamble synchronization
 // reference: the minimum window SynchronizeFirst can search, and the
 // amount ReceiveAll skips past an undecodable sync point.

@@ -72,6 +72,22 @@ type Receiver interface {
 	DecodeAt(waveform []complex128, start int, syncPeak float64) (Reception, error)
 }
 
+// SyncTuner is an optional Receiver capability: a receiver that can
+// report its effective preamble sync threshold and produce a cheap
+// re-thresholded clone (sharing the immutable reference spectrum and
+// correlation plan, exactly like Clone). The streaming tier's degraded
+// admission mode uses it to raise the sync bar on overloaded shards;
+// receivers without the capability still degrade by reduced in-flight
+// budget only.
+type SyncTuner interface {
+	Receiver
+	// SyncThreshold reports the effective sync threshold.
+	SyncThreshold() float64
+	// CloneWithSyncThreshold returns a Clone whose sync threshold is t
+	// (t must be in the receiver's valid range).
+	CloneWithSyncThreshold(t float64) (Receiver, error)
+}
+
 // Detection is one defense decision in protocol-neutral form. C40/C42
 // carry the constellation cumulants for detectors that estimate them
 // (ZigBee's D²E) and are zero for detectors with a different feature

@@ -70,6 +70,18 @@ type Receiver struct {
 // Clone implements phy.Receiver.
 func (r Receiver) Clone() phy.Receiver { return Receiver{r.Rx.Clone()} }
 
+// SyncThreshold implements phy.SyncTuner.
+func (r Receiver) SyncThreshold() float64 { return r.Rx.SyncThreshold() }
+
+// CloneWithSyncThreshold implements phy.SyncTuner.
+func (r Receiver) CloneWithSyncThreshold(t float64) (phy.Receiver, error) {
+	rx, err := r.Rx.CloneWithSyncThreshold(t)
+	if err != nil {
+		return nil, err
+	}
+	return Receiver{rx}, nil
+}
+
 // SyncRefSamples implements phy.Receiver.
 func (r Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
 

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"hideseek/internal/phy"
-	"hideseek/internal/phy/zigbeephy"
 	"hideseek/internal/runner"
 )
 
@@ -25,6 +24,33 @@ type enginePipe struct {
 	hdr    int // Receiver.HeaderSamples()
 	tail   int // Receiver.TailSamples()
 	obs    protoObs
+
+	degMu sync.Mutex
+	deg   phy.Receiver // lazily built degraded-tier prototype (raised sync threshold)
+}
+
+// degradedRx returns the protocol's degraded-tier receiver prototype: the
+// served prototype with its sync threshold scaled up by syncScale
+// (clamped to 1), sharing the same immutable reference spectrum and FFT
+// plan. Receivers without the phy.SyncTuner capability degrade by
+// in-flight budget only and keep their normal prototype.
+func (ep *enginePipe) degradedRx(syncScale float64) phy.Receiver {
+	ep.degMu.Lock()
+	defer ep.degMu.Unlock()
+	if ep.deg != nil {
+		return ep.deg
+	}
+	ep.deg = ep.rx
+	if st, ok := ep.rx.(phy.SyncTuner); ok && syncScale > 1 {
+		t := st.SyncThreshold() * syncScale
+		if t > 1 {
+			t = 1
+		}
+		if deg, err := st.CloneWithSyncThreshold(t); err == nil {
+			ep.deg = deg
+		}
+	}
+	return ep.deg
 }
 
 // Engine owns the shared decode/detect worker pool and the bounded frame
@@ -39,6 +65,7 @@ type Engine struct {
 	q      *jobQueue
 	wg     sync.WaitGroup
 	sids   atomic.Uint64 // session-id allocator (stamped on traces)
+	shard  *shardObs     // shard-labelled instruments when fleet-owned (nil standalone)
 
 	mu     sync.Mutex
 	closed bool
@@ -47,6 +74,9 @@ type Engine struct {
 
 // NewEngine validates cfg, builds the served pipelines, and starts the
 // worker pool. Close must be called to release the workers.
+// applyDefaults has already synthesized Config.Pipelines from the
+// deprecated legacy fields if needed, so Pipelines is the only
+// construction path from here on.
 func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
@@ -55,17 +85,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Workers = runner.DefaultWorkers()
 	}
 	pipelines := cfg.Pipelines
-	if len(pipelines) == 0 {
-		// Legacy single-protocol path: a zigbee pipeline from the flat
-		// Receiver/Defense fields. Building through the adapter keeps one
-		// code path — the parity tests exercise exactly this route.
-		p, err := zigbeephy.NewPipeline(cfg.Receiver, cfg.Defense)
-		if err != nil {
-			return nil, err
-		}
-		pipelines = []*phy.Pipeline{p}
-	}
-	e := &Engine{cfg: cfg, byName: make(map[string]*enginePipe, len(pipelines)), q: newJobQueue(cfg.QueueDepth)}
+	e := &Engine{cfg: cfg, shard: cfg.shard, byName: make(map[string]*enginePipe, len(pipelines)), q: newJobQueue(cfg.QueueDepth)}
 	for i, p := range pipelines {
 		if p == nil || p.Receiver == nil || p.Detector == nil {
 			return nil, fmt.Errorf("stream: pipeline %d is incomplete", i)
@@ -172,6 +192,9 @@ func (e *Engine) worker() {
 		obsQueueWaitUS.Observe(float64(wait.Microseconds()))
 		j.trace.AddSpanDur(traceStageQueue, j.enqueued, wait, nil)
 		v := e.processJob(rxs[j.pipe.idx], j, wait)
+		// The frame copy is dead once the verdict is built (payloads and
+		// features never alias it); recycle it through the arena.
+		putCF32(j.frame)
 		j.sess.deliver(v)
 	}
 }
@@ -184,6 +207,7 @@ func (e *Engine) processJob(rx phy.Receiver, j job, wait time.Duration) Verdict 
 		Proto:    j.pipe.name,
 		Offset:   j.offset,
 		SyncPeak: j.peak,
+		Degraded: j.sess.degraded,
 		ScanNS:   j.scanNS,
 		QueueNS:  wait.Nanoseconds(),
 		TraceID:  j.trace.TraceID(),

@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// FleetConfig parameterizes a Fleet: the per-shard engine config, the
+// shard count, and admission control.
+type FleetConfig struct {
+	// Config is the engine configuration every shard runs. Pipelines are
+	// resolved once and shared across shards: each shard engine clones
+	// its receivers from the same prototypes, so the FFT sync reference
+	// spectrum and plans exist once per protocol regardless of shard
+	// count. Workers and QueueDepth are per shard.
+	Config Config
+	// Shards is the number of independent engines (default 1). Each shard
+	// has its own worker pool, bounded queue, and admission tier; a
+	// session is pinned to one shard for its whole life.
+	Shards int
+	// Admission configures tiered admission control (zero value =
+	// disabled: every session is accepted at full fidelity).
+	Admission AdmissionConfig
+}
+
+// ShardStatus is one row of Fleet.ShardTable: a shard's identity, load,
+// and admission tier, as served by the daemon's /healthz.
+type ShardStatus struct {
+	Shard          int     `json:"shard"`
+	Workers        int     `json:"workers"`
+	ActiveSessions int     `json:"active_sessions"`
+	QueueDepth     int     `json:"queue_depth"`
+	Tier           string  `json:"tier"`
+	ScanP95NS      float64 `json:"scan_p95_ns"`
+}
+
+// Fleet shards sessions across N independent engines behind the same
+// Process API an Engine serves. Sessions with equal shard-affinity keys
+// (WithSessionKey) land on the same shard — consistent assignment by
+// FNV-1a hash — so one client's sessions share a queue and a latency
+// budget; keyless sessions spread round-robin. Each shard runs tiered
+// admission control when enabled: under load a shard degrades new
+// sessions (raised sync threshold, tightened in-flight budget) and past
+// that sheds them at admission with a typed *ShedError, keeping accepted
+// sessions' latency bounded instead of letting every session slowly
+// starve.
+type Fleet struct {
+	shards []*Engine
+	adm    []*admission
+	admCfg AdmissionConfig
+	rr     atomic.Uint64 // round-robin cursor for keyless sessions
+
+	// sample reads a shard's load for an admission decision; replaced by
+	// tests to drive the tier machine with synthetic load.
+	sample func(shard int) admissionSample
+	// now is the admission clock; replaced by tests.
+	now func() time.Time
+}
+
+// NewFleet validates cfg, builds the shard engines (sharing one resolved
+// pipeline set), and starts their worker pools. Close must be called to
+// release the workers.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("stream: shard count %d < 1", cfg.Shards)
+	}
+	base := cfg.Config
+	if err := base.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Admission.Enabled {
+		if err := cfg.Admission.applyDefaults(&base); err != nil {
+			return nil, err
+		}
+	}
+	f := &Fleet{admCfg: cfg.Admission, now: time.Now}
+	for i := 0; i < cfg.Shards; i++ {
+		sc := base // per-shard copy; Pipelines slice (and prototypes) shared
+		sc.shard = newShardObs(i)
+		e, err := NewEngine(sc)
+		if err != nil {
+			for _, prev := range f.shards {
+				prev.Close()
+			}
+			return nil, err
+		}
+		f.shards = append(f.shards, e)
+		f.adm = append(f.adm, &admission{cfg: cfg.Admission})
+	}
+	f.sample = func(shard int) admissionSample {
+		e := f.shards[shard]
+		return admissionSample{
+			queueDepth: e.QueueDepth(),
+			scanP95NS:  e.shard.scanNS.Windowed().Last60s.P95,
+		}
+	}
+	return f, nil
+}
+
+// shardFor maps a session key to its shard: FNV-1a over the key for
+// consistent assignment, round-robin for keyless sessions.
+func (f *Fleet) shardFor(key string) int {
+	if len(f.shards) == 1 {
+		return 0
+	}
+	if key == "" {
+		return int(f.rr.Add(1) % uint64(len(f.shards)))
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(len(f.shards)))
+}
+
+// Process admits one session and streams src through its shard. The
+// session's shard comes from WithSessionKey (equal keys → equal shards);
+// admission control, when enabled, may degrade the session's operating
+// point or reject it with a *ShedError (match with errors.Is(err,
+// ErrShed)) before any sample is read. Options and emit semantics are
+// exactly Engine.Process's.
+func (f *Fleet) Process(ctx context.Context, src Source, emit func(Verdict), opts ...SessionOption) (Stats, error) {
+	so := resolveOpts(opts)
+	shard := f.shardFor(so.key)
+	e := f.shards[shard]
+	if f.admCfg.Enabled {
+		s := f.sample(shard)
+		switch f.adm[shard].Decide(f.now(), s) {
+		case TierShed:
+			obsShed.Inc()
+			e.shard.shed.Inc()
+			return Stats{}, &ShedError{Shard: shard, QueueDepth: s.queueDepth, ScanP95NS: s.scanP95NS}
+		case TierDegrade:
+			obsDegradedSess.Inc()
+			e.shard.degraded.Inc()
+			so.degraded = true
+			so.syncScale = f.admCfg.SyncScale
+			so.maxPending = f.admCfg.DegradedMaxPending
+		}
+	}
+	return e.process(ctx, src, emit, so)
+}
+
+// Close shuts every shard down. Same contract as Engine.Close: finish
+// (or cancel and drain) in-flight Process calls first; idempotent.
+func (f *Fleet) Close() {
+	for _, e := range f.shards {
+		e.Close()
+	}
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Workers returns the total pool width across shards.
+func (f *Fleet) Workers() int {
+	n := 0
+	for _, e := range f.shards {
+		n += e.Workers()
+	}
+	return n
+}
+
+// Protocols returns the served protocol names (identical on every
+// shard; the first is the default).
+func (f *Fleet) Protocols() []string { return f.shards[0].Protocols() }
+
+// DefaultProtocol returns the protocol keyless-protocol sessions bind to.
+func (f *Fleet) DefaultProtocol() string { return f.shards[0].DefaultProtocol() }
+
+// ActiveSessions returns the fleet-wide count of running sessions.
+func (f *Fleet) ActiveSessions() int {
+	n := 0
+	for _, e := range f.shards {
+		n += e.ActiveSessions()
+	}
+	return n
+}
+
+// QueueDepth returns the fleet-wide count of frames waiting for workers.
+func (f *Fleet) QueueDepth() int {
+	n := 0
+	for _, e := range f.shards {
+		n += e.QueueDepth()
+	}
+	return n
+}
+
+// AdmissionEnabled reports whether tiered admission control is on.
+func (f *Fleet) AdmissionEnabled() bool { return f.admCfg.Enabled }
+
+// ShardTable returns a per-shard status snapshot (the daemon serves it
+// on /healthz). Tier is the shard's current admission tier; "accept"
+// when admission control is disabled.
+func (f *Fleet) ShardTable() []ShardStatus {
+	table := make([]ShardStatus, len(f.shards))
+	for i, e := range f.shards {
+		table[i] = ShardStatus{
+			Shard:          i,
+			Workers:        e.Workers(),
+			ActiveSessions: e.ActiveSessions(),
+			QueueDepth:     e.QueueDepth(),
+			Tier:           f.adm[i].current().String(),
+			ScanP95NS:      e.shard.scanNS.Windowed().Last60s.P95,
+		}
+	}
+	return table
+}

@@ -1,6 +1,10 @@
 package stream
 
-import "hideseek/internal/obs"
+import (
+	"strconv"
+
+	"hideseek/internal/obs"
+)
 
 // Observability instruments for the streaming pipeline, one per stage
 // (ingest, sync scan, decode, detect) plus the backpressure tallies the
@@ -22,6 +26,8 @@ var (
 	obsDetectNS     = obs.H("stream.detect_ns") // per-frame defense latency distribution
 	obsQueueDepth   = obs.H("stream.queue_depth")
 	obsQueueWaitUS  = obs.H("stream.queue_wait_us")
+	obsShed         = obs.C("stream.shed_sessions")     // sessions rejected at admission (shed tier)
+	obsDegradedSess = obs.C("stream.degraded_sessions") // sessions admitted under the degrade tier
 )
 
 // Trace stage names, in pipeline order. StageDecode and StageDetect
@@ -59,5 +65,30 @@ func newProtoObs(proto string) protoObs {
 		dropped:      obs.C(pre + "dropped_frames"),
 		decodeErrors: obs.C(pre + "decode_errors"),
 		detectErrors: obs.C(pre + "detect_errors"),
+	}
+}
+
+// shardObs is the shard-labelled slice of the stream instruments a Fleet
+// wires into each shard engine ("stream.shard0.sessions", ...). The scan
+// latency histogram's windowed p95 is the admission controller's load
+// signal, so each shard keeps its own.
+type shardObs struct {
+	index      int
+	sessions   *obs.Counter
+	shed       *obs.Counter
+	degraded   *obs.Counter
+	scanNS     *obs.Histogram
+	queueDepth *obs.Histogram
+}
+
+func newShardObs(i int) *shardObs {
+	pre := "stream.shard" + strconv.Itoa(i) + "."
+	return &shardObs{
+		index:      i,
+		sessions:   obs.C(pre + "sessions"),
+		shed:       obs.C(pre + "shed_sessions"),
+		degraded:   obs.C(pre + "degraded_sessions"),
+		scanNS:     obs.H(pre + "scan_ns"),
+		queueDepth: obs.H(pre + "queue_depth"),
 	}
 }

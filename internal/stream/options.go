@@ -1,0 +1,64 @@
+package stream
+
+// SessionOption configures one Process session. The variadic-options form
+// is the one session API: protocol selection, per-session backpressure,
+// and shard affinity all travel the same way, so new per-session knobs
+// never fork the Process signature again.
+type SessionOption func(*sessionOpts)
+
+// sessionOpts is the resolved option set for one session. The zero value
+// means: default protocol, engine-default MaxPending, no shard-affinity
+// key, full-fidelity (non-degraded) operating point.
+type sessionOpts struct {
+	proto      string
+	maxPending int    // 0 = engine default
+	key        string // shard-affinity key ("" = unpinned)
+
+	// Degraded operating point, set by fleet admission control (never by
+	// callers): raised sync threshold scale and a tightened in-flight
+	// budget.
+	degraded  bool
+	syncScale float64
+}
+
+// WithProto binds the session to the named victim-PHY protocol ("" = the
+// engine's default, its first configured pipeline).
+func WithProto(proto string) SessionOption {
+	return func(o *sessionOpts) { o.proto = proto }
+}
+
+// WithMaxPending overrides the engine's per-session in-flight frame bound
+// for this session (0 keeps the engine default; values < 1 after
+// defaulting are rejected by Process).
+func WithMaxPending(n int) SessionOption {
+	return func(o *sessionOpts) { o.maxPending = n }
+}
+
+// WithSessionKey sets the session's shard-affinity key: a Fleet routes
+// equal keys to the same shard (consistent assignment), so one client's
+// sessions share a queue and a latency budget. Keyless sessions are
+// spread round-robin. On a bare Engine the key is accepted and ignored.
+func WithSessionKey(key string) SessionOption {
+	return func(o *sessionOpts) { o.key = key }
+}
+
+// withDegrade is the internal option fleet admission control applies to
+// sessions admitted under the degrade tier.
+func withDegrade(syncScale float64, maxPending int) SessionOption {
+	return func(o *sessionOpts) {
+		o.degraded = true
+		o.syncScale = syncScale
+		o.maxPending = maxPending
+	}
+}
+
+// resolveOpts folds a Process call's options into one sessionOpts.
+func resolveOpts(opts []SessionOption) sessionOpts {
+	var o sessionOpts
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}

@@ -1,0 +1,110 @@
+package stream
+
+import "testing"
+
+// TestPoolClassBoundaries pins the size-class mapping: sub-minimum sizes
+// round up to the smallest class, powers of two map to themselves, and
+// out-of-range sizes are unpooled.
+func TestPoolClassBoundaries(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{1, poolMinBits},
+		{256, poolMinBits},
+		{257, poolMinBits + 1},
+		{512, poolMinBits + 1},
+		{4096, 12},
+		{4097, 13},
+		{1 << poolMaxBits, poolMaxBits},
+		{1<<poolMaxBits + 1, -1},
+		{0, -1},
+		{-5, -1},
+	}
+	for _, c := range cases {
+		if got := poolClass(c.n); got != c.class {
+			t.Errorf("poolClass(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+// TestPoolGetPutRoundTrip: a buffer returned to the arena is handed back
+// for the next same-class request (same backing array), and lengths are
+// honoured across classes.
+func TestPoolGetPutRoundTrip(t *testing.T) {
+	b := getCF32(300)
+	if len(b) != 300 || cap(b) != 512 {
+		t.Fatalf("getCF32(300): len %d cap %d, want 300/512", len(b), cap(b))
+	}
+	b[0] = complex(42, 0)
+	ptr := &b[0]
+	putCF32(b)
+	// Same P, no GC in between: the pool's private slot returns the exact
+	// buffer. Contents are NOT zeroed — the contract is callers overwrite.
+	b2 := getCF32(400)
+	if len(b2) != 400 || cap(b2) != 512 {
+		t.Fatalf("getCF32(400): len %d cap %d, want 400/512", len(b2), cap(b2))
+	}
+	if &b2[0] != ptr {
+		t.Skip("pool was cleared between put and get (GC ran); nothing to assert")
+	}
+	if b2[0] != complex(42, 0) {
+		t.Fatal("recycled buffer was zeroed; the arena contract says it must not be")
+	}
+}
+
+// TestPoolRejectsForeignBuffers: only buffers whose capacity is exactly a
+// pool class round-trip; foreign and oversized slices are dropped (no
+// panic, nothing retrievable at a mismatched class).
+func TestPoolRejectsForeignBuffers(t *testing.T) {
+	putCF32(nil)                                  // no-op
+	putCF32(make([]complex128, 300))              // non-pow2 cap: dropped
+	putCF32(make([]complex128, 7))                // below min class: dropped
+	putCF32(make([]complex128, 1<<poolMaxBits+1)) // above max class: dropped
+	if b := getCF32(1 << poolMaxBits * 2); len(b) != 1<<poolMaxBits*2 {
+		t.Fatalf("oversized get: len %d", len(b))
+	}
+	if b := getCF32(0); b != nil {
+		t.Fatalf("getCF32(0) = %v, want nil", b)
+	}
+}
+
+// TestWindowPooledGrowthPreservesData streams chunks through a window
+// whose backing grows through the arena, checking the retained samples
+// are exactly the appended ones (recycled buffers are never zeroed, so
+// any under-copy would surface as stale data here).
+func TestWindowPooledGrowthPreservesData(t *testing.T) {
+	// Prime the arena with a dirty buffer so growth reuses it.
+	dirty := getCF32(1 << 10)
+	for i := range dirty {
+		dirty[i] = complex(-1, -1)
+	}
+	putCF32(dirty)
+
+	var w window
+	var next float64
+	push := func(n int) {
+		chunk := make([]complex128, n)
+		for i := range chunk {
+			chunk[i] = complex(next, 0)
+			next++
+		}
+		w.append(chunk)
+	}
+	push(300)
+	w.discard(200)
+	push(500) // forces pooled regrowth with a live region to carry over
+	push(700)
+	view := w.view()
+	if len(view) != 100+500+700 {
+		t.Fatalf("window retains %d samples, want %d", len(view), 100+500+700)
+	}
+	for i, s := range view {
+		if real(s) != float64(200+i) {
+			t.Fatalf("sample %d = %v, want %v (stale pooled data leaked)", i, real(s), float64(200+i))
+		}
+	}
+	w.release()
+	if w.size() != 0 {
+		t.Fatalf("released window retains %d samples", w.size())
+	}
+}

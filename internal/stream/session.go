@@ -18,17 +18,19 @@ import (
 // (each connection gets its own). A session is bound to one protocol
 // pipeline for its whole life.
 type Session struct {
-	e      *Engine
-	pipe   *enginePipe
-	rx     phy.Receiver // scanner-side receiver (sync + header decode)
-	refLen int          // pipe.refLen: sync reference length
-	hdr    int          // pipe.hdr: samples FrameSpan needs past a frame start
-	tail   int          // pipe.tail: decode tail past FrameSpan
-	win    window
-	emit   func(Verdict)
-	seq    uint64
-	sid    uint64      // engine-unique session id, stamped on traces
-	tracer *obs.Tracer // nil when tracing is off
+	e          *Engine
+	pipe       *enginePipe
+	rx         phy.Receiver // scanner-side receiver (sync + header decode)
+	refLen     int          // pipe.refLen: sync reference length
+	hdr        int          // pipe.hdr: samples FrameSpan needs past a frame start
+	tail       int          // pipe.tail: decode tail past FrameSpan
+	win        window
+	emit       func(Verdict)
+	seq        uint64
+	sid        uint64      // engine-unique session id, stamped on traces
+	tracer     *obs.Tracer // nil when tracing is off
+	maxPending int         // per-session in-flight bound (engine default or WithMaxPending)
+	degraded   bool        // admitted under the degrade tier; stamped on every Verdict
 
 	// Scanner-goroutine-only stats fields (Samples..SyncRejects) plus
 	// worker-written ones (Dropped, DecodeErrors, DetectErrors) guarded
@@ -47,44 +49,53 @@ type Session struct {
 // newSession builds a session bound to one protocol pipe and starts its
 // delivery goroutine. The goroutine exits (and flushed closes) after
 // drain.
-func newSession(e *Engine, pipe *enginePipe, emit func(Verdict)) *Session {
+func newSession(e *Engine, pipe *enginePipe, emit func(Verdict), so sessionOpts) *Session {
+	rx := pipe.rx
+	if so.degraded {
+		rx = pipe.degradedRx(so.syncScale)
+	}
+	maxPending := so.maxPending
+	if maxPending == 0 {
+		maxPending = e.cfg.MaxPending
+	}
 	s := &Session{
-		e:       e,
-		pipe:    pipe,
-		rx:      pipe.rx.Clone(),
-		refLen:  pipe.refLen,
-		hdr:     pipe.hdr,
-		tail:    pipe.tail,
-		emit:    emit,
-		sid:     e.sids.Add(1),
-		tracer:  e.cfg.Tracer,
-		pending: make(map[uint64]Verdict),
-		flushed: make(chan struct{}),
+		e:          e,
+		pipe:       pipe,
+		rx:         rx.Clone(),
+		refLen:     pipe.refLen,
+		hdr:        pipe.hdr,
+		tail:       pipe.tail,
+		emit:       emit,
+		sid:        e.sids.Add(1),
+		tracer:     e.cfg.Tracer,
+		maxPending: maxPending,
+		degraded:   so.degraded,
+		pending:    make(map[uint64]Verdict),
+		flushed:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.flush()
 	return s
 }
 
-// Process streams src through the engine's shared pool under the default
-// (first-configured) protocol. See ProcessProto.
-func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (Stats, error) {
-	return e.ProcessProto(ctx, "", src, emit)
-}
-
-// ProcessProto streams src through the engine's shared pool as one
-// session of the named protocol ("" = the default): the calling goroutine
-// runs ingest + preamble scanning, workers run decode + the defense, and
-// emit observes every Verdict in stream order. emit is called from a
-// dedicated per-session delivery goroutine with no locks held — a slow
-// consumer throttles only its own session (its un-emitted verdicts count
-// against MaxPending, so its reads eventually block) and never blocks the
-// shared worker pool or other sessions. ProcessProto returns once the
-// source is exhausted (or ctx is cancelled) and every in-flight frame has
-// been delivered, so no emit call ever follows the return. A consumer
-// that blocks forever inside emit blocks that return; network callers
-// should bound emit with write deadlines (as cmd/hideseekd does) so a
-// stalled reader errors the session instead.
+// Process streams src through the engine's shared pool as one session:
+// the calling goroutine runs ingest + preamble scanning, workers run
+// decode + the defense, and emit observes every Verdict in stream order.
+// Options select the session's protocol (WithProto; default = the first
+// configured pipeline), its in-flight frame bound (WithMaxPending), and
+// its shard-affinity key (WithSessionKey — meaningful on a Fleet,
+// accepted and ignored here).
+//
+// emit is called from a dedicated per-session delivery goroutine with no
+// locks held — a slow consumer throttles only its own session (its
+// un-emitted verdicts count against the session's MaxPending, so its
+// reads eventually block) and never blocks the shared worker pool or
+// other sessions. Process returns once the source is exhausted (or ctx is
+// cancelled) and every in-flight frame has been delivered, so no emit
+// call ever follows the return. A consumer that blocks forever inside
+// emit blocks that return; network callers should bound emit with write
+// deadlines (as cmd/hideseekd does) so a stalled reader errors the
+// session instead.
 //
 // For captures whose detected frames all decode, the scan is
 // byte-identical to whole-capture processing: frames are found at
@@ -94,11 +105,30 @@ func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict)) (S
 // the decision can never change (see DESIGN.md §9 for the invariants,
 // including the one accepted divergence after a frame whose header
 // validates but whose body fails to decode).
+func (e *Engine) Process(ctx context.Context, src Source, emit func(Verdict), opts ...SessionOption) (Stats, error) {
+	return e.process(ctx, src, emit, resolveOpts(opts))
+}
+
+// ProcessProto streams src as one session of the named protocol ("" =
+// the default).
+//
+// Deprecated: use Process with WithProto. ProcessProto survives only so
+// pre-fleet callers compile; it is a thin wrapper with identical
+// behavior.
 func (e *Engine) ProcessProto(ctx context.Context, proto string, src Source, emit func(Verdict)) (Stats, error) {
+	return e.Process(ctx, src, emit, WithProto(proto))
+}
+
+// process runs one session from resolved options; Fleet calls it
+// directly after admission so options are parsed exactly once.
+func (e *Engine) process(ctx context.Context, src Source, emit func(Verdict), so sessionOpts) (Stats, error) {
 	if src == nil {
 		return Stats{}, fmt.Errorf("stream: nil source")
 	}
-	pipe, err := e.pipeline(proto)
+	if so.maxPending < 0 {
+		return Stats{}, fmt.Errorf("stream: max pending %d < 1", so.maxPending)
+	}
+	pipe, err := e.pipeline(so.proto)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -116,10 +146,14 @@ func (e *Engine) ProcessProto(ctx context.Context, proto string, src Source, emi
 	}()
 	obsSessions.Inc()
 	pipe.obs.sessions.Inc()
+	if e.shard != nil {
+		e.shard.sessions.Inc()
+	}
 
-	s := newSession(e, pipe, emit)
+	s := newSession(e, pipe, emit, so)
 
-	buf := make([]complex128, e.cfg.ChunkSize)
+	buf := getCF32(e.cfg.ChunkSize)
+	defer putCF32(buf)
 	var runErr error
 	for {
 		if err := ctx.Err(); err != nil {
@@ -146,6 +180,7 @@ func (e *Engine) ProcessProto(ctx context.Context, proto string, src Source, emi
 		}
 	}
 	s.drain()
+	s.win.release()
 	s.mu.Lock()
 	stats := s.stats
 	s.mu.Unlock()
@@ -220,7 +255,7 @@ func (s *Session) scan(eof bool) {
 		if end > s.win.size() {
 			end = s.win.size() // stream ended mid-frame; decode what exists
 		}
-		frame := make([]complex128, end-relStart)
+		frame := getCF32(end - relStart)
 		copy(frame, w[relStart:end])
 		scanNS := sinceNS(stepStart)
 		var tr *obs.Trace
@@ -246,6 +281,9 @@ func (s *Session) scan(eof bool) {
 		s.pipe.obs.frames.Inc()
 		obsScan.Since(stepStart)
 		obsScanNS.Observe(float64(scanNS))
+		if s.e.shard != nil {
+			s.e.shard.scanNS.Observe(float64(scanNS))
+		}
 		adv := relStart + span
 		if adv > s.win.size() {
 			adv = s.win.size()
@@ -257,24 +295,31 @@ func (s *Session) scan(eof bool) {
 // submit hands a scanned frame to the shared pool, blocking while this
 // session's in-flight bound is reached (ingest backpressure). Frames the
 // bounded queue evicts surface immediately as Dropped verdicts on their
-// owning sessions.
+// owning sessions; tombstones carry the same Proto/TraceID/Degraded
+// labels as worker-path verdicts so downstream consumers never see an
+// unlabelled record.
 func (s *Session) submit(j job) {
 	s.mu.Lock()
-	for s.inflight >= s.e.cfg.MaxPending {
+	for s.inflight >= s.maxPending {
 		s.cond.Wait()
 	}
 	s.inflight++
 	s.mu.Unlock()
 	j.enqueued = time.Now()
 	evicted, ok := s.e.q.push(j)
-	obsQueueDepth.Observe(float64(s.e.q.depth()))
+	depth := float64(s.e.q.depth())
+	obsQueueDepth.Observe(depth)
+	if s.e.shard != nil {
+		s.e.shard.queueDepth.Observe(depth)
+	}
 	for _, ev := range evicted {
 		obsDropped.Inc()
 		ev.pipe.obs.dropped.Inc()
 		ev.trace.AddSpan(traceStageQueue, ev.enqueued, errDroppedOldest)
+		putCF32(ev.frame)
 		ev.sess.deliver(Verdict{
 			Seq: ev.seq, Proto: ev.pipe.name, Offset: ev.offset, SyncPeak: ev.peak,
-			Dropped: true, ScanNS: ev.scanNS, QueueNS: sinceNS(ev.enqueued),
+			Dropped: true, Degraded: ev.sess.degraded, ScanNS: ev.scanNS, QueueNS: sinceNS(ev.enqueued),
 			TraceID: ev.trace.TraceID(), trace: ev.trace,
 		})
 	}
@@ -283,9 +328,10 @@ func (s *Session) submit(j job) {
 		obsDropped.Inc()
 		j.pipe.obs.dropped.Inc()
 		j.trace.AddSpan(traceStageQueue, j.enqueued, errEngineClosed)
+		putCF32(j.frame)
 		s.deliver(Verdict{
 			Seq: j.seq, Proto: j.pipe.name, Offset: j.offset, SyncPeak: j.peak,
-			Dropped: true, ScanNS: j.scanNS,
+			Dropped: true, Degraded: s.degraded, ScanNS: j.scanNS, QueueNS: sinceNS(j.enqueued),
 			TraceID: j.trace.TraceID(), trace: j.trace,
 		})
 	}

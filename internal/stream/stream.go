@@ -54,6 +54,7 @@ import (
 	"hideseek/internal/emulation"
 	"hideseek/internal/obs"
 	"hideseek/internal/phy"
+	"hideseek/internal/phy/zigbeephy"
 	"hideseek/internal/zigbee"
 )
 
@@ -76,21 +77,33 @@ type Config struct {
 	// Pipelines are the victim-PHY pipelines the engine serves, one per
 	// protocol (build them with phy.Build or a protocol adapter's
 	// NewPipeline). The first entry is the default protocol for Process.
-	// When empty, the engine serves a single zigbee pipeline built from
-	// the legacy Receiver/Defense fields below.
+	// Pipelines is the ONE construction path the engine (and Fleet)
+	// reasons about: when empty, applyDefaults synthesizes a single
+	// zigbee pipeline from the deprecated Receiver/Defense fields below,
+	// and from then on only Pipelines is consulted.
 	Pipelines []*phy.Pipeline
-	// Receiver configures the ZigBee receivers (scanner and workers) of
-	// the legacy single-protocol path; ignored when Pipelines is set.
-	// Zero value = zigbee defaults; most callers set SyncThreshold.
+	// Receiver configures the ZigBee receivers of the legacy
+	// single-protocol path; ignored when Pipelines is set.
+	//
+	// Deprecated: set Pipelines (phy.Build("zigbee", opts) or
+	// zigbeephy.NewPipeline for knobs phy.Options does not carry). The
+	// field survives only so pre-fleet callers compile; its one remaining
+	// behavior is the applyDefaults synthesis above.
 	Receiver zigbee.ReceiverConfig
 	// Defense configures the cumulant detector of the legacy
 	// single-protocol path; ignored when Pipelines is set.
+	//
+	// Deprecated: set Pipelines (see Receiver).
 	Defense emulation.DefenseConfig
 	// Tracer, when set, records a per-frame span trace
 	// (scan→sync→queue→decode→detect→deliver) for every scanned frame,
 	// joined to its Verdict via Verdict.TraceID. nil disables tracing;
 	// the pipeline then takes no extra timestamps and allocates nothing.
 	Tracer *obs.Tracer
+
+	// shard carries the fleet's shard-labelled instruments into the
+	// engine; nil for standalone engines.
+	shard *shardObs
 }
 
 func (c *Config) applyDefaults() error {
@@ -111,6 +124,17 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.MaxPending < 1 {
 		return fmt.Errorf("stream: max pending %d < 1", c.MaxPending)
+	}
+	if len(c.Pipelines) == 0 {
+		// Deprecated single-protocol path: synthesize a zigbee pipeline
+		// from the flat Receiver/Defense fields. Building through the
+		// adapter keeps one code path — the parity tests exercise exactly
+		// this route — and it is the fields' only remaining behavior.
+		p, err := zigbeephy.NewPipeline(c.Receiver, c.Defense)
+		if err != nil {
+			return err
+		}
+		c.Pipelines = []*phy.Pipeline{p}
 	}
 	return nil
 }
@@ -143,6 +167,11 @@ type Verdict struct {
 	// Dropped marks a frame discarded by the bounded queue before any
 	// analysis ran.
 	Dropped bool `json:"dropped,omitempty"`
+	// Degraded marks a verdict from a session admitted under the fleet's
+	// degrade tier (raised sync threshold, tightened in-flight budget).
+	// Stamped on every verdict of such a session, including dropped-frame
+	// tombstones, so consumers can weigh reduced-fidelity decisions.
+	Degraded bool `json:"degraded,omitempty"`
 	// Err records a decode or defense failure (the frame produced no
 	// decision; Attack is meaningless). ErrStage names the stage that
 	// failed — StageDecode (demodulation/despreading) or StageDetect
@@ -198,13 +227,13 @@ type Stats struct {
 // the engine is torn down before returning. For shared-pool serving
 // (many sources, one worker pool) build an Engine and call
 // Engine.Process per source instead.
-func Process(ctx context.Context, cfg Config, src Source, emit func(Verdict)) (Stats, error) {
+func Process(ctx context.Context, cfg Config, src Source, emit func(Verdict), opts ...SessionOption) (Stats, error) {
 	e, err := NewEngine(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
 	defer e.Close()
-	return e.Process(ctx, src, emit)
+	return e.Process(ctx, src, emit, opts...)
 }
 
 func sinceNS(t time.Time) int64 { return time.Since(t).Nanoseconds() }

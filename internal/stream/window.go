@@ -31,14 +31,31 @@ func (w *window) size() int { return len(w.buf) - w.start }
 func (w *window) offset() int64 { return w.base }
 
 // append adds a chunk at the tail, compacting the dead prefix first when
-// it dominates the buffer.
+// it dominates the buffer. Growth goes through the sample arena
+// (pool.go) instead of the allocator, dropping the dead prefix in the
+// same move; release returns the backing to the arena when the session
+// ends.
 func (w *window) append(chunk []complex128) {
 	if w.start > 0 && w.start >= w.size() {
 		n := copy(w.buf, w.buf[w.start:])
 		w.buf = w.buf[:n]
 		w.start = 0
 	}
+	if live := w.size(); live+len(chunk) > cap(w.buf)-w.start {
+		nb := getCF32(live + len(chunk))[:live]
+		copy(nb, w.buf[w.start:])
+		putCF32(w.buf)
+		w.buf = nb
+		w.start = 0
+	}
 	w.buf = append(w.buf, chunk...)
+}
+
+// release returns the backing buffer to the arena. The window must not be
+// used again afterwards.
+func (w *window) release() {
+	putCF32(w.buf)
+	w.buf, w.start = nil, 0
 }
 
 // discard drops n samples from the head.

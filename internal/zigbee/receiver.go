@@ -108,6 +108,24 @@ func (rx *Receiver) Clone() *Receiver {
 	return &Receiver{cfg: rx.cfg, syncRef: rx.syncRef, sync: rx.sync.Clone()}
 }
 
+// SyncThreshold reports the receiver's effective preamble sync threshold
+// (after config defaulting).
+func (rx *Receiver) SyncThreshold() float64 { return rx.cfg.SyncThreshold }
+
+// CloneWithSyncThreshold is Clone with the sync threshold replaced: the
+// clone shares the immutable sync reference and correlation plan (the
+// threshold is only consulted at decision time, never baked into the
+// plan), so re-thresholding is as cheap as Clone. The streaming tier's
+// degraded admission mode uses it to raise the sync bar under overload.
+func (rx *Receiver) CloneWithSyncThreshold(t float64) (*Receiver, error) {
+	if t < 0 || t > 1 {
+		return nil, fmt.Errorf("zigbee: sync threshold %v outside [0, 1]", t)
+	}
+	c := rx.Clone()
+	c.cfg.SyncThreshold = t
+	return c, nil
+}
+
 // Reception captures everything the receiver extracted from one waveform.
 type Reception struct {
 	// PSDU is the decoded MAC-layer payload (nil if decoding failed).
