@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-check soak soak-smoke experiments manifest-smoke stream-smoke lora-smoke obs-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check soak soak-smoke experiments manifest-smoke stream-smoke lora-smoke obs-smoke calib-smoke examples clean
 
 all: build vet test
 
@@ -80,6 +80,13 @@ lora-smoke:
 # shutdown trace NDJSON to the classify verdicts.
 obs-smoke:
 	$(GO) test ./cmd/hideseekd -run TestObsSmoke -count=1
+
+# Smoke-test online calibration: boot hideseekd with -calib, warm the
+# zigbee class up with labeled traffic, check the fitted threshold lands
+# between the class populations, inject a drifted authentic population,
+# and assert the drift counters / threshold gauge / admin endpoints.
+calib-smoke:
+	$(GO) test ./cmd/hideseekd -run TestCalibSmoke -count=1
 
 examples:
 	$(GO) run ./examples/quickstart

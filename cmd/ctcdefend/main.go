@@ -3,6 +3,8 @@
 // channel and prints each one's detection statistics and verdict. -proto
 // selects the victim PHY: zigbee (constellation cumulants + D²E, the
 // default) or lora (dechirp off-peak energy ratio, the Wi-Lo defense).
+// -stream n replays n frames per class: zigbee through the k-of-n
+// cumulant monitor, lora through the generic streaming engine.
 //
 // Usage:
 //
@@ -45,21 +47,18 @@ func run() error {
 	snr := flag.Float64("snr", 15, "AWGN SNR in dB")
 	threshold := flag.Float64("threshold", 0, "decision threshold Q (0 = protocol default)")
 	realEnv := flag.Bool("real", false, "add multipath, Doppler and CFO (real environment, Sec. VI-C)")
-	streamN := flag.Int("stream", 0, "run the k-of-n streaming monitor over this many frames per class (0 = single-shot, zigbee only)")
+	streamN := flag.Int("stream", 0, "stream this many frames per class: zigbee runs the k-of-n monitor, lora the generic engine (0 = single-shot)")
 	in := flag.String("in", "", "classify a captured 4 MS/s waveform file (.cf32 or .csv) instead of generated ones")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	if *streamN > 0 && *proto != "zigbee" {
-		return fmt.Errorf("-stream (the k-of-n cumulant monitor) only supports -proto zigbee")
-	}
 	if *in != "" {
 		return classifyFile(*in, *proto, *threshold, *realEnv)
 	}
 	switch *proto {
 	case "zigbee":
 	case "lora":
-		return runLoRa(*payload, *snr, *threshold, *realEnv, *seed)
+		return runLoRa(*payload, *snr, *threshold, *realEnv, *seed, *streamN)
 	default:
 		return fmt.Errorf("-proto %q not supported (registered: %v)", *proto, phy.Protocols())
 	}
@@ -150,10 +149,11 @@ func run() error {
 	return analyze("emulated", res.Emulated4M)
 }
 
-// runLoRa is the Wi-Lo single-shot demo: one authentic CSS frame and its
-// WiFi-emulated counterpart through the channel, classified by the
-// dechirp off-peak-energy defense.
-func runLoRa(payload string, snr, threshold float64, realEnv bool, seed int64) error {
+// runLoRa is the Wi-Lo demo: authentic CSS frames and their WiFi-emulated
+// counterparts through the channel, classified by the dechirp
+// off-peak-energy defense — single-shot by default, or streamN frames per
+// class through the generic streaming engine.
+func runLoRa(payload string, snr, threshold float64, realEnv bool, seed int64, streamN int) error {
 	tx := lora.NewTransmitter()
 	observed, err := tx.TransmitPayload([]byte(payload))
 	if err != nil {
@@ -166,6 +166,9 @@ func runLoRa(payload string, snr, threshold float64, realEnv bool, seed int64) e
 	res, err := em.Emulate(observed)
 	if err != nil {
 		return err
+	}
+	if streamN > 0 {
+		return runLoRaStream(observed, res.Emulated4M, snr, threshold, realEnv, streamN, seed)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	ch, err := buildChannel(snr, realEnv, lora.SampleRate, rng)
@@ -203,6 +206,77 @@ func runLoRa(payload string, snr, threshold float64, realEnv bool, seed int64) e
 		return err
 	}
 	return analyze("emulated", res.Emulated4M)
+}
+
+// loraStreamCapture renders the streaming demo's input: frames authentic
+// CSS frames followed by frames emulated ones, each through its own
+// channel realization, embedded in a noise-floor capture. The
+// channel-applied waveforms are returned alongside so single-shot
+// classification can run on exactly the same inputs (the parity test).
+func loraStreamCapture(observed, emulated []complex128, snr float64, realEnv bool, frames int, seed int64) ([][]complex128, []complex128, error) {
+	rng := rand.New(rand.NewSource(seed))
+	wfs := make([][]complex128, 0, 2*frames)
+	for _, wave := range [][]complex128{observed, emulated} {
+		for i := 0; i < frames; i++ {
+			ch, err := buildChannel(snr, realEnv, lora.SampleRate, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			wfs = append(wfs, ch.Apply(wave))
+		}
+	}
+	capture, err := stream.BuildCapture(rng, 1e-3, 500, wfs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return wfs, capture, nil
+}
+
+// loraStreamVerdicts classifies a capture through the generic streaming
+// engine with the registry-built lora pipeline — the same path hideseekd
+// serves, where the calibration stage hooks in.
+func loraStreamVerdicts(capture []complex128, threshold float64, realEnv bool) ([]stream.Verdict, stream.Stats, error) {
+	pipe, err := phy.Build("lora", phy.Options{Threshold: threshold, RealEnv: realEnv})
+	if err != nil {
+		return nil, stream.Stats{}, err
+	}
+	var verdicts []stream.Verdict
+	stats, err := stream.Process(context.Background(), stream.Config{Pipelines: []*phy.Pipeline{pipe}},
+		stream.NewSliceSource(capture), func(v stream.Verdict) {
+			verdicts = append(verdicts, v)
+		})
+	return verdicts, stats, err
+}
+
+// runLoRaStream prints the generic-engine verdict stream for the demo
+// capture: the first half of the frames is authentic, the second half
+// emulated.
+func runLoRaStream(observed, emulated []complex128, snr, threshold float64, realEnv bool, frames int, seed int64) error {
+	_, capture, err := loraStreamCapture(observed, emulated, snr, realEnv, frames, seed)
+	if err != nil {
+		return err
+	}
+	verdicts, stats, err := loraStreamVerdicts(capture, threshold, realEnv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lora streaming engine: %d authentic frames, then %d emulated frames\n", frames, frames)
+	for i, v := range verdicts {
+		if !v.Decided() {
+			fmt.Printf("frame %2d @%d: not classified (%s)\n", i, v.Offset, v.Err)
+			continue
+		}
+		verdict := "AUTHENTIC (H0)"
+		if v.Attack {
+			verdict = "ATTACK (H1)"
+		}
+		fmt.Printf("frame %2d @%d: payload %q  D² = %.4f  → %s\n", i, v.Offset, v.PSDU, v.DistanceSquared, verdict)
+	}
+	if stats.Frames == 0 {
+		return fmt.Errorf("no decodable lora frame in the generated capture")
+	}
+	writeLatencySummary(os.Stderr, stats, obs.Snap())
+	return nil
 }
 
 // buildChannel assembles the demo channel: AWGN, optionally preceded by

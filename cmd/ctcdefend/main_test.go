@@ -4,9 +4,74 @@ import (
 	"strings"
 	"testing"
 
+	"hideseek/internal/emulation"
+	"hideseek/internal/lora"
 	"hideseek/internal/obs"
 	"hideseek/internal/stream"
 )
+
+// TestLoRaStreamParity: `-proto lora -stream` routes through the generic
+// streaming engine; its verdicts must agree with single-shot mode
+// (receiver + detector on the same channel-applied waveforms) on payload
+// and classification for every frame.
+func TestLoRaStreamParity(t *testing.T) {
+	payload := []byte("00000")
+	observed, err := lora.NewTransmitter().TransmitPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := emulation.NewEmulator(emulation.AttackConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Emulate(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const frames = 2
+	wfs, capture, err := loraStreamCapture(observed, res.Emulated4M, 15, false, frames, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, stats, err := loraStreamVerdicts(capture, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 2*frames || stats.Frames != 2*frames {
+		t.Fatalf("stream found %d verdicts / %d frames, want %d", len(verdicts), stats.Frames, 2*frames)
+	}
+
+	rx, err := lora.NewReceiver(lora.ReceiverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := lora.NewDetector(lora.DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wf := range wfs {
+		rec, err := rx.Receive(wf)
+		if err != nil {
+			t.Fatalf("single-shot frame %d: %v", i, err)
+		}
+		single, err := det.AnalyzeReception(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := verdicts[i]
+		if !v.Decided() {
+			t.Fatalf("stream frame %d undecided: dropped=%v err=%q", i, v.Dropped, v.Err)
+		}
+		if v.Attack != single.Attack || string(v.PSDU) != string(rec.Payload) {
+			t.Errorf("frame %d: stream (attack=%v payload=%q) vs single-shot (attack=%v payload=%q)",
+				i, v.Attack, v.PSDU, single.Attack, rec.Payload)
+		}
+		if wantAttack := i >= frames; single.Attack != wantAttack {
+			t.Errorf("frame %d: single-shot attack=%v, want %v", i, single.Attack, wantAttack)
+		}
+	}
+}
 
 func TestWriteLatencySummary(t *testing.T) {
 	snap := obs.Snapshot{

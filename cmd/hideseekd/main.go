@@ -20,18 +20,30 @@
 // keeping accepted sessions' latency bounded instead of letting every
 // session slowly starve.
 //
+// With -calib the fleet runs the online calibration stage (internal/calib):
+// per-protocol session classes track rolling D² distributions, fit the
+// authentic/emulated decision boundary from labeled warmup traffic
+// (?calib_label=authentic|emulated on /v1/classify and /v1/stream marks a
+// session's frames with operator ground truth; ?calib_class=<name> groups
+// sessions into a non-default class), and monitor for drift. GET /v1/calib
+// reports every class's threshold, source, fit, and drift status; PUT
+// /v1/calib applies operator overrides, clears them, or re-arms warmup.
+//
 // Endpoints:
 //
 //	POST /v1/classify   cf32 body in, one JSON document out (all verdicts + stats)
 //	POST /v1/stream     cf32 body in, NDJSON out (one verdict per line, stats trailer)
 //	GET  /healthz       liveness: per-shard table (load + admission tier), pool
 //	                    status, build identity, runtime gauges, rolling
-//	                    last-60s/last-2min stage-latency windows
+//	                    last-60s/last-2min stage-latency windows, and the
+//	                    calibration table when -calib is on
 //	GET  /v1/obs        instrument snapshot (JSON; ?format=prometheus for text format)
 //	GET  /metrics       Prometheus text exposition (counters, summaries,
 //	                    cumulative histograms, windowed quantile gauges,
 //	                    per-shard stream.shard<i>.* series)
 //	GET  /v1/traces     recent per-frame span traces as NDJSON (?n=max)
+//	GET  /v1/calib      online-calibration status per session class
+//	PUT  /v1/calib      operator threshold override / clear / re-arm warmup
 //
 // With -tcp the daemon also accepts raw TCP connections carrying cf32
 // bytes (an SDR pipe, netcat) and answers with NDJSON verdicts on the
@@ -53,6 +65,7 @@
 //	          [-admission] [-workers n] [-queue n] [-chunk n] [-pending n]
 //	          [-threshold q] [-real] [-sync t] [-deadline d] [-manifest out.json]
 //	          [-traces n] [-tracefile out.ndjson]
+//	          [-calib] [-calib-warmup n] [-calib-drift-every d]
 package main
 
 import (
@@ -74,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"hideseek/internal/calib"
 	"hideseek/internal/iq"
 	"hideseek/internal/obs"
 	"hideseek/internal/phy"
@@ -110,6 +124,9 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	manifest := fs.String("manifest", "", "write a kind=service run manifest here on shutdown")
 	traces := fs.Int("traces", 256, "per-frame span traces kept queryable at /v1/traces (0 disables tracing)")
 	traceFile := fs.String("tracefile", "", "append every completed span trace as NDJSON here")
+	calibOn := fs.Bool("calib", false, "online calibration: fit per-class detection thresholds from labeled warmup traffic, monitor drift (/v1/calib)")
+	calibWarmup := fs.Int("calib-warmup", 0, "labeled samples per class before the boundary fits (0 = calibration default)")
+	calibDriftEvery := fs.Duration("calib-drift-every", 0, "drift-evaluation throttle (0 = calibration default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,14 +183,23 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		return fmt.Errorf("-protos %q selects no protocols", *protos)
 	}
 
+	var calCfg *calib.Config
+	if *calibOn {
+		calCfg = &calib.Config{WarmupPerClass: *calibWarmup, DriftCheckEvery: *calibDriftEvery}
+	} else if *calibWarmup != 0 || *calibDriftEvery != 0 {
+		closeTracer()
+		return fmt.Errorf("-calib-warmup / -calib-drift-every require -calib")
+	}
+
 	fleet, err := stream.NewFleet(stream.FleetConfig{
 		Config: stream.Config{
-			ChunkSize:  *chunk,
-			Workers:    *workers,
-			QueueDepth: *queue,
-			MaxPending: *pending,
-			Pipelines:  pipelines,
-			Tracer:     tracer,
+			ChunkSize:   *chunk,
+			Workers:     *workers,
+			QueueDepth:  *queue,
+			MaxPending:  *pending,
+			Pipelines:   pipelines,
+			Tracer:      tracer,
+			Calibration: calCfg,
 		},
 		Shards:    *shards,
 		Admission: stream.AdmissionConfig{Enabled: *admission},
@@ -285,6 +311,7 @@ func (d *daemon) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/stream", d.handleStream)
 	mux.HandleFunc("/v1/obs", d.handleObs)
 	mux.HandleFunc("/v1/traces", d.handleTraces)
+	mux.HandleFunc("/v1/calib", d.handleCalib)
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealth)
 	return mux
@@ -318,6 +345,25 @@ func (d *daemon) sessionProto(r *http.Request) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("protocol %q not served (have %v)", proto, d.fleet.Protocols())
+}
+
+// calibOptions resolves a request's calibration selectors: operator
+// ground truth for warmup traffic (?calib_label=authentic|emulated) and a
+// non-default session class (?calib_class=<name>). Both are no-ops when
+// the daemon runs without -calib, matching the stream package's contract.
+func calibOptions(r *http.Request) ([]stream.SessionOption, error) {
+	var opts []stream.SessionOption
+	if s := r.URL.Query().Get("calib_label"); s != "" {
+		l, err := calib.ParseLabel(s)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, stream.WithWarmupLabel(l))
+	}
+	if class := r.URL.Query().Get("calib_class"); class != "" {
+		opts = append(opts, stream.WithCalibClass(class))
+	}
+	return opts, nil
 }
 
 // sessionKey picks a request's shard-affinity key: an explicit
@@ -358,6 +404,11 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	calOpts, err := calibOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	ctx := r.Context()
 	rc := http.NewResponseController(w)
 	// Unblock a pending body read when the daemon shuts down mid-upload.
@@ -375,9 +426,10 @@ func (d *daemon) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}}
 	verdicts := make([]stream.Verdict, 0)
+	opts := append([]stream.SessionOption{stream.WithProto(proto), stream.WithSessionKey(sessionKey(r))}, calOpts...)
 	stats, err := d.fleet.Process(ctx, src, func(v stream.Verdict) {
 		verdicts = append(verdicts, v)
-	}, stream.WithProto(proto), stream.WithSessionKey(sessionKey(r)))
+	}, opts...)
 	if err != nil {
 		http.Error(w, err.Error(), sessionStatus(err))
 		return
@@ -395,6 +447,11 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	proto, err := d.sessionProto(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	calOpts, err := calibOptions(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -444,7 +501,7 @@ func (d *daemon) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rc.Flush()
-	}, stream.WithProto(proto), stream.WithSessionKey(sessionKey(r)))
+	}, append([]stream.SessionOption{stream.WithProto(proto), stream.WithSessionKey(sessionKey(r))}, calOpts...)...)
 	if errors.Is(err, stream.ErrShed) {
 		// Rejected at admission: no verdict was emitted, the header is
 		// still ours to set. The body was never read (admission decides
@@ -503,6 +560,81 @@ func (d *daemon) handleTraces(w http.ResponseWriter, r *http.Request) {
 	d.tracer.WriteRecent(w, max)
 }
 
+// calibStatus is the GET /v1/calib reply.
+type calibStatus struct {
+	Enabled bool           `json:"enabled"`
+	Classes []calib.Status `json:"classes,omitempty"`
+}
+
+// calibUpdate is the PUT /v1/calib body. Operations compose in precedence
+// order: an override is applied first, then clear_override, then rearm —
+// but a typical call carries exactly one.
+type calibUpdate struct {
+	// Class names the session class to operate on (required).
+	Class string `json:"class"`
+	// Threshold sets an operator override (outranks fitted and default).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// ClearOverride drops the operator override.
+	ClearOverride bool `json:"clear_override,omitempty"`
+	// Rearm drops the fitted boundary and restarts warmup.
+	Rearm bool `json:"rearm,omitempty"`
+}
+
+// handleCalib is the online-calibration admin surface: GET reports every
+// session class's threshold/fit/drift status, PUT applies operator
+// operations to one class.
+func (d *daemon) handleCalib(w http.ResponseWriter, r *http.Request) {
+	mgr := d.fleet.Calibration()
+	switch r.Method {
+	case http.MethodGet:
+		st := calibStatus{Enabled: mgr != nil}
+		if mgr != nil {
+			st.Classes = mgr.Status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	case http.MethodPut:
+		if mgr == nil {
+			http.Error(w, "online calibration disabled (start with -calib)", http.StatusNotFound)
+			return
+		}
+		var up calibUpdate
+		if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+			http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if up.Class == "" {
+			http.Error(w, "class is required", http.StatusBadRequest)
+			return
+		}
+		cal, ok := mgr.Lookup(up.Class)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown calibration class %q (classes appear with their first session)", up.Class), http.StatusNotFound)
+			return
+		}
+		if up.Threshold == nil && !up.ClearOverride && !up.Rearm {
+			http.Error(w, "no operation: set threshold, clear_override, or rearm", http.StatusBadRequest)
+			return
+		}
+		if up.Threshold != nil {
+			if err := cal.SetOverride(*up.Threshold); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if up.ClearOverride {
+			cal.ClearOverride()
+		}
+		if up.Rearm {
+			cal.Rearm()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(cal.Status())
+	default:
+		http.Error(w, "GET for status, PUT for operator operations", http.StatusMethodNotAllowed)
+	}
+}
+
 // health is the /healthz document: liveness, fleet state (per-shard load
 // and admission tier), build identity, runtime gauges, and the rolling
 // per-stage latency windows — enough to tell what the service is and how
@@ -517,6 +649,7 @@ type health struct {
 	ActiveSessions int                          `json:"active_sessions"`
 	QueueDepth     int                          `json:"queue_depth"`
 	ShardTable     []stream.ShardStatus         `json:"shard_table"`
+	Calibration    []calib.Status               `json:"calibration,omitempty"`
 	Build          obs.BuildStats               `json:"build"`
 	Runtime        obs.RuntimeStats             `json:"runtime"`
 	Windows        map[string]obs.WindowedStats `json:"windows"`
@@ -536,8 +669,7 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 			windows[name] = ws
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(health{
+	h := health{
 		Status:         "ok",
 		UptimeMS:       float64(time.Since(d.start).Microseconds()) / 1000,
 		Protocols:      d.fleet.Protocols(),
@@ -550,7 +682,12 @@ func (d *daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Build:          obs.ReadBuild(),
 		Runtime:        snap.Runtime,
 		Windows:        windows,
-	})
+	}
+	if mgr := d.fleet.Calibration(); mgr != nil {
+		h.Calibration = mgr.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
 }
 
 // serveTCP accepts raw connections until the listener closes.

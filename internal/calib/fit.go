@@ -1,0 +1,116 @@
+package calib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FitBoundary fits the minimum-overlap decision cut between two labeled
+// D² sample sets: the threshold t minimizing the empirical error mass
+// frac(auth > t) + frac(emul ≤ t). The cost is a step function changing
+// only at sample values, so the minimum is a plateau in threshold space;
+// the midpoint of the first minimizing plateau is returned (for separated
+// classes that is the midpoint between the authentic maximum and the
+// emulated minimum — the paper's midpoint rule, Sec. VII-B), so the cut
+// keeps equal margin to both classes instead of hugging one tail. The
+// overlap cost at the cut is returned alongside (0 = perfectly separated,
+// approaching 1 = inseparable).
+//
+// This is the same rule the streaming Calibrator applies to its binned
+// rolling distributions; the calib-roc experiment calls it directly on
+// raw samples so the offline and online boundaries share one definition.
+func FitBoundary(auth, emul []float64) (cut, cost float64, err error) {
+	if len(auth) == 0 || len(emul) == 0 {
+		return 0, 0, fmt.Errorf("calib: both classes need samples (auth %d, emul %d)", len(auth), len(emul))
+	}
+	a := append([]float64(nil), auth...)
+	e := append([]float64(nil), emul...)
+	sort.Float64s(a)
+	sort.Float64s(e)
+
+	// Distinct candidate values from the merged union; cost(t) is constant
+	// on [vals[i], vals[i+1]).
+	vals := make([]float64, 0, len(a)+len(e))
+	for ai, ei := 0, 0; ai < len(a) || ei < len(e); {
+		var v float64
+		switch {
+		case ai >= len(a):
+			v = e[ei]
+		case ei >= len(e):
+			v = a[ai]
+		case a[ai] <= e[ei]:
+			v = a[ai]
+		default:
+			v = e[ei]
+		}
+		for ai < len(a) && a[ai] == v {
+			ai++
+		}
+		for ei < len(e) && e[ei] == v {
+			ei++
+		}
+		vals = append(vals, v)
+	}
+	an, en := float64(len(a)), float64(len(e))
+	costs := make([]float64, len(vals))
+	best := 2.0
+	ai, ei := 0, 0
+	for i, v := range vals {
+		for ai < len(a) && a[ai] <= v {
+			ai++
+		}
+		for ei < len(e) && e[ei] <= v {
+			ei++
+		}
+		costs[i] = float64(len(a)-ai)/an + float64(ei)/en
+		if costs[i] < best {
+			best = costs[i]
+		}
+	}
+	lo, hi := plateau(vals, costs, best)
+	return (lo + hi) / 2, best, nil
+}
+
+// plateau locates the first run of candidates at minimal cost and returns
+// its extent in threshold space: from the run's first value to the next
+// candidate where the cost rises (the plateau's open upper end), or the
+// run's last value when the plateau reaches the final candidate.
+func plateau(vals, costs []float64, best float64) (lo, hi float64) {
+	const tol = 1e-12
+	i := 0
+	for costs[i] > best+tol {
+		i++
+	}
+	j := i
+	for j+1 < len(costs) && costs[j+1] <= best+tol {
+		j++
+	}
+	if j+1 < len(vals) {
+		return vals[i], vals[j+1]
+	}
+	return vals[i], vals[j]
+}
+
+// fitBinned is FitBoundary over two merged bin-count vectors (the
+// Calibrator's rolling distributions): candidate cuts are the bin upper
+// edges, cost(t) is constant over each bin's width, and the first
+// minimizing plateau's midpoint is returned in value space.
+func fitBinned(auth, emul []uint64, authN, emulN uint64, max float64) (cut, cost float64) {
+	bins := len(auth)
+	an, en := float64(authN), float64(emulN)
+	edges := make([]float64, bins-1)
+	costs := make([]float64, bins-1)
+	best := 2.0
+	var authBelow, emulBelow uint64
+	for k := 0; k < bins-1; k++ {
+		authBelow += auth[k]
+		emulBelow += emul[k]
+		edges[k] = float64(k+1) * max / float64(bins)
+		costs[k] = float64(authN-authBelow)/an + float64(emulBelow)/en
+		if costs[k] < best {
+			best = costs[k]
+		}
+	}
+	lo, hi := plateau(edges, costs, best)
+	return (lo + hi) / 2, best
+}

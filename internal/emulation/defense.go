@@ -211,6 +211,19 @@ func (d *Detector) AnalyzePoints(points []complex128) (*Verdict, error) {
 // Threshold returns the configured Q.
 func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
 
+// CloneWithThreshold returns a detector identical to d except for its
+// decision threshold — the re-thresholding primitive behind the online
+// calibration stage (phy.DetectTuner). The QPSK reference cumulants are
+// shared; the clone is as stateless and concurrency-safe as d.
+func (d *Detector) CloneWithThreshold(t float64) (*Detector, error) {
+	if t <= 0 {
+		return nil, fmt.Errorf("emulation: threshold %v must be > 0", t)
+	}
+	clone := *d
+	clone.cfg.Threshold = t
+	return &clone, nil
+}
+
 // CalibrateThreshold picks a decision threshold from training D² samples of
 // both classes (the paper uses the first 50 waveforms of each link,
 // Sec. VII-B): the midpoint between the maximum authentic distance and the

@@ -86,6 +86,19 @@ func NewDetector(cfg DetectorConfig) (*Detector, error) {
 // Threshold reports the configured decision boundary.
 func (d *Detector) Threshold() float64 { return d.cfg.Threshold }
 
+// CloneWithThreshold returns a detector identical to d except for its
+// decision boundary — the re-thresholding primitive behind the online
+// calibration stage (phy.DetectTuner). Same validity range as
+// NewDetector.
+func (d *Detector) CloneWithThreshold(t float64) (*Detector, error) {
+	if t <= 0 || t >= 1 {
+		return nil, fmt.Errorf("lora: detector threshold %v outside (0, 1)", t)
+	}
+	clone := *d
+	clone.cfg.Threshold = t
+	return &clone, nil
+}
+
 // AnalyzeReception classifies one decoded frame.
 func (d *Detector) AnalyzeReception(rec *Reception) (Verdict, error) {
 	if rec == nil || len(rec.Concentrations) == 0 {

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Gauge is a named last-value instrument: a float64 set point (a
+// calibrated threshold, a table size) rather than a monotone tally.
+// Writes and reads are single atomic operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value Set (zero before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// G returns the named gauge from the standard registry.
+func G(name string) *Gauge { return std.Gauge(name) }

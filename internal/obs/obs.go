@@ -34,6 +34,7 @@ type Registry struct {
 	counters map[string]*Counter
 	timers   map[string]*Timer
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -42,6 +43,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		timers:   map[string]*Timer{},
 		hists:    map[string]*Histogram{},
+		gauges:   map[string]*Gauge{},
 	}
 }
 
@@ -94,6 +96,7 @@ func (r *Registry) Reset() {
 	r.counters = map[string]*Counter{}
 	r.timers = map[string]*Timer{}
 	r.hists = map[string]*Histogram{}
+	r.gauges = map[string]*Gauge{}
 }
 
 // names returns the sorted instrument names of one kind (for stable

@@ -19,6 +19,8 @@ import (
 //     _count) plus rolling-window quantile gauges
 //     hideseek_stream_scan_ns_p50{window="60s"} etc. for the non-empty
 //     windows.
+//   - Gauge "calib_threshold.zigbee" → hideseek_calib_threshold_zigbee
+//     (gauge): last set value, no suffix.
 //
 // Histogram values keep the unit their obs name declares (_ns, _us,
 // plain depth); only timers are converted, because their unit (duration)
@@ -138,6 +140,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 				p.sample(fam+q.suffix, fmt.Sprintf("window=%q", ws.label), q.pick(ws.stats))
 			}
 		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fam := promName(name)
+		p.printf("# TYPE %s gauge\n", fam)
+		p.sample(fam, "", s.Gauges[name])
 	}
 	writeRuntimeProm(p, s.Runtime)
 	return p.err

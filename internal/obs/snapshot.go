@@ -22,6 +22,10 @@ type Snapshot struct {
 	// summaries — the "right now" view a long-running daemon needs next
 	// to the cumulative-since-boot Histograms.
 	Windows map[string]WindowedStats `json:"windows,omitempty"`
+	// Gauges carries each gauge's last set value (calibrated thresholds
+	// and other set points). Omitted when the registry has none, so
+	// manifests from gauge-free runs are unchanged.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Runtime is the Go runtime state at snapshot time.
 	Runtime RuntimeStats `json:"runtime"`
 }
@@ -40,6 +44,10 @@ func (r *Registry) Snap() Snapshot {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
 	}
 	r.mu.Unlock()
 
@@ -64,6 +72,12 @@ func (r *Registry) Snap() Snapshot {
 	for _, name := range sortedKeys(hists) {
 		snap.Histograms[name] = hists[name].Summary()
 		snap.Windows[name] = hists[name].Windowed()
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for _, name := range sortedKeys(gauges) {
+			snap.Gauges[name] = gauges[name].Value()
+		}
 	}
 	return snap
 }

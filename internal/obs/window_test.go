@@ -69,6 +69,38 @@ func TestWindowSlotReuse(t *testing.T) {
 	}
 }
 
+// TestWindowFullyStaleRing: with EVERY ring slot populated and then aged
+// past the ring's reach, both windows must report empty stats — zero
+// count and zeroed quantiles, never the stale slots' values. The
+// calibration drift monitor leans on this edge: an idle session's window
+// must read as "no data", not as the last traffic it ever saw.
+func TestWindowFullyStaleRing(t *testing.T) {
+	var w histWindow
+	for i := 0; i < windowSlots; i++ {
+		w.observe(float64(1000+i), base.Add(time.Duration(i)*windowSlotDur))
+	}
+	full := base.Add((windowSlots - 1) * windowSlotDur)
+	if st := w.stats(full, WindowLong); st.Count != windowSlots {
+		t.Fatalf("full ring count %d, want %d", st.Count, windowSlots)
+	}
+	// Far past the ring's reach every slot is stale.
+	later := full.Add(10 * WindowLong)
+	for _, width := range []time.Duration{WindowShort, WindowLong} {
+		st := w.stats(later, width)
+		if st.Count != 0 || st.Sum != 0 {
+			t.Errorf("stale ring reports count/sum %d/%g over %v", st.Count, st.Sum, width)
+		}
+		if st.Min != 0 || st.Max != 0 || st.P50 != 0 || st.P95 != 0 || st.P99 != 0 {
+			t.Errorf("stale ring leaks quantiles over %v: %+v", width, st)
+		}
+	}
+	// And a single fresh observation fully owns the reused slot.
+	w.observe(7, later)
+	if st := w.stats(later, WindowShort); st.Count != 1 || st.Min != 7 || st.Max != 7 {
+		t.Errorf("post-stale observation stats %+v, want the single fresh sample", st)
+	}
+}
+
 func TestWindowMergesAcrossSlots(t *testing.T) {
 	var w histWindow
 	w.observe(1, base)

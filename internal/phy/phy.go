@@ -107,6 +107,24 @@ type Detector interface {
 	Analyze(rec Reception) (Detection, error)
 }
 
+// DetectTuner is an optional Detector capability, the detect-side mirror
+// of SyncTuner: a detector that can report its decision threshold (Q in
+// the paper's hypothesis test) and produce a cheap re-thresholded clone
+// sharing its immutable reference state. The online calibration stage
+// (internal/calib, threaded through internal/stream) uses it to apply a
+// fitted or operator-overridden threshold per session without touching
+// the shared pipeline detector; detectors without the capability keep
+// their configured threshold and only feed the drift monitor.
+type DetectTuner interface {
+	Detector
+	// DetectThreshold reports the effective decision threshold.
+	DetectThreshold() float64
+	// CloneWithDetectThreshold returns a Detector identical to this one
+	// except for its decision threshold (t must be in the detector's
+	// valid range).
+	CloneWithDetectThreshold(t float64) (Detector, error)
+}
+
 // Pipeline bundles one protocol's receiver prototype and shared detector
 // under its registry name — the unit the streaming engine serves.
 type Pipeline struct {

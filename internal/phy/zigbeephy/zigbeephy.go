@@ -118,6 +118,18 @@ type Detector struct {
 	Det *emulation.Detector
 }
 
+// DetectThreshold implements phy.DetectTuner.
+func (d Detector) DetectThreshold() float64 { return d.Det.Threshold() }
+
+// CloneWithDetectThreshold implements phy.DetectTuner.
+func (d Detector) CloneWithDetectThreshold(t float64) (phy.Detector, error) {
+	det, err := d.Det.CloneWithThreshold(t)
+	if err != nil {
+		return nil, err
+	}
+	return Detector{det}, nil
+}
+
 // Analyze implements phy.Detector.
 func (d Detector) Analyze(rec phy.Reception) (phy.Detection, error) {
 	zr, ok := rec.(Reception)

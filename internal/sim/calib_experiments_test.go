@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hideseek/internal/runner"
+)
+
+const calibROCGolden = "../../results/calib_roc.csv"
+
+// TestCalibROCGoldenAndGap pins the committed fixed-vs-adaptive CSV and
+// asserts the ROC gap the ROADMAP asks for: once the channel has drifted
+// away from the warmup condition, the boundary fit once at warmup must be
+// measurably worse than the per-phase refit, in BOTH drift scenarios.
+// Regenerate the golden with UPDATE_CALIB_GOLDEN=1 go test ./internal/sim
+// -run TestCalibROCGoldenAndGap.
+func TestCalibROCGoldenAndGap(t *testing.T) {
+	res, err := CalibROC(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	if os.Getenv("UPDATE_CALIB_GOLDEN") != "" {
+		if err := os.WriteFile(filepath.FromSlash(calibROCGolden), []byte(csv), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(filepath.FromSlash(calibROCGolden))
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with UPDATE_CALIB_GOLDEN=1): %v", err)
+	}
+	if string(want) != csv {
+		t.Errorf("calib-roc CSV drifted from the committed golden\n--- golden ---\n%s--- got ---\n%s", want, csv)
+	}
+
+	first := map[string]CalibROCPhase{}
+	last := map[string]CalibROCPhase{}
+	for _, p := range res.Phases {
+		if _, ok := first[p.Scenario]; !ok {
+			first[p.Scenario] = p
+		}
+		last[p.Scenario] = p
+	}
+	if len(last) != 2 {
+		t.Fatalf("%d scenarios, want 2 (slow-fade, cfo-ramp)", len(last))
+	}
+	for name, p := range first {
+		// At the warmup phase the two detectors are the same fit.
+		if p.FixedQ != p.AdaptiveQ {
+			t.Errorf("%s warmup: fixed Q %v != adaptive Q %v", name, p.FixedQ, p.AdaptiveQ)
+		}
+	}
+	for name, p := range last {
+		if p.AuthN == 0 || p.EmulN == 0 {
+			t.Errorf("%s final phase scored no samples (%d auth, %d emul)", name, p.AuthN, p.EmulN)
+			continue
+		}
+		if gap := p.FixedErr() - p.AdaptiveErr(); gap < 0.15 {
+			t.Errorf("%s final phase: fixed err %.3f vs adaptive err %.3f — gap %.3f < 0.15",
+				name, p.FixedErr(), p.AdaptiveErr(), gap)
+		}
+	}
+}
+
+// TestCalibROCDeterministicAcrossWorkerCounts: the golden above is only a
+// golden if the driver renders byte-identically at any pool width.
+func TestCalibROCDeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := runner.DefaultWorkers()
+	defer runner.SetDefaultWorkers(prev)
+
+	render := func(workers int) string {
+		runner.SetDefaultWorkers(workers)
+		res, err := CalibROC(Config{Seed: 5, Trials: 8})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.CSV()
+	}
+	serial := render(1)
+	if got := render(8); got != serial {
+		t.Errorf("workers=8 CSV differs from serial run:\n--- serial ---\n%s\n--- workers=8 ---\n%s", serial, got)
+	}
+}

@@ -136,6 +136,10 @@ var registry = []Experiment{
 		Run: wrap(func(cfg Config) (*LoRaFidelityResult, error) { return LoRaFidelity(cfg) })},
 	{Name: "lora-roc", Desc: "Wi-Lo off-peak-ratio detector operating curve", OmitFooter: true,
 		Run: wrap(func(cfg Config) (*LoRaROCResult, error) { return LoRaROC(cfg) })},
+	// Fixed Q is fit once at each scenario's warmup phase; the footer's
+	// static defense threshold would be misleading here.
+	{Name: "calib-roc", Desc: "fixed-Q vs drift-adaptive Q under slow-fade and CFO-ramp channels", OmitFooter: true,
+		Run: wrap(func(cfg Config) (*CalibROCResult, error) { return CalibROC(cfg) })},
 }
 
 // Registry returns every experiment in canonical order (the order `all`

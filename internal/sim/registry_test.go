@@ -14,6 +14,7 @@ var canonicalOrder = []string{
 	"ablation-samples", "ablation-interp", "ablation-coarse",
 	"spectrum", "accuracy", "session", "adaptive", "coded",
 	"roc", "evasion", "amc", "csma", "lora-fidelity", "lora-roc",
+	"calib-roc",
 }
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {

@@ -67,6 +67,7 @@ const (
 	// salt derivation, so reordering would silently change every golden.
 	regionLoRaFidelity
 	regionLoRaROC
+	regionCalibROC
 )
 
 // sweepBase returns the salt block for one sweep point of one region.

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hideseek/internal/calib"
 	"hideseek/internal/phy"
 	"hideseek/internal/runner"
 )
@@ -64,8 +65,9 @@ type Engine struct {
 	byName map[string]*enginePipe
 	q      *jobQueue
 	wg     sync.WaitGroup
-	sids   atomic.Uint64 // session-id allocator (stamped on traces)
-	shard  *shardObs     // shard-labelled instruments when fleet-owned (nil standalone)
+	sids   atomic.Uint64  // session-id allocator (stamped on traces)
+	shard  *shardObs      // shard-labelled instruments when fleet-owned (nil standalone)
+	calib  *calib.Manager // online-calibration classes; nil when the stage is disabled
 
 	mu     sync.Mutex
 	closed bool
@@ -84,8 +86,19 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runner.DefaultWorkers()
 	}
+	// Fleet-owned engines share the fleet's manager (one calibrated
+	// threshold per class across every shard and tier); standalone
+	// engines build their own.
+	mgr := cfg.calibMgr
+	if mgr == nil && cfg.Calibration != nil {
+		var err error
+		mgr, err = calib.NewManager(*cfg.Calibration)
+		if err != nil {
+			return nil, err
+		}
+	}
 	pipelines := cfg.Pipelines
-	e := &Engine{cfg: cfg, shard: cfg.shard, byName: make(map[string]*enginePipe, len(pipelines)), q: newJobQueue(cfg.QueueDepth)}
+	e := &Engine{cfg: cfg, shard: cfg.shard, calib: mgr, byName: make(map[string]*enginePipe, len(pipelines)), q: newJobQueue(cfg.QueueDepth)}
 	for i, p := range pipelines {
 		if p == nil || p.Receiver == nil || p.Detector == nil {
 			return nil, fmt.Errorf("stream: pipeline %d is incomplete", i)
@@ -138,6 +151,11 @@ func (e *Engine) Protocols() []string {
 
 // DefaultProtocol returns the protocol Process binds sessions to.
 func (e *Engine) DefaultProtocol() string { return e.pipes[0].name }
+
+// Calibration returns the engine's online-calibration manager — the admin
+// surface for threshold overrides, warmup re-arm, and drift status. nil
+// when the stage is disabled (Config.Calibration == nil).
+func (e *Engine) Calibration() *calib.Manager { return e.calib }
 
 // pipeline resolves a protocol name ("" = default) to its served pipe.
 func (e *Engine) pipeline(proto string) (*enginePipe, error) {
@@ -227,8 +245,9 @@ func (e *Engine) processJob(rx phy.Receiver, j job, wait time.Duration) Verdict 
 		return v
 	}
 	v.PSDU = rec.Payload()
+	analyzer, calThr, calSrc := j.sess.detector()
 	detectStart := time.Now()
-	det, err := j.pipe.det.Analyze(rec)
+	det, err := analyzer.Analyze(rec)
 	v.DetectNS = sinceNS(detectStart)
 	obsDetect.Since(detectStart)
 	obsDetectNS.Observe(float64(v.DetectNS))
@@ -245,5 +264,41 @@ func (e *Engine) processJob(rx phy.Receiver, j job, wait time.Duration) Verdict 
 	v.C42 = det.C42
 	v.DistanceSquared = det.DistanceSquared
 	v.Attack = det.Attack
+	if j.sess.cal != nil {
+		v.CalibThreshold = calThr
+		v.CalibSource = calSrc
+		e.observeCalib(j, det)
+	}
 	return v
+}
+
+// observeCalib is the post-detect calibration stage: it feeds the frame's
+// D² into the session's class distributions and surfaces any drift event
+// on the stream.calib_drift counters (global + per-protocol) and as an
+// errored calib span on the frame trace.
+func (e *Engine) observeCalib(j job, det phy.Detection) {
+	s := j.sess
+	label := s.warmupLabel
+	if label == calib.LabelNone {
+		// Unlabeled traffic feeds the drift monitor only once the class
+		// is calibrated: self-labeling warmup samples with the fallback
+		// threshold's own verdicts would fit the boundary to those
+		// decisions instead of to ground truth.
+		if !s.cal.Calibrated() {
+			return
+		}
+		label = calib.LabelAuthentic
+		if det.Attack {
+			label = calib.LabelEmulated
+		}
+	}
+	calStart := time.Now()
+	ev := s.cal.Observe(det.DistanceSquared, label)
+	var spanErr error
+	if ev != nil {
+		spanErr = ev
+		obsCalibDrift.Inc()
+		j.pipe.obs.calibDrift.Inc()
+	}
+	j.trace.AddSpanDur(traceStageCalib, calStart, time.Since(calStart), spanErr)
 }

@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"sync/atomic"
 	"time"
+
+	"hideseek/internal/calib"
 )
 
 // FleetConfig parameterizes a Fleet: the per-shard engine config, the
@@ -78,6 +80,16 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		if err := cfg.Admission.applyDefaults(&base); err != nil {
 			return nil, err
 		}
+	}
+	if base.calibMgr == nil && base.Calibration != nil {
+		// One manager for the whole fleet: sessions of a class calibrate
+		// together no matter which shard (or admission tier) they land on,
+		// so a degraded-tier session keeps the class's fitted threshold.
+		mgr, err := calib.NewManager(*base.Calibration)
+		if err != nil {
+			return nil, err
+		}
+		base.calibMgr = mgr
 	}
 	f := &Fleet{admCfg: cfg.Admission, now: time.Now}
 	for i := 0; i < cfg.Shards; i++ {
@@ -192,6 +204,10 @@ func (f *Fleet) QueueDepth() int {
 
 // AdmissionEnabled reports whether tiered admission control is on.
 func (f *Fleet) AdmissionEnabled() bool { return f.admCfg.Enabled }
+
+// Calibration returns the fleet-shared online-calibration manager (nil
+// when the stage is disabled).
+func (f *Fleet) Calibration() *calib.Manager { return f.shards[0].calib }
 
 // ShardTable returns a per-shard status snapshot (the daemon serves it
 // on /healthz). Tier is the shard's current admission tier; "accept"

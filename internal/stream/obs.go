@@ -28,6 +28,7 @@ var (
 	obsQueueWaitUS  = obs.H("stream.queue_wait_us")
 	obsShed         = obs.C("stream.shed_sessions")     // sessions rejected at admission (shed tier)
 	obsDegradedSess = obs.C("stream.degraded_sessions") // sessions admitted under the degrade tier
+	obsCalibDrift   = obs.C("stream.calib_drift")       // drift events raised by the calibration stage
 )
 
 // Trace stage names, in pipeline order. StageDecode and StageDetect
@@ -36,6 +37,7 @@ const (
 	traceStageScan    = "scan"
 	traceStageSync    = "sync"
 	traceStageQueue   = "queue"
+	traceStageCalib   = "calib" // errored (with the calib.DriftEvent) when the frame tripped the drift monitor
 	traceStageDeliver = "deliver"
 )
 
@@ -53,6 +55,7 @@ type protoObs struct {
 	dropped      *obs.Counter
 	decodeErrors *obs.Counter
 	detectErrors *obs.Counter
+	calibDrift   *obs.Counter
 }
 
 func newProtoObs(proto string) protoObs {
@@ -65,6 +68,7 @@ func newProtoObs(proto string) protoObs {
 		dropped:      obs.C(pre + "dropped_frames"),
 		decodeErrors: obs.C(pre + "decode_errors"),
 		detectErrors: obs.C(pre + "detect_errors"),
+		calibDrift:   obs.C(pre + "calib_drift"),
 	}
 }
 

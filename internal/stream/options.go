@@ -1,5 +1,7 @@
 package stream
 
+import "hideseek/internal/calib"
+
 // SessionOption configures one Process session. The variadic-options form
 // is the one session API: protocol selection, per-session backpressure,
 // and shard affinity all travel the same way, so new per-session knobs
@@ -13,6 +15,15 @@ type sessionOpts struct {
 	proto      string
 	maxPending int    // 0 = engine default
 	key        string // shard-affinity key ("" = unpinned)
+
+	// Online-calibration knobs (no-ops when the engine runs without
+	// Config.Calibration): the session class whose rolling D²
+	// distributions this session feeds ("" = the protocol name), and the
+	// operator-asserted ground-truth label for warmup traffic
+	// (calib.LabelNone = unlabeled; unlabeled frames only feed the drift
+	// monitor after the class has fitted a boundary).
+	calibClass  string
+	warmupLabel calib.Label
 
 	// Degraded operating point, set by fleet admission control (never by
 	// callers): raised sync threshold scale and a tightened in-flight
@@ -40,6 +51,26 @@ func WithMaxPending(n int) SessionOption {
 // spread round-robin. On a bare Engine the key is accepted and ignored.
 func WithSessionKey(key string) SessionOption {
 	return func(o *sessionOpts) { o.key = key }
+}
+
+// WithCalibClass assigns the session to the named calibration class: all
+// sessions of one class share one rolling D² distribution, one fitted
+// threshold, and one drift monitor ("" = the session's protocol name, so
+// by default calibration is per-protocol). Ignored when the engine runs
+// without Config.Calibration.
+func WithCalibClass(class string) SessionOption {
+	return func(o *sessionOpts) { o.calibClass = class }
+}
+
+// WithWarmupLabel marks every frame of this session with operator-asserted
+// ground truth (calib.LabelAuthentic or calib.LabelEmulated) — the warmup
+// protocol's way of feeding labeled traffic into the boundary fit.
+// Unlabeled sessions (the default) contribute verdict-labeled samples to
+// the drift monitor only once their class is calibrated, never to the
+// warmup fit (self-labeling during warmup would fit the boundary to the
+// fallback threshold's own decisions). Ignored without Config.Calibration.
+func WithWarmupLabel(l calib.Label) SessionOption {
+	return func(o *sessionOpts) { o.warmupLabel = l }
 }
 
 // withDegrade is the internal option fleet admission control applies to

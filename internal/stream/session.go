@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hideseek/internal/calib"
 	"hideseek/internal/obs"
 	"hideseek/internal/phy"
 )
@@ -31,6 +32,19 @@ type Session struct {
 	tracer     *obs.Tracer // nil when tracing is off
 	maxPending int         // per-session in-flight bound (engine default or WithMaxPending)
 	degraded   bool        // admitted under the degrade tier; stamped on every Verdict
+
+	// Online-calibration binding; all zero when the stage is disabled or
+	// the pipeline detector lacks the phy.DetectTuner capability. cal is
+	// the shared per-class calibrator (degraded-tier sessions of a class
+	// share it too, so they keep the calibrated threshold); calDet is the
+	// session's cached detector clone retuned to calThr, refreshed under
+	// calMu whenever the class threshold moves.
+	cal         *calib.Calibrator
+	warmupLabel calib.Label
+	baseDet     phy.DetectTuner
+	calMu       sync.Mutex
+	calDet      phy.Detector
+	calThr      float64
 
 	// Scanner-goroutine-only stats fields (Samples..SyncRejects) plus
 	// worker-written ones (Dropped, DecodeErrors, DetectErrors) guarded
@@ -74,8 +88,47 @@ func newSession(e *Engine, pipe *enginePipe, emit func(Verdict), so sessionOpts)
 		flushed:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if e.calib != nil {
+		if dt, ok := pipe.det.(phy.DetectTuner); ok {
+			class := so.calibClass
+			if class == "" {
+				class = pipe.name
+			}
+			s.cal = e.calib.Class(class, dt.DetectThreshold())
+			s.warmupLabel = so.warmupLabel
+			s.baseDet = dt
+			s.calDet = pipe.det
+			s.calThr = dt.DetectThreshold()
+		}
+	}
 	go s.flush()
 	return s
+}
+
+// detector resolves the analyzer for one frame: the pipeline detector
+// when calibration is off for this session, otherwise the cached clone
+// retuned to the class's current threshold (operator override > fitted >
+// protocol default — calib.Calibrator.Threshold resolves the precedence).
+// Workers of one session serialize on calMu only long enough to read or
+// refresh the cache; re-cloning happens once per threshold change, not
+// per frame.
+func (s *Session) detector() (phy.Detector, float64, string) {
+	if s.cal == nil {
+		return s.pipe.det, 0, ""
+	}
+	thr, src := s.cal.Threshold()
+	s.calMu.Lock()
+	defer s.calMu.Unlock()
+	if thr != s.calThr {
+		if det, err := s.baseDet.CloneWithDetectThreshold(thr); err == nil {
+			s.calDet = det
+			s.calThr = thr
+		}
+		// A threshold outside the detector's validity range (possible for
+		// operator overrides) keeps the last good clone; the mismatch
+		// retries on the next frame in case the override is corrected.
+	}
+	return s.calDet, s.calThr, src.String()
 }
 
 // Process streams src through the engine's shared pool as one session:

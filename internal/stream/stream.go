@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"time"
 
+	"hideseek/internal/calib"
 	"hideseek/internal/emulation"
 	"hideseek/internal/obs"
 	"hideseek/internal/phy"
@@ -96,14 +97,29 @@ type Config struct {
 	// Deprecated: set Pipelines (see Receiver).
 	Defense emulation.DefenseConfig
 	// Tracer, when set, records a per-frame span trace
-	// (scan→sync→queue→decode→detect→deliver) for every scanned frame,
-	// joined to its Verdict via Verdict.TraceID. nil disables tracing;
-	// the pipeline then takes no extra timestamps and allocates nothing.
+	// (scan→sync→queue→decode→detect→calib→deliver) for every scanned
+	// frame, joined to its Verdict via Verdict.TraceID. nil disables
+	// tracing; the pipeline then takes no extra timestamps and allocates
+	// nothing.
 	Tracer *obs.Tracer
+	// Calibration enables the online calibration stage (internal/calib):
+	// per-session-class rolling D² distributions, a warmup-fitted
+	// decision boundary applied through the phy.DetectTuner capability,
+	// and a drift monitor surfaced as the stream.<proto>.calib_drift
+	// counter, per-class calib_threshold gauges, and errored calib spans
+	// on the frame trace. nil disables the stage entirely: the pipeline
+	// analyzes with the pipeline detector as configured and emits
+	// byte-identical Verdicts.
+	Calibration *calib.Config
 
 	// shard carries the fleet's shard-labelled instruments into the
 	// engine; nil for standalone engines.
 	shard *shardObs
+	// calibMgr carries the fleet's shared calibration manager into shard
+	// engines, so every shard (and tier) of a class sees one calibrated
+	// threshold; nil for standalone engines, which build their own from
+	// Calibration.
+	calibMgr *calib.Manager
 }
 
 func (c *Config) applyDefaults() error {
@@ -164,6 +180,14 @@ type Verdict struct {
 	DistanceSquared float64 `json:"d2e"`
 	// Attack is the hypothesis-test outcome: true = emulated (H1).
 	Attack bool `json:"attack"`
+	// CalibThreshold and CalibSource record the decision threshold the
+	// online calibration stage resolved for this frame and its
+	// provenance ("default", "fitted", "operator"). Both are omitted
+	// when calibration is disabled (Config.Calibration == nil) or the
+	// session's detector lacks the phy.DetectTuner capability, keeping
+	// verdicts byte-identical to the uncalibrated pipeline.
+	CalibThreshold float64 `json:"calib_threshold,omitempty"`
+	CalibSource    string  `json:"calib_source,omitempty"`
 	// Dropped marks a frame discarded by the bounded queue before any
 	// analysis ran.
 	Dropped bool `json:"dropped,omitempty"`
