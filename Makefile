@@ -21,13 +21,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable perf trajectory: run the sync-path benchmarks (FFT and
-# direct variants side by side, plus the stream scan stage) and aggregate
-# ns/op, B/op, allocs/op into schema-versioned BENCH_sync.json.
+# Machine-readable perf trajectory: run the sync- and decode-path
+# benchmarks (FFT and direct variants side by side, plus the stream scan
+# stage and the defense detector) and aggregate ns/op, B/op, allocs/op
+# into schema-versioned BENCH_sync.json.
 bench-json:
 	$(GO) run ./cmd/benchreport -out BENCH_sync.json -benchtime 100ms \
-		-bench 'Synchronize|ReceiveAll|Correlator|StreamScan' \
-		./internal/dsp ./internal/zigbee ./internal/stream
+		-bench 'Synchronize|ReceiveAll|Correlator|StreamScan|DecodeAt|Despread|DetectorAnalyze' \
+		./internal/dsp ./internal/zigbee ./internal/stream ./internal/emulation
 
 # Validate the committed (or freshly generated) bench report schemas.
 bench-check:

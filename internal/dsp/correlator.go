@@ -199,6 +199,133 @@ func (c *Correlator) CorrelateInto(dst []float64, x []complex128) []float64 {
 	return dst
 }
 
+// CorrelationScan is a lazily evaluated CorrelateInto: lags are computed
+// in prefix order on demand, so a first-crossing search (frame sync over
+// a long capture) pays only for the prefix it actually inspects instead
+// of the whole lag range. Values in dst[0:Done()] are bitwise identical
+// to what CorrelateInto would have produced — the same block transforms
+// and the same sliding-window energy recurrence, just segmented.
+//
+// A scan borrows the correlator's block scratch plus the dst and x
+// slices handed to ScanInto: finish (or abandon) it before using the
+// correlator for anything else, and never run two scans at once.
+type CorrelationScan struct {
+	c         *Correlator
+	x         []complex128
+	dst       []float64
+	lags      int
+	done      int     // computed prefix length; dst[0:done] is final
+	winEnergy float64 // sliding-window energy state at lag done
+	started   bool
+}
+
+// ScanInto prepares a lazy correlation of x into dst with CorrelateInto's
+// sizing contract (panics on undersized input or mis-sized buffer).
+// Nothing is computed until ComputeThrough; dst entries beyond the
+// computed prefix hold stale values.
+func (c *Correlator) ScanInto(s *CorrelationScan, dst []float64, x []complex128) {
+	lags := len(x) - len(c.ref) + 1
+	if lags < 1 {
+		panic("dsp: ScanInto on undersized input")
+	}
+	if len(dst) != lags {
+		panic(fmt.Sprintf("dsp: correlate into %d-lag buffer, want %d", len(dst), lags))
+	}
+	*s = CorrelationScan{c: c, x: x, dst: dst, lags: lags}
+}
+
+// Done returns the computed prefix length: dst[0:Done()] is final.
+func (s *CorrelationScan) Done() int { return s.done }
+
+// Lags returns the total lag count of the scan.
+func (s *CorrelationScan) Lags() int { return s.lags }
+
+// ComputeThrough extends the computed prefix to cover lag (clamped to the
+// last lag), allocating nothing. Calls for already-computed lags return
+// immediately, so a sequential consumer can call it per lag for free.
+func (s *CorrelationScan) ComputeThrough(lag int) {
+	if lag >= s.lags {
+		lag = s.lags - 1
+	}
+	if lag < s.done {
+		return
+	}
+	c := s.c
+	if !s.started {
+		s.started = true
+		if c.refEnergy == 0 {
+			for i := range s.dst {
+				s.dst[i] = 0
+			}
+			s.done = s.lags
+			return
+		}
+		var w float64
+		for n := 0; n < len(c.ref); n++ {
+			w += sqAbs(s.x[n])
+		}
+		s.winEnergy = w
+	}
+	if s.done >= s.lags {
+		return
+	}
+	if c.direct {
+		// Direct path: numerator + normalization per lag, in the exact
+		// order of NormalizedCrossCorrelateInto.
+		for l := s.done; l <= lag; l++ {
+			var acc complex128
+			for n, r := range c.ref {
+				acc += s.x[l+n] * cmplx.Conj(r)
+			}
+			s.normalize(l, cmplx.Abs(acc))
+		}
+		s.done = lag + 1
+		return
+	}
+	// FFT path: whole overlap-save blocks until the prefix covers lag.
+	// done always sits on a block boundary here, exactly as CorrelateInto
+	// visits pos = 0, step, 2·step, ...
+	for s.done <= lag {
+		pos := s.done
+		have := copy(c.block, s.x[pos:])
+		for i := have; i < c.n; i++ {
+			c.block[i] = 0
+		}
+		c.plan.Forward(c.block, c.block)
+		for i, v := range c.block {
+			c.block[i] = v * c.refSpec[i]
+		}
+		c.plan.Inverse(c.block, c.block)
+		v := c.step
+		if v > s.lags-pos {
+			v = s.lags - pos
+		}
+		for l := 0; l < v; l++ {
+			s.normalize(pos+l, cmplx.Abs(c.block[l]))
+		}
+		s.done = pos + v
+	}
+}
+
+// normalize finalizes dst[l] from its numerator magnitude and advances
+// the sliding-window energy recurrence — the same arithmetic, in the
+// same order, as the tail loop of CorrelateInto.
+func (s *CorrelationScan) normalize(l int, num float64) {
+	denom := math.Sqrt(s.winEnergy * s.c.refEnergy)
+	if denom > 0 {
+		s.dst[l] = num / denom
+	} else {
+		s.dst[l] = 0
+	}
+	if l+1 < s.lags {
+		m := len(s.c.ref)
+		s.winEnergy += sqAbs(s.x[l+m]) - sqAbs(s.x[l])
+		if s.winEnergy < 0 {
+			s.winEnergy = 0 // guard against rounding drift
+		}
+	}
+}
+
 // ExactAt returns the normalized correlation of x at one lag computed
 // with the direct path's exact accumulation order — bit-for-bit equal to
 // NormalizedCrossCorrelate(x, ref)[lag], including the incremental

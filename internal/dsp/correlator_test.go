@@ -215,3 +215,120 @@ func assertPanics(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// TestCorrelationScanPrefixBitwise pins the CorrelationScan contract: any
+// prefix computed lazily is bitwise identical to the same prefix of a full
+// CorrelateInto pass, on both the FFT and direct paths, regardless of how
+// the prefix is reached (single jump, lag-at-a-time, or clamped past-end).
+func TestCorrelationScanPrefixBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct{ sigLen, refLen int }{
+		{64, 5}, {100, 32}, {638, 638}, {1000, 638}, {4096, 638}, {5000, 100},
+	} {
+		x := randComplexSlice(rng, tc.sigLen)
+		ref := randComplexSlice(rng, tc.refLen)
+		for _, direct := range []bool{false, true} {
+			c, err := NewCorrelator(ref, CorrelatorConfig{UseDirect: direct})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lags := tc.sigLen - tc.refLen + 1
+			want := make([]float64, lags)
+			c.CorrelateInto(want, x)
+
+			// One jump straight to a mid-point, then to the end.
+			got := make([]float64, lags)
+			var scan CorrelationScan
+			c.ScanInto(&scan, got, x)
+			if scan.Lags() != lags {
+				t.Fatalf("Lags() = %d, want %d", scan.Lags(), lags)
+			}
+			mid := lags / 2
+			scan.ComputeThrough(mid)
+			if scan.Done() != mid+1 && scan.Done() < mid+1 {
+				t.Fatalf("Done() = %d after ComputeThrough(%d)", scan.Done(), mid)
+			}
+			for l := 0; l <= mid; l++ {
+				if got[l] != want[l] {
+					t.Fatalf("sig=%d ref=%d direct=%v lag %d: scan %v != full %v",
+						tc.sigLen, tc.refLen, direct, l, got[l], want[l])
+				}
+			}
+			scan.ComputeThrough(lags + 100) // clamped
+			for l := range want {
+				if got[l] != want[l] {
+					t.Fatalf("sig=%d ref=%d direct=%v lag %d (post-clamp): scan %v != full %v",
+						tc.sigLen, tc.refLen, direct, l, got[l], want[l])
+				}
+			}
+
+			// Lag at a time, interleaved with redundant backward requests.
+			got2 := make([]float64, lags)
+			c.ScanInto(&scan, got2, x)
+			for l := 0; l < lags; l++ {
+				scan.ComputeThrough(l)
+				scan.ComputeThrough(l / 2) // no-op: already done
+				if got2[l] != want[l] {
+					t.Fatalf("sig=%d ref=%d direct=%v lag %d (incremental): scan %v != full %v",
+						tc.sigLen, tc.refLen, direct, l, got2[l], want[l])
+				}
+			}
+		}
+	}
+}
+
+// TestCorrelationScanZeroEnergyRef pins that a zero-energy reference zeroes
+// every lag immediately (matching CorrelateInto's contract).
+func TestCorrelationScanZeroEnergyRef(t *testing.T) {
+	zc, err := NewCorrelator(make([]complex128, 8), CorrelatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randSignal(64, 45)
+	got := make([]float64, len(x)-8+1)
+	for i := range got {
+		got[i] = 999
+	}
+	var scan CorrelationScan
+	zc.ScanInto(&scan, got, x)
+	scan.ComputeThrough(0)
+	if scan.Done() != scan.Lags() {
+		t.Fatalf("zero-energy scan Done() = %d, want all %d", scan.Done(), scan.Lags())
+	}
+	for l, v := range got {
+		if v != 0 {
+			t.Errorf("lag %d = %v, want 0", l, v)
+		}
+	}
+}
+
+func TestCorrelationScanValidation(t *testing.T) {
+	ref := randSignal(16, 46)
+	c := newFFTCorrelator(t, ref)
+	var scan CorrelationScan
+	assertPanics(t, "short input", func() {
+		c.ScanInto(&scan, make([]float64, 1), make([]complex128, 8))
+	})
+	assertPanics(t, "wrong dst size", func() {
+		c.ScanInto(&scan, make([]float64, 3), make([]complex128, 64))
+	})
+}
+
+func TestCorrelationScanZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ref := randComplexSlice(rng, 64)
+	x := randComplexSlice(rng, 2048)
+	c := newFFTCorrelator(t, ref)
+	dst := make([]float64, len(x)-len(ref)+1)
+	var scan CorrelationScan
+	c.ScanInto(&scan, dst, x) // warm the correlator's block scratch
+	scan.ComputeThrough(scan.Lags() - 1)
+	allocs := testing.AllocsPerRun(20, func() {
+		var s CorrelationScan
+		c.ScanInto(&s, dst, x)
+		s.ComputeThrough(s.Lags() - 1)
+	})
+	if allocs != 0 {
+		t.Errorf("scan allocates %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,422 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CorrelatorBankConfig parameterizes a CorrelatorBank plan.
+type CorrelatorBankConfig struct {
+	// UseDirect forces the direct O(K·M) per-window accumulation path.
+	// When false the bank uses the batched FFT path when the codebook
+	// has the cyclic structure that makes it profitable, unless the
+	// slowsync build tag is set, which makes direct the default
+	// everywhere (the same escape hatch Correlator honors).
+	UseDirect bool
+}
+
+// CorrelatorBank is a reusable plan for correlating consecutive M-sample
+// windows of a real chip stream against a bank of K equal-length real
+// codewords at once — the despreading analogue of Correlator. It exists
+// for codebooks with the cyclic structure of DSSS spreading tables
+// (IEEE 802.15.4's 16 sequences are one base word, its cyclic shifts by
+// a fixed stride, and the odd-index-negated copies of those): for such a
+// family one M-point FFT of the window replaces the K direct inner
+// products, because
+//
+//	corr_s = Σ_i w[i]·c0[(i−g·s) mod M] = (1/M) Σ_k W[k]·conj(C0[k])·e^{j2πkgs/M}
+//
+// — all K correlations are samples of one inverse transform of the
+// shared product W·conj(C0). The exponent depends on k only through
+// k mod (M/g), so the M products fold into M/g bins and an (M/g)-point
+// inverse DFT yields every shift at once; the odd-index-negated half of
+// the codebook reuses the same machinery with the window spectrum
+// rotated by M/2 bins (negating odd samples is a half-band frequency
+// shift). Two real windows are packed per complex FFT (w1 + j·w2): the
+// whole pipeline is linear and maps real windows to real correlations,
+// so the real and imaginary parts of the batched output are the two
+// windows' correlation sets exactly.
+//
+// The contract is decision parity with the direct path, not bitwise
+// value parity: BestInto confirms any window whose FFT-computed winning
+// margin is within a rounding guard by re-running that window's exact
+// direct scan, so the reported argmax (including first-index-wins tie
+// breaks) always equals the direct scan's. Codebooks without the cyclic
+// structure (or with a non-power-of-two M) fall back to the direct path;
+// Structured reports which path was planned.
+//
+// A CorrelatorBank reuses internal scratch and is NOT safe for
+// concurrent use; Clone shares the immutable codebook, reference
+// spectrum, and (stateless, power-of-two) FFT plans but owns fresh
+// scratch.
+type CorrelatorBank struct {
+	m, k    int
+	direct  bool
+	code    [][]float64 // immutable codeword copies; shared across clones
+	maxCode float64     // max |codeword sample|, for the decision guard
+
+	// Cyclic-family FFT state (zero when direct): shift stride g, shift
+	// count S (codewords 0..S−1 are c0 shifted by g·s), fold size
+	// F = M/g, whether codewords S..2S−1 are the odd-index-negated
+	// copies, the shared conj(FFT(c0)) spectrum, and stateless plans.
+	stride    int
+	shifts    int
+	foldBins  int
+	modulated bool
+	specBase  []complex128 // immutable; shared across clones
+	planM     *Plan        // M-point, power-of-two ⇒ stateless, shared
+	planF     *Plan        // F-point, power-of-two ⇒ stateless, shared
+
+	// Per-instance scratch.
+	win   []complex128 // packed window pair (M)
+	fold  []complex128 // folded products, base codeword set (F)
+	foldM []complex128 // folded products, negated set (F)
+	cc    []complex128 // batched correlations: re = window 1, im = window 2 (K)
+}
+
+// NewCorrelatorBank builds a bank for the given codebook. Codewords must
+// be non-empty and equal-length; they are copied, so the caller may reuse
+// the slices.
+func NewCorrelatorBank(code [][]float64, cfg CorrelatorBankConfig) (*CorrelatorBank, error) {
+	if len(code) == 0 {
+		return nil, fmt.Errorf("dsp: correlator bank with empty codebook")
+	}
+	m := len(code[0])
+	if m == 0 {
+		return nil, fmt.Errorf("dsp: correlator bank with empty codeword")
+	}
+	b := &CorrelatorBank{
+		m:      m,
+		k:      len(code),
+		direct: cfg.UseDirect || defaultDirectCorrelation,
+		code:   make([][]float64, len(code)),
+	}
+	for s, c := range code {
+		if len(c) != m {
+			return nil, fmt.Errorf("dsp: codeword %d has %d samples, want %d", s, len(c), m)
+		}
+		b.code[s] = append([]float64(nil), c...)
+		for _, v := range c {
+			if a := math.Abs(v); a > b.maxCode {
+				b.maxCode = a
+			}
+		}
+	}
+	if b.direct {
+		return b, nil
+	}
+	g, s, mod, ok := detectCyclicFamily(b.code)
+	if !ok || m&(m-1) != 0 {
+		// No exploitable structure: a generic frequency-domain bank would
+		// cost more than the K direct inner products, so the direct path
+		// IS the fast path here.
+		b.direct = true
+		return b, nil
+	}
+	b.stride, b.shifts, b.modulated = g, s, mod
+	b.foldBins = m / g
+	b.planM = NewPlan(m)
+	b.planF = NewPlan(b.foldBins)
+	spec := make([]complex128, m)
+	for i, v := range b.code[0] {
+		spec[i] = complex(v, 0)
+	}
+	b.planM.Forward(spec, spec)
+	for i, v := range spec {
+		spec[i] = complex(real(v), -imag(v))
+	}
+	b.specBase = spec
+	b.win = make([]complex128, m)
+	b.fold = make([]complex128, b.foldBins)
+	b.foldM = make([]complex128, b.foldBins)
+	b.cc = make([]complex128, b.k)
+	return b, nil
+}
+
+// detectCyclicFamily recognizes the DSSS codebook shape the FFT path
+// exploits: codewords 0..S−1 are cyclic right shifts of codeword 0 by a
+// fixed stride g (with S·g ≤ M and g dividing M), and — optionally —
+// codewords S..2S−1 are the odd-index-negated copies of 0..S−1 (which
+// requires an even M). Comparisons are exact: spreading tables are built
+// from small integers, and negation is exact in floating point.
+func detectCyclicFamily(code [][]float64) (stride, shifts int, modulated, ok bool) {
+	m, k := len(code[0]), len(code)
+	if k < 2 {
+		return 0, 0, false, false
+	}
+	// The stride is the cyclic right shift taking codeword 0 to codeword 1.
+	g := 0
+	for cand := 1; cand < m; cand++ {
+		match := true
+		for j := 0; j < m; j++ {
+			if code[1][j] != code[0][((j-cand)%m+m)%m] {
+				match = false
+				break
+			}
+		}
+		if match {
+			g = cand
+			break
+		}
+	}
+	if g == 0 || m%g != 0 {
+		return 0, 0, false, false
+	}
+	// Extend the shift family as far as it holds.
+	s := 2
+	for ; s < k; s++ {
+		d := (g * s) % m
+		match := true
+		for j := 0; j < m; j++ {
+			if code[s][j] != code[0][((j-d)%m+m)%m] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			break
+		}
+	}
+	if s > m/g {
+		return 0, 0, false, false // shifts would wrap onto duplicates
+	}
+	if s == k {
+		return g, s, false, true
+	}
+	// The remainder must be exactly the odd-index-negated copies.
+	if k != 2*s || m%2 != 0 {
+		return 0, 0, false, false
+	}
+	for i := 0; i < s; i++ {
+		for j := 0; j < m; j++ {
+			want := code[i][j]
+			if j%2 == 1 {
+				want = -want
+			}
+			if code[s+i][j] != want {
+				return 0, 0, false, false
+			}
+		}
+	}
+	return g, s, true, true
+}
+
+// Clone returns a bank sharing the immutable codebook, reference
+// spectrum, and FFT plans, with fresh scratch — the cheap way to hand
+// each worker goroutine its own instance.
+func (b *CorrelatorBank) Clone() *CorrelatorBank {
+	out := *b
+	if b.win != nil {
+		out.win = make([]complex128, len(b.win))
+		out.fold = make([]complex128, len(b.fold))
+		out.foldM = make([]complex128, len(b.foldM))
+		out.cc = make([]complex128, len(b.cc))
+	}
+	return &out
+}
+
+// CodeLen returns the codeword (window) length M.
+func (b *CorrelatorBank) CodeLen() int { return b.m }
+
+// NumCodes returns the codebook size K.
+func (b *CorrelatorBank) NumCodes() int { return b.k }
+
+// Direct reports whether this plan runs the direct accumulation path.
+func (b *CorrelatorBank) Direct() bool { return b.direct }
+
+// Structured reports whether the batched FFT path was planned (the
+// codebook had the cyclic-family structure and direct was not forced).
+func (b *CorrelatorBank) Structured() bool { return !b.direct }
+
+// Windows returns how many whole windows a stream of n samples holds, or
+// an error when n is not a multiple of the codeword length.
+func (b *CorrelatorBank) Windows(n int) (int, error) {
+	if n%b.m != 0 {
+		return 0, fmt.Errorf("dsp: stream of %d samples not a multiple of codeword length %d", n, b.m)
+	}
+	return n / b.m, nil
+}
+
+// bestGuard scales the winning-margin guard: FFT rounding perturbs each
+// correlation by ~1e-15·Σ|w[i]|·max|c|, six orders below this margin, so
+// any window whose FFT-computed margin exceeds the guard provably has
+// the same argmax as the exact direct scan; windows within it (ties,
+// near-ties, or non-finite values — the comparison is written so NaN
+// falls through to the confirmation) are re-scanned directly.
+const bestGuard = 1e-9
+
+// BestInto writes, for each M-sample window of x, the index of the
+// maximum-correlation codeword into dst (first-index-wins on ties,
+// matching a direct scan with a strict > comparison). len(x) must be a
+// multiple of the codeword length and len(dst) must be the window count;
+// it panics otherwise, allocates nothing, and returns dst. The reported
+// decisions are identical to the direct path's for every input.
+func (b *CorrelatorBank) BestInto(dst []int, x []float64) []int {
+	w, err := b.Windows(len(x))
+	if err != nil {
+		panic(err.Error())
+	}
+	if len(dst) != w {
+		panic(fmt.Sprintf("dsp: best into %d-window buffer, want %d", len(dst), w))
+	}
+	if b.direct {
+		for i := 0; i < w; i++ {
+			dst[i] = b.directBest(x, i)
+		}
+		return dst
+	}
+	for i := 0; i < w; i += 2 {
+		pair := i+1 < w
+		sum1, sum2 := b.packPair(x, i, pair)
+		b.batchCorr()
+		dst[i] = b.decide(x, i, false, sum1)
+		if pair {
+			dst[i+1] = b.decide(x, i+1, true, sum2)
+		}
+	}
+	return dst
+}
+
+// CorrelateInto writes the full K×W correlation matrix into dst
+// (dst[w·K+s] is window w against codeword s). On the FFT path the
+// values carry FFT rounding (~1e-15 relative); decisions should go
+// through BestInto, which confirms borderline windows exactly. Panics on
+// mis-sized buffers, allocates nothing, returns dst.
+func (b *CorrelatorBank) CorrelateInto(dst []float64, x []float64) []float64 {
+	w, err := b.Windows(len(x))
+	if err != nil {
+		panic(err.Error())
+	}
+	if len(dst) != w*b.k {
+		panic(fmt.Sprintf("dsp: correlate into %d-value buffer, want %d", len(dst), w*b.k))
+	}
+	if b.direct {
+		for i := 0; i < w; i++ {
+			win := x[i*b.m : (i+1)*b.m]
+			for s, code := range b.code {
+				var c float64
+				for j, v := range code {
+					c += win[j] * v
+				}
+				dst[i*b.k+s] = c
+			}
+		}
+		return dst
+	}
+	for i := 0; i < w; i += 2 {
+		pair := i+1 < w
+		b.packPair(x, i, pair)
+		b.batchCorr()
+		for s, c := range b.cc {
+			dst[i*b.k+s] = real(c)
+			if pair {
+				dst[(i+1)*b.k+s] = imag(c)
+			}
+		}
+	}
+	return dst
+}
+
+// packPair loads windows i and i+1 (when pair) of x into the complex FFT
+// input as w_i + j·w_{i+1}, returning each window's Σ|x| for the
+// decision guard.
+func (b *CorrelatorBank) packPair(x []float64, i int, pair bool) (sum1, sum2 float64) {
+	off := i * b.m
+	if pair {
+		for j := 0; j < b.m; j++ {
+			v1, v2 := x[off+j], x[off+b.m+j]
+			b.win[j] = complex(v1, v2)
+			sum1 += math.Abs(v1)
+			sum2 += math.Abs(v2)
+		}
+		return sum1, sum2
+	}
+	for j := 0; j < b.m; j++ {
+		v := x[off+j]
+		b.win[j] = complex(v, 0)
+		sum1 += math.Abs(v)
+	}
+	return sum1, 0
+}
+
+// batchCorr transforms the packed window pair and evaluates every
+// codeword correlation for both windows into cc: one M-point FFT, shared
+// spectral products folded modulo F, and one (or two, when the codebook
+// has the negated half) F-point inverse transform.
+func (b *CorrelatorBank) batchCorr() {
+	b.planM.Forward(b.win, b.win)
+	mask := b.foldBins - 1 // foldBins is a power of two
+	for r := range b.fold {
+		b.fold[r] = 0
+	}
+	if b.modulated {
+		for r := range b.foldM {
+			b.foldM[r] = 0
+		}
+		half := b.m / 2
+		mMask := b.m - 1
+		for k, s := range b.specBase {
+			b.fold[k&mask] += b.win[k] * s
+			b.foldM[k&mask] += b.win[(k+half)&mMask] * s
+		}
+	} else {
+		for k, s := range b.specBase {
+			b.fold[k&mask] += b.win[k] * s
+		}
+	}
+	// corr at shift s is (1/M)·Σ_r fold[r]·e^{j2πrs/F}; the plan's
+	// inverse includes 1/F, so the residual scale is F/M = 1/g.
+	b.planF.Inverse(b.fold, b.fold)
+	scale := complex(1/float64(b.stride), 0)
+	for s := 0; s < b.shifts; s++ {
+		b.cc[s] = b.fold[s] * scale
+	}
+	if b.modulated {
+		b.planF.Inverse(b.foldM, b.foldM)
+		for s := 0; s < b.shifts; s++ {
+			b.cc[b.shifts+s] = b.foldM[s] * scale
+		}
+	}
+}
+
+// decide picks window i's argmax from the batched correlations, falling
+// back to the exact direct scan whenever the winning margin is inside
+// the rounding guard (the comparison is inverted so NaN margins confirm
+// too).
+func (b *CorrelatorBank) decide(x []float64, i int, imagPart bool, sumAbs float64) int {
+	best, bestC, second := 0, math.Inf(-1), math.Inf(-1)
+	for s, c := range b.cc {
+		v := real(c)
+		if imagPart {
+			v = imag(c)
+		}
+		if v > bestC {
+			best, second = s, bestC
+			bestC = v
+		} else if v > second {
+			second = v
+		}
+	}
+	guard := bestGuard * (1 + b.maxCode*sumAbs)
+	if !(bestC-second > guard) {
+		return b.directBest(x, i)
+	}
+	return best
+}
+
+// directBest is the exact per-window reference scan: K inner products in
+// codeword order, strict > comparison, first-index-wins ties.
+func (b *CorrelatorBank) directBest(x []float64, i int) int {
+	win := x[i*b.m : (i+1)*b.m]
+	best, bestC := 0, math.Inf(-1)
+	for s, code := range b.code {
+		var c float64
+		for j, v := range code {
+			c += win[j] * v
+		}
+		if c > bestC {
+			best, bestC = s, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,320 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// zigbeeLikeCodebook builds a 16×32 ±1 codebook with the IEEE 802.15.4
+// structure: codewords 1..7 are cyclic right shifts of codeword 0 by
+// 4·s, codewords 8..15 negate the odd-indexed chips of 0..7.
+func zigbeeLikeCodebook(seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]float64, 32)
+	for i := range base {
+		if rng.Intn(2) == 0 {
+			base[i] = 1
+		} else {
+			base[i] = -1
+		}
+	}
+	code := make([][]float64, 16)
+	for s := 0; s < 8; s++ {
+		c := make([]float64, 32)
+		for j := range c {
+			c[j] = base[((j-4*s)%32+32)%32]
+		}
+		code[s] = c
+	}
+	for s := 0; s < 8; s++ {
+		c := make([]float64, 32)
+		for j := range c {
+			c[j] = code[s][j]
+			if j%2 == 1 {
+				c[j] = -c[j]
+			}
+		}
+		code[8+s] = c
+	}
+	return code
+}
+
+func TestCorrelatorBankDetectsZigbeeStructure(t *testing.T) {
+	b, err := NewCorrelatorBank(zigbeeLikeCodebook(1), CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaultDirectCorrelation {
+		if !b.Direct() {
+			t.Fatal("slowsync build must force the direct path")
+		}
+		return
+	}
+	if !b.Structured() {
+		t.Fatal("zigbee-shaped codebook not recognized as cyclic family")
+	}
+	if b.stride != 4 || b.shifts != 8 || !b.modulated {
+		t.Fatalf("stride=%d shifts=%d modulated=%v, want 4/8/true", b.stride, b.shifts, b.modulated)
+	}
+}
+
+func TestCorrelatorBankShiftOnlyStructure(t *testing.T) {
+	full := zigbeeLikeCodebook(2)
+	b, err := NewCorrelatorBank(full[:8], CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaultDirectCorrelation {
+		return
+	}
+	if !b.Structured() || b.modulated {
+		t.Fatalf("shift-only codebook: structured=%v modulated=%v, want true/false", b.Structured(), b.modulated)
+	}
+}
+
+func TestCorrelatorBankGenericFallsBackToDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	code := make([][]float64, 5)
+	for s := range code {
+		code[s] = make([]float64, 32)
+		for j := range code[s] {
+			code[s][j] = rng.NormFloat64()
+		}
+	}
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Direct() {
+		t.Fatal("unstructured codebook must plan the direct path")
+	}
+	// The direct plan must still answer correctly.
+	x := make([]float64, 32*3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	best := make([]int, 3)
+	b.BestInto(best, x)
+	for w := 0; w < 3; w++ {
+		if got, want := best[w], bruteBest(code, x[w*32:(w+1)*32]); got != want {
+			t.Fatalf("window %d: best %d, want %d", w, got, want)
+		}
+	}
+}
+
+func bruteBest(code [][]float64, win []float64) int {
+	best, bestC := 0, math.Inf(-1)
+	for s, c := range code {
+		var v float64
+		for j := range c {
+			v += win[j] * c[j]
+		}
+		if v > bestC {
+			best, bestC = s, v
+		}
+	}
+	return best
+}
+
+// TestCorrelatorBankMatrixMatchesDirect checks the batched correlation
+// values against brute force within FFT rounding, over odd and even
+// window counts so both halves of a packed pair and the lone trailing
+// window are exercised.
+func TestCorrelatorBankMatrixMatchesDirect(t *testing.T) {
+	code := zigbeeLikeCodebook(4)
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, windows := range []int{1, 2, 3, 8} {
+		x := make([]float64, 32*windows)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 3
+		}
+		got := b.CorrelateInto(make([]float64, windows*16), x)
+		for w := 0; w < windows; w++ {
+			win := x[w*32 : (w+1)*32]
+			for s, c := range code {
+				var want float64
+				for j := range c {
+					want += win[j] * c[j]
+				}
+				if d := math.Abs(got[w*16+s] - want); d > 1e-9 {
+					t.Fatalf("windows=%d w=%d s=%d: got %v want %v (|Δ|=%v)", windows, w, s, got[w*16+s], want, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCorrelatorBankBestParity sweeps random and adversarial inputs and
+// requires decision-exact agreement with the brute-force scan, including
+// first-index-wins tie breaking.
+func TestCorrelatorBankBestParity(t *testing.T) {
+	code := zigbeeLikeCodebook(6)
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewCorrelatorBank(code, CorrelatorBankConfig{UseDirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		windows := 1 + rng.Intn(7)
+		x := make([]float64, 32*windows)
+		switch trial % 4 {
+		case 0: // noisy codewords — the realistic case
+			for w := 0; w < windows; w++ {
+				c := code[rng.Intn(16)]
+				for j := range c {
+					x[w*32+j] = c[j] + rng.NormFloat64()*0.8
+				}
+			}
+		case 1: // pure noise
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+		case 2: // exact codewords ⇒ exact ties with shifted copies impossible,
+			// but correlations hit the ±32 integer lattice
+			for w := 0; w < windows; w++ {
+				copy(x[w*32:], code[rng.Intn(16)])
+			}
+		case 3: // all-zero and tiny inputs ⇒ every correlation ties at 0
+			if rng.Intn(2) == 0 {
+				for i := range x {
+					x[i] = rng.NormFloat64() * 1e-12
+				}
+			}
+		}
+		got := b.BestInto(make([]int, windows), x)
+		want := direct.BestInto(make([]int, windows), x)
+		for w := 0; w < windows; w++ {
+			if got[w] != want[w] {
+				t.Fatalf("trial %d window %d: batched best %d, direct best %d", trial, w, got[w], want[w])
+			}
+		}
+	}
+}
+
+// TestCorrelatorBankExactTieFallsBack forces a window that correlates
+// identically against two codewords and checks the first index wins, as
+// in the direct scan.
+func TestCorrelatorBankExactTieFallsBack(t *testing.T) {
+	code := zigbeeLikeCodebook(8)
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 32) // zeros: every correlation is exactly 0
+	best := b.BestInto(make([]int, 1), x)
+	if best[0] != 0 {
+		t.Fatalf("all-tie window decided %d, want first-index 0", best[0])
+	}
+}
+
+func TestCorrelatorBankCloneIsolation(t *testing.T) {
+	code := zigbeeLikeCodebook(9)
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Clone()
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float64, 32*4)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := b.BestInto(make([]int, 4), x)
+	done := make(chan []int)
+	go func() {
+		got := c.BestInto(make([]int, 4), x)
+		done <- got
+	}()
+	// Hammer the original while the clone works: shared state would race
+	// (and -race would flag it) or corrupt results.
+	for i := 0; i < 50; i++ {
+		b.BestInto(make([]int, 4), x)
+	}
+	got := <-done
+	for w := range want {
+		if got[w] != want[w] {
+			t.Fatalf("clone window %d: got %d want %d", w, got[w], want[w])
+		}
+	}
+}
+
+func TestCorrelatorBankBestIntoAllocs(t *testing.T) {
+	code := zigbeeLikeCodebook(11)
+	b, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	x := make([]float64, 32*6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]int, 6)
+	if n := testing.AllocsPerRun(100, func() { b.BestInto(dst, x) }); n != 0 {
+		t.Fatalf("BestInto allocates %v/op, want 0", n)
+	}
+}
+
+func TestCorrelatorBankValidation(t *testing.T) {
+	if _, err := NewCorrelatorBank(nil, CorrelatorBankConfig{}); err == nil {
+		t.Fatal("empty codebook accepted")
+	}
+	if _, err := NewCorrelatorBank([][]float64{{}}, CorrelatorBankConfig{}); err == nil {
+		t.Fatal("empty codeword accepted")
+	}
+	if _, err := NewCorrelatorBank([][]float64{{1, -1}, {1}}, CorrelatorBankConfig{}); err == nil {
+		t.Fatal("ragged codebook accepted")
+	}
+	b, err := NewCorrelatorBank(zigbeeLikeCodebook(13), CorrelatorBankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Windows(33); err == nil {
+		t.Fatal("non-multiple stream length accepted")
+	}
+}
+
+func BenchmarkCorrelatorBankBatched(b *testing.B) {
+	code := zigbeeLikeCodebook(14)
+	bank, err := NewCorrelatorBank(code, CorrelatorBankConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBank(b, bank, code)
+}
+
+func BenchmarkCorrelatorBankDirect(b *testing.B) {
+	code := zigbeeLikeCodebook(14)
+	bank, err := NewCorrelatorBank(code, CorrelatorBankConfig{UseDirect: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBank(b, bank, code)
+}
+
+func benchBank(b *testing.B, bank *CorrelatorBank, code [][]float64) {
+	rng := rand.New(rand.NewSource(15))
+	const windows = 256 // a max-length frame's worth of symbols
+	x := make([]float64, 32*windows)
+	for w := 0; w < windows; w++ {
+		c := code[rng.Intn(16)]
+		for j := range c {
+			x[w*32+j] = c[j] + rng.NormFloat64()*0.5
+		}
+	}
+	dst := make([]int, windows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.BestInto(dst, x)
+	}
+}

@@ -10,12 +10,38 @@ import (
 // average the periodograms. The result has segmentLen bins in natural FFT
 // order with total power ≈ mean signal power (one-sided scaling is left to
 // the caller). Used by the spectrum tests and the band-occupancy checks.
+// Hot paths that estimate PSDs repeatedly should build a Welch plan once
+// and call PSDInto instead.
 func WelchPSD(x []complex128, segmentLen int, window WindowFunc) ([]float64, error) {
+	w, err := NewWelch(segmentLen, window)
+	if err != nil {
+		return nil, err
+	}
+	psd := make([]float64, segmentLen)
+	if err := w.PSDInto(psd, x); err != nil {
+		return nil, err
+	}
+	return psd, nil
+}
+
+// Welch is a reusable Welch PSD plan: the window coefficients and their
+// power are computed once, and PSDInto reuses an internal segment buffer
+// so repeated estimates allocate nothing. The produced values are
+// bitwise identical to WelchPSD's (same loops, same accumulation order).
+// A Welch plan is NOT safe for concurrent use; Clone shares the
+// immutable window and hands out fresh scratch.
+type Welch struct {
+	segment int
+	w       []float64 // immutable window coefficients; shared across clones
+	wPower  float64
+	buf     []complex128 // per-instance segment scratch
+}
+
+// NewWelch validates the segment length and window and precomputes the
+// plan. A nil window means Hann, as in WelchPSD.
+func NewWelch(segmentLen int, window WindowFunc) (*Welch, error) {
 	if segmentLen < 2 {
 		return nil, fmt.Errorf("dsp: segment length %d < 2", segmentLen)
-	}
-	if len(x) < segmentLen {
-		return nil, fmt.Errorf("dsp: signal of %d samples shorter than segment %d", len(x), segmentLen)
 	}
 	if window == nil {
 		window = Hann
@@ -28,26 +54,48 @@ func WelchPSD(x []complex128, segmentLen int, window WindowFunc) ([]float64, err
 	if wPower == 0 {
 		return nil, fmt.Errorf("dsp: window has zero power")
 	}
+	return &Welch{segment: segmentLen, w: w, wPower: wPower, buf: make([]complex128, segmentLen)}, nil
+}
 
-	psd := make([]float64, segmentLen)
-	hop := segmentLen / 2
+// Clone returns a plan sharing the immutable window with fresh scratch.
+func (p *Welch) Clone() *Welch {
+	out := *p
+	out.buf = make([]complex128, p.segment)
+	return &out
+}
+
+// Bins returns the number of PSD bins (the segment length).
+func (p *Welch) Bins() int { return p.segment }
+
+// PSDInto writes the Welch PSD of x into dst, which must have exactly
+// Bins() entries. It allocates nothing.
+func (p *Welch) PSDInto(dst []float64, x []complex128) error {
+	if len(x) < p.segment {
+		return fmt.Errorf("dsp: signal of %d samples shorter than segment %d", len(x), p.segment)
+	}
+	if len(dst) != p.segment {
+		return fmt.Errorf("dsp: PSD buffer of %d bins, want %d", len(dst), p.segment)
+	}
+	for k := range dst {
+		dst[k] = 0
+	}
+	hop := p.segment / 2
 	segments := 0
-	buf := make([]complex128, segmentLen)
-	for start := 0; start+segmentLen <= len(x); start += hop {
-		for i := 0; i < segmentLen; i++ {
-			buf[i] = x[start+i] * complex(w[i], 0)
+	for start := 0; start+p.segment <= len(x); start += hop {
+		for i := 0; i < p.segment; i++ {
+			p.buf[i] = x[start+i] * complex(p.w[i], 0)
 		}
-		spec := FFT(buf)
-		for k, v := range spec {
-			psd[k] += real(v)*real(v) + imag(v)*imag(v)
+		FFTInto(p.buf, p.buf)
+		for k, v := range p.buf {
+			dst[k] += real(v)*real(v) + imag(v)*imag(v)
 		}
 		segments++
 	}
-	scale := 1 / (float64(segments) * wPower * float64(segmentLen))
-	for k := range psd {
-		psd[k] *= scale * float64(segmentLen)
+	scale := 1 / (float64(segments) * p.wPower * float64(p.segment))
+	for k := range dst {
+		dst[k] *= scale * float64(p.segment)
 	}
-	return psd, nil
+	return nil
 }
 
 // BandPower integrates a PSD over the signed frequency band [lo, hi] Hz.

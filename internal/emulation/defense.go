@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 	"time"
 
 	"hideseek/internal/hos"
@@ -165,43 +166,113 @@ func ReconstructConstellation(softChips []float64) ([]complex128, error) {
 	return out, nil
 }
 
+// detectScratch is a pooled constellation workspace. Detector instances
+// are shared across worker goroutines (the streaming tier hands one
+// detector to every stream worker), so per-call scratch comes from a
+// sync.Pool instead of detector fields.
+type detectScratch struct {
+	pts []complex128
+}
+
+var detectPool = sync.Pool{New: func() any { return new(detectScratch) }}
+
+func (s *detectScratch) points(n int) []complex128 {
+	if cap(s.pts) < n {
+		s.pts = make([]complex128, n)
+	}
+	return s.pts[:n]
+}
+
 // Analyze runs the full defense on soft chip samples: constellation
 // reconstruction → cumulant estimation → Voronoi distance → hypothesis
 // test.
 func (d *Detector) Analyze(softChips []float64) (*Verdict, error) {
-	if len(softChips) < d.cfg.MinSamples {
-		return nil, fmt.Errorf("emulation: %d chip samples below minimum %d", len(softChips), d.cfg.MinSamples)
-	}
-	points, err := ReconstructConstellation(softChips)
+	v, err := d.DetectChips(softChips)
 	if err != nil {
 		return nil, err
 	}
-	return d.AnalyzePoints(points)
+	return &v, nil
+}
+
+// DetectChips is Analyze returning the Verdict by value: the steady-state
+// (allocation-free) entry point for streaming consumers. The chip pairing
+// runs in pooled scratch, so the caller's slice is never retained.
+func (d *Detector) DetectChips(softChips []float64) (Verdict, error) {
+	if len(softChips) < d.cfg.MinSamples {
+		return Verdict{}, fmt.Errorf("emulation: %d chip samples below minimum %d", len(softChips), d.cfg.MinSamples)
+	}
+	if len(softChips) < 2 {
+		return Verdict{}, fmt.Errorf("emulation: need at least one chip pair, got %d", len(softChips))
+	}
+	s := detectPool.Get().(*detectScratch)
+	defer detectPool.Put(s)
+	n := len(softChips) / 2
+	derot := cmplx.Rect(1, -math.Pi/4)
+	pts := s.points(n)
+	for k := 0; k < n; k++ {
+		pts[k] = complex(softChips[2*k], softChips[2*k+1]) * derot
+	}
+	return d.detectPoints(pts, true)
 }
 
 // AnalyzeReception extracts the configured chip source from a ZigBee
 // reception and runs Analyze on it.
 func (d *Detector) AnalyzeReception(rec *zigbee.Reception) (*Verdict, error) {
-	chips, err := ChipsFromReception(rec, d.cfg.Source)
+	v, err := d.DetectReception(rec)
 	if err != nil {
 		return nil, err
 	}
-	return d.Analyze(chips)
+	return &v, nil
+}
+
+// DetectReception is AnalyzeReception returning the Verdict by value: the
+// steady-state (allocation-free) entry point for streaming consumers. It
+// is safe to call on a scratch-backed Reception (from ReceiveAll or
+// DecodeAt) — the chip stream is consumed before the call returns.
+func (d *Detector) DetectReception(rec *zigbee.Reception) (Verdict, error) {
+	chips, err := ChipsFromReception(rec, d.cfg.Source)
+	if err != nil {
+		return Verdict{}, err
+	}
+	return d.DetectChips(chips)
 }
 
 // AnalyzePoints runs the detector on an already-reconstructed
-// constellation.
+// constellation. The input slice is never mutated (mean removal, when
+// configured, runs on a pooled copy).
 func (d *Detector) AnalyzePoints(points []complex128) (*Verdict, error) {
-	defer obsDetect.Since(time.Now())
 	if d.cfg.RemoveMean {
-		points = removeMean(points)
+		s := detectPool.Get().(*detectScratch)
+		defer detectPool.Put(s)
+		pts := s.points(len(points))
+		copy(pts, points)
+		v, err := d.detectPoints(pts, true)
+		if err != nil {
+			return nil, err
+		}
+		return &v, nil
+	}
+	v, err := d.detectPoints(points, false)
+	if err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// detectPoints is the detection core. mutable says whether points may be
+// modified in place (mean removal); callers passing borrowed slices must
+// copy first or pass mutable=false.
+func (d *Detector) detectPoints(points []complex128, mutable bool) (Verdict, error) {
+	defer obsDetect.Since(time.Now())
+	if d.cfg.RemoveMean && mutable {
+		removeMeanInPlace(points)
 	}
 	est, err := hos.Estimate(points)
 	if err != nil {
-		return nil, fmt.Errorf("emulation: %w", err)
+		return Verdict{}, fmt.Errorf("emulation: %w", err)
 	}
 	d2 := hos.FeatureDistance2(est, d.qpsk, d.cfg.UseAbsC40)
-	return &Verdict{
+	return Verdict{
 		Cumulants:       est,
 		DistanceSquared: d2,
 		Attack:          d2 > d.cfg.Threshold,
@@ -298,17 +369,15 @@ func NewSummarizeD2(d2 []float64) (SummarizeD2, error) {
 	}, nil
 }
 
-func removeMean(points []complex128) []complex128 {
+func removeMeanInPlace(points []complex128) {
 	var mean complex128
 	for _, p := range points {
 		mean += p
 	}
 	mean /= complex(float64(len(points)), 0)
-	out := make([]complex128, len(points))
 	for i, p := range points {
-		out[i] = p - mean
+		points[i] = p - mean
 	}
-	return out
 }
 
 func maxFloat(xs []float64) float64 {

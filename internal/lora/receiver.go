@@ -23,17 +23,25 @@ type ReceiverConfig struct {
 // A Receiver reuses internal dechirp/FFT scratch buffers across calls and
 // is therefore NOT safe for concurrent use; give each worker goroutine
 // its own via Clone, which shares the immutable sync reference, dechirp
-// references, and correlation plan but owns fresh scratch.
+// references, correlation plan, and FFT plan but owns fresh scratch.
+//
+// Reception lifetime: Receive returns an owned Reception the caller keeps
+// forever. ReceiveAll and DecodeAt return views into receiver-owned
+// scratch (the frame arena), valid until the receiver's next
+// Receive/ReceiveAll/DecodeAt/FrameSpan call; all receptions from one
+// ReceiveAll call are simultaneously valid. Use Reception.Copy to keep
+// one longer.
 type Receiver struct {
 	cfg       ReceiverConfig
 	syncRef   []complex128    // modulated preamble used for correlation sync
 	sync      *dsp.Correlator // overlap-save (or direct) preamble correlation plan
 	dechirpUp []complex128    // conj(base upchirp): dechirps upchirp symbols
 	dechirpDn []complex128    // base upchirp: dechirps the preamble downchirps
-	plan      *dsp.Plan       // ChipsPerSymbol-point FFT (per-clone; pow2, stateless)
+	plan      *dsp.Plan       // ChipsPerSymbol-point FFT (shared; pow2 plans are stateless)
 	corr      []float64       // Synchronize scratch: correlation lags
 	dec       []complex128    // demodSymbol scratch: decimated dechirped symbol
 	spec      []complex128    // demodSymbol scratch: symbol spectrum
+	arena     frameArena      // backing store for scratch-lifetime Receptions
 }
 
 // NewReceiver builds a receiver, applying config defaults.
@@ -61,9 +69,9 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 }
 
 // Clone returns a receiver with the same configuration that shares the
-// immutable sync/dechirp references and precomputed correlation plan but
-// owns fresh scratch buffers, so the clone is safe to use from another
-// goroutine.
+// immutable sync/dechirp references and precomputed correlation and FFT
+// plans (power-of-two FFT plans are stateless) but owns fresh scratch
+// buffers, so the clone is safe to use from another goroutine.
 func (rx *Receiver) Clone() *Receiver {
 	return &Receiver{
 		cfg:       rx.cfg,
@@ -71,7 +79,7 @@ func (rx *Receiver) Clone() *Receiver {
 		sync:      rx.sync.Clone(),
 		dechirpUp: rx.dechirpUp,
 		dechirpDn: rx.dechirpDn,
-		plan:      dsp.NewPlan(ChipsPerSymbol),
+		plan:      rx.plan,
 	}
 }
 
@@ -174,8 +182,16 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 	if cap(rx.corr) < lags {
 		rx.corr = make([]float64, lags)
 	}
-	corr := rx.sync.CorrelateInto(rx.corr[:lags], waveform)
-	for i, v := range corr {
+	corr := rx.corr[:lags]
+	// Lazy prefix scan: a first-crossing search on a long capture usually
+	// decides within the first frame, so only the inspected prefix of the
+	// correlation is ever computed (values bitwise identical to the full
+	// computation — see dsp.CorrelationScan).
+	var scan dsp.CorrelationScan
+	rx.sync.ScanInto(&scan, corr, waveform)
+	for i := 0; i < lags; i++ {
+		scan.ComputeThrough(i)
+		v := corr[i]
 		if v < rx.cfg.SyncThreshold-syncGuard {
 			continue
 		}
@@ -184,8 +200,13 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 		}
 		// Partial-overlap correlation crosses the threshold before the
 		// true start; the peak lies within one reference length.
+		end := i + len(rx.syncRef)
+		if end > lags-1 {
+			end = lags - 1
+		}
+		scan.ComputeThrough(end)
 		best, bestV := i, v
-		for j := i + 1; j < len(corr) && j <= i+len(rx.syncRef); j++ {
+		for j := i + 1; j <= end; j++ {
 			if corr[j] > bestV {
 				best, bestV = j, corr[j]
 			}
@@ -209,9 +230,9 @@ func (rx *Receiver) header(waveform []complex128, start int) (payloadLen int, bi
 		return 0, nil, nil, nil, fmt.Errorf("lora: header demodulation: waveform too short")
 	}
 	total := PreambleSymbols + HeaderSymbols
-	bins = make([]int, 0, total+MaxPayload)
-	conc = make([]float64, 0, total+MaxPayload)
-	wide = make([]float64, 0, total+MaxPayload)
+	bins = rx.arena.ints(total + MaxPayload)
+	conc = rx.arena.floats(total + MaxPayload)
+	wide = rx.arena.floats(total + MaxPayload)
 	symbol := func(k int, ref []complex128) int {
 		b, c, w := rx.demodSymbol(waveform[start+k*SymbolSamples:], ref)
 		bins = append(bins, b)
@@ -248,6 +269,7 @@ func (rx *Receiver) header(waveform []complex128, start int) (payloadLen int, bi
 // bad-frame advance. The frame body needs no samples past the span (the
 // CSS waveform has no modulation tail).
 func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
+	rx.arena.reset() // header demodulation carves arena scratch
 	length, _, _, _, err := rx.header(waveform, start)
 	if err != nil {
 		return 0, err
@@ -258,13 +280,21 @@ func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
 // DecodeAt runs the post-synchronization receive pipeline on a frame
 // known to start at start, skipping the preamble search. syncPeak is
 // recorded in the Reception.
+//
+// The returned Reception is a view into receiver-owned scratch, valid
+// until the receiver's next Receive/ReceiveAll/DecodeAt/FrameSpan call;
+// use Reception.Copy to keep it longer.
 func (rx *Receiver) DecodeAt(waveform []complex128, start int, syncPeak float64) (*Reception, error) {
+	rx.arena.reset()
 	return rx.decodeFrom(waveform, start, syncPeak)
 }
 
-// decodeFrom demodulates a whole frame starting at start.
+// decodeFrom demodulates a whole frame starting at start. The Reception
+// is carved from the receiver's frame arena (scratch lifetime).
 func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (*Reception, error) {
-	rec := &Reception{StartSample: start, SyncPeak: peak}
+	rec := rx.arena.newFrame()
+	rec.StartSample = start
+	rec.SyncPeak = peak
 	length, bins, conc, wide, err := rx.header(waveform, start)
 	if err != nil {
 		return rec, err
@@ -273,7 +303,7 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 		return rec, fmt.Errorf("lora: frame body: waveform too short (%d of %d payload symbols buffered)",
 			(len(waveform)-start)/SymbolSamples-(PreambleSymbols+HeaderSymbols), length)
 	}
-	payload := make([]byte, length)
+	payload := rx.arena.byteBuf(length)
 	for k := 0; k < length; k++ {
 		b, c, w := rx.demodSymbol(waveform[start+(PreambleSymbols+HeaderSymbols+k)*SymbolSamples:], rx.dechirpUp)
 		bins = append(bins, b)
@@ -293,13 +323,17 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 	return rec, nil
 }
 
-// Receive synchronizes and decodes one frame from the waveform.
+// Receive synchronizes and decodes one frame from the waveform. The
+// returned Reception is owned by the caller (deep-copied out of the
+// receiver's scratch) and stays valid forever.
 func (rx *Receiver) Receive(waveform []complex128) (*Reception, error) {
 	start, peak, err := rx.SynchronizeFirst(waveform)
 	if err != nil {
 		return &Reception{SyncPeak: peak}, err
 	}
-	return rx.decodeFrom(waveform, start, peak)
+	rx.arena.reset()
+	rec, err := rx.decodeFrom(waveform, start, peak)
+	return rec.Copy(), err
 }
 
 // ReceiveAll extracts successive frames from one capture: after each
@@ -308,19 +342,25 @@ func (rx *Receiver) Receive(waveform []complex128) (*Reception, error) {
 // maxFrames bounds the output (0 = no bound). The advance rules mirror
 // zigbee.(*Receiver).ReceiveAll, which is what makes the streaming
 // scanner's chunked scan byte-identical to this batch path.
+//
+// The returned Receptions are views into receiver-owned scratch, all
+// simultaneously valid until the receiver's next
+// Receive/ReceiveAll/DecodeAt/FrameSpan call; use Reception.Copy to keep
+// one longer.
 func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Reception, error) {
-	var out []*Reception
+	rx.arena.reset()
+	out := rx.arena.outs
 	offset := 0
 	for {
 		if maxFrames > 0 && len(out) >= maxFrames {
-			return out, nil
+			break
 		}
 		if offset >= len(waveform) || len(waveform)-offset < len(rx.syncRef) {
-			return out, nil
+			break
 		}
 		start, peak, err := rx.SynchronizeFirst(waveform[offset:])
 		if err != nil {
-			return out, nil // no further preambles
+			break // no further preambles
 		}
 		rec, err := rx.decodeFrom(waveform[offset:], start, peak)
 		if err != nil {
@@ -332,4 +372,9 @@ func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Recepti
 		out = append(out, rec)
 		offset = rec.StartSample + FrameSamples(len(rec.Payload))
 	}
+	rx.arena.outs = out
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }

@@ -41,7 +41,7 @@ func NewPipeline(rc lora.ReceiverConfig, dc lora.DetectorConfig) (*phy.Pipeline,
 	}
 	return &phy.Pipeline{
 		Protocol: Protocol,
-		Receiver: Receiver{rx},
+		Receiver: &Receiver{Rx: rx},
 		Detector: Detector{det},
 	}, nil
 }
@@ -54,56 +54,63 @@ type Reception struct {
 // Payload implements phy.Reception.
 func (r Reception) Payload() []byte { return r.Rec.Payload }
 
-// Receiver wraps a lora.Receiver as a phy.Receiver.
+// Receiver wraps a lora.Receiver as a phy.Receiver. It is a pointer
+// type: DecodeAt reuses a cached Reception wrapper, so the adapter adds
+// no allocation on top of the underlying receiver's scratch-backed
+// decode path (see phy.Receiver's reception-lifetime contract).
 type Receiver struct {
-	Rx *lora.Receiver
+	Rx  *lora.Receiver
+	rec Reception // cached wrapper returned by DecodeAt
 }
 
 // Clone implements phy.Receiver.
-func (r Receiver) Clone() phy.Receiver { return Receiver{r.Rx.Clone()} }
+func (r *Receiver) Clone() phy.Receiver { return &Receiver{Rx: r.Rx.Clone()} }
 
 // SyncThreshold implements phy.SyncTuner.
-func (r Receiver) SyncThreshold() float64 { return r.Rx.SyncThreshold() }
+func (r *Receiver) SyncThreshold() float64 { return r.Rx.SyncThreshold() }
 
 // CloneWithSyncThreshold implements phy.SyncTuner.
-func (r Receiver) CloneWithSyncThreshold(t float64) (phy.Receiver, error) {
+func (r *Receiver) CloneWithSyncThreshold(t float64) (phy.Receiver, error) {
 	rx, err := r.Rx.CloneWithSyncThreshold(t)
 	if err != nil {
 		return nil, err
 	}
-	return Receiver{rx}, nil
+	return &Receiver{Rx: rx}, nil
 }
 
 // SyncRefSamples implements phy.Receiver.
-func (r Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
+func (r *Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
 
 // HeaderSamples implements phy.Receiver.
-func (r Receiver) HeaderSamples() int { return lora.HeaderSamples }
+func (r *Receiver) HeaderSamples() int { return lora.HeaderSamples }
 
 // MaxFrameSamples implements phy.Receiver.
-func (r Receiver) MaxFrameSamples() int { return lora.MaxFrameSamples }
+func (r *Receiver) MaxFrameSamples() int { return lora.MaxFrameSamples }
 
 // TailSamples implements phy.Receiver. CSS demodulation is symbol-local,
 // so no samples are needed past the frame span.
-func (r Receiver) TailSamples() int { return 0 }
+func (r *Receiver) TailSamples() int { return 0 }
 
 // SynchronizeFirst implements phy.Receiver.
-func (r Receiver) SynchronizeFirst(w []complex128) (int, float64, error) {
+func (r *Receiver) SynchronizeFirst(w []complex128) (int, float64, error) {
 	return r.Rx.SynchronizeFirst(w)
 }
 
 // FrameSpan implements phy.Receiver.
-func (r Receiver) FrameSpan(w []complex128, start int) (int, error) {
+func (r *Receiver) FrameSpan(w []complex128, start int) (int, error) {
 	return r.Rx.FrameSpan(w, start)
 }
 
-// DecodeAt implements phy.Receiver.
-func (r Receiver) DecodeAt(w []complex128, start int, syncPeak float64) (phy.Reception, error) {
+// DecodeAt implements phy.Receiver. The returned Reception shares the
+// adapter's cached wrapper and the underlying receiver's scratch: it is
+// valid until this adapter's next DecodeAt/FrameSpan call.
+func (r *Receiver) DecodeAt(w []complex128, start int, syncPeak float64) (phy.Reception, error) {
 	rec, err := r.Rx.DecodeAt(w, start, syncPeak)
 	if err != nil {
 		return nil, err
 	}
-	return Reception{rec}, nil
+	r.rec = Reception{rec}
+	return &r.rec, nil
 }
 
 // Detector wraps a lora.Detector as a phy.Detector.
@@ -125,7 +132,7 @@ func (d Detector) CloneWithDetectThreshold(t float64) (phy.Detector, error) {
 
 // Analyze implements phy.Detector.
 func (d Detector) Analyze(rec phy.Reception) (phy.Detection, error) {
-	lr, ok := rec.(Reception)
+	lr, ok := rec.(*Reception)
 	if !ok {
 		return phy.Detection{}, fmt.Errorf("loraphy: reception type %T is not a lora reception", rec)
 	}

@@ -34,6 +34,13 @@ package phy
 // whatever protocol-specific taps the paired Detector consumes. Concrete
 // types are protocol-private; the engine only moves them from Receiver to
 // Detector.
+//
+// Lifetime: a Reception (and every slice it exposes, including Payload)
+// is a view into its Receiver's reusable scratch, valid only until that
+// receiver's next DecodeAt/FrameSpan call. Consumers that keep payload
+// bytes past the decode — the engine's Verdict does — must copy them out.
+// This is what lets the steady-state decode+detect path run without
+// allocating.
 type Reception interface {
 	// Payload returns the decoded MAC-layer payload.
 	Payload() []byte
@@ -68,7 +75,8 @@ type Receiver interface {
 	// payload-bearing sample, excluding TailSamples).
 	FrameSpan(waveform []complex128, start int) (int, error)
 	// DecodeAt runs the full post-synchronization decode of a frame
-	// starting at start; syncPeak is recorded in the Reception.
+	// starting at start; syncPeak is recorded in the Reception. The
+	// Reception is scratch-backed (see the Reception lifetime note).
 	DecodeAt(waveform []complex128, start int, syncPeak float64) (Reception, error)
 }
 

@@ -49,7 +49,7 @@ func NewPipeline(rc zigbee.ReceiverConfig, dc emulation.DefenseConfig) (*phy.Pip
 	}
 	return &phy.Pipeline{
 		Protocol: Protocol,
-		Receiver: Receiver{rx},
+		Receiver: &Receiver{Rx: rx},
 		Detector: Detector{det},
 	}, nil
 }
@@ -62,55 +62,62 @@ type Reception struct {
 // Payload implements phy.Reception.
 func (r Reception) Payload() []byte { return r.Rec.PSDU }
 
-// Receiver wraps a zigbee.Receiver as a phy.Receiver.
+// Receiver wraps a zigbee.Receiver as a phy.Receiver. It is a pointer
+// type: DecodeAt reuses a cached Reception wrapper, so the adapter adds
+// no allocation on top of the underlying receiver's scratch-backed
+// decode path (see phy.Receiver's reception-lifetime contract).
 type Receiver struct {
-	Rx *zigbee.Receiver
+	Rx  *zigbee.Receiver
+	rec Reception // cached wrapper returned by DecodeAt
 }
 
 // Clone implements phy.Receiver.
-func (r Receiver) Clone() phy.Receiver { return Receiver{r.Rx.Clone()} }
+func (r *Receiver) Clone() phy.Receiver { return &Receiver{Rx: r.Rx.Clone()} }
 
 // SyncThreshold implements phy.SyncTuner.
-func (r Receiver) SyncThreshold() float64 { return r.Rx.SyncThreshold() }
+func (r *Receiver) SyncThreshold() float64 { return r.Rx.SyncThreshold() }
 
 // CloneWithSyncThreshold implements phy.SyncTuner.
-func (r Receiver) CloneWithSyncThreshold(t float64) (phy.Receiver, error) {
+func (r *Receiver) CloneWithSyncThreshold(t float64) (phy.Receiver, error) {
 	rx, err := r.Rx.CloneWithSyncThreshold(t)
 	if err != nil {
 		return nil, err
 	}
-	return Receiver{rx}, nil
+	return &Receiver{Rx: rx}, nil
 }
 
 // SyncRefSamples implements phy.Receiver.
-func (r Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
+func (r *Receiver) SyncRefSamples() int { return r.Rx.SyncRefSamples() }
 
 // HeaderSamples implements phy.Receiver.
-func (r Receiver) HeaderSamples() int { return zigbee.HeaderSamples }
+func (r *Receiver) HeaderSamples() int { return zigbee.HeaderSamples }
 
 // MaxFrameSamples implements phy.Receiver.
-func (r Receiver) MaxFrameSamples() int { return zigbee.MaxFrameSamples }
+func (r *Receiver) MaxFrameSamples() int { return zigbee.MaxFrameSamples }
 
 // TailSamples is the offset-Q arm tail DecodeAt needs past FrameSpan.
-func (r Receiver) TailSamples() int { return zigbee.QOffsetSamples }
+func (r *Receiver) TailSamples() int { return zigbee.QOffsetSamples }
 
 // SynchronizeFirst implements phy.Receiver.
-func (r Receiver) SynchronizeFirst(w []complex128) (int, float64, error) {
+func (r *Receiver) SynchronizeFirst(w []complex128) (int, float64, error) {
 	return r.Rx.SynchronizeFirst(w)
 }
 
 // FrameSpan implements phy.Receiver.
-func (r Receiver) FrameSpan(w []complex128, start int) (int, error) {
+func (r *Receiver) FrameSpan(w []complex128, start int) (int, error) {
 	return r.Rx.FrameSpan(w, start)
 }
 
-// DecodeAt implements phy.Receiver.
-func (r Receiver) DecodeAt(w []complex128, start int, syncPeak float64) (phy.Reception, error) {
+// DecodeAt implements phy.Receiver. The returned Reception shares the
+// adapter's cached wrapper and the underlying receiver's scratch: it is
+// valid until this adapter's next DecodeAt/FrameSpan call.
+func (r *Receiver) DecodeAt(w []complex128, start int, syncPeak float64) (phy.Reception, error) {
 	rec, err := r.Rx.DecodeAt(w, start, syncPeak)
 	if err != nil {
 		return nil, err
 	}
-	return Reception{rec}, nil
+	r.rec = Reception{rec}
+	return &r.rec, nil
 }
 
 // Detector wraps an emulation.Detector as a phy.Detector.
@@ -132,11 +139,11 @@ func (d Detector) CloneWithDetectThreshold(t float64) (phy.Detector, error) {
 
 // Analyze implements phy.Detector.
 func (d Detector) Analyze(rec phy.Reception) (phy.Detection, error) {
-	zr, ok := rec.(Reception)
+	zr, ok := rec.(*Reception)
 	if !ok {
 		return phy.Detection{}, fmt.Errorf("zigbeephy: reception type %T is not a zigbee reception", rec)
 	}
-	v, err := d.Det.AnalyzeReception(zr.Rec)
+	v, err := d.Det.DetectReception(zr.Rec)
 	if err != nil {
 		return phy.Detection{}, err
 	}

@@ -244,7 +244,10 @@ func (e *Engine) processJob(rx phy.Receiver, j job, wait time.Duration) Verdict 
 		j.pipe.obs.decodeErrors.Inc()
 		return v
 	}
-	v.PSDU = rec.Payload()
+	// The reception is a view into the receiver's scratch (see
+	// phy.Receiver); the verdict outlives the next decode, so the payload
+	// must be copied out.
+	v.PSDU = append([]byte(nil), rec.Payload()...)
 	analyzer, calThr, calSrc := j.sess.detector()
 	detectStart := time.Now()
 	det, err := analyzer.Analyze(rec)

@@ -43,6 +43,38 @@ func buildChipTable() [16][ChipsPerSymbol]bits.Bit {
 	return table
 }
 
+// chipPM holds the 16 spreading sequences in ±1 float form — the codebook
+// the receiver's batched despreader correlates against (correlation
+// against ±1 codewords reproduces the add/subtract accumulation of
+// DespreadSoft bit for bit).
+var chipPM = func() [16][ChipsPerSymbol]float64 {
+	var pm [16][ChipsPerSymbol]float64
+	for s := range chipTable {
+		for i, c := range chipTable[s] {
+			if c == 1 {
+				pm[s][i] = 1
+			} else {
+				pm[s][i] = -1
+			}
+		}
+	}
+	return pm
+}()
+
+// differentialTable precomputes DifferentialChipSequence for all 16
+// symbols so the FM despread loop never rebuilds the patterns.
+var differentialTable = func() [16][ChipsPerSymbol - 1]bits.Bit {
+	var table [16][ChipsPerSymbol - 1]bits.Bit
+	for s := byte(0); s < 16; s++ {
+		seq, err := DifferentialChipSequence(s)
+		if err != nil {
+			panic(err)
+		}
+		copy(table[s][:], seq)
+	}
+	return table
+}()
+
 // ChipSequence returns a copy of the 32-chip spreading sequence for a data
 // symbol (0–15).
 func ChipSequence(symbol byte) ([]bits.Bit, error) {
@@ -129,11 +161,7 @@ func DespreadDiscriminator(disc []float64, threshold int) ([]DespreadResult, err
 		}
 		best, bestDist := byte(0), ChipsPerSymbol+1
 		for s := byte(0); s < 16; s++ {
-			pattern, err := DifferentialChipSequence(s)
-			if err != nil {
-				return nil, err
-			}
-			d, err := bits.HammingDistance(hard, pattern)
+			d, err := bits.HammingDistance(hard, differentialTable[s][:])
 			if err != nil {
 				return nil, fmt.Errorf("zigbee: discriminator despread: %w", err)
 			}

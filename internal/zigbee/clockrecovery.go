@@ -52,26 +52,51 @@ func (c ClockRecovery) Recover(waveform []complex128, numChips int) (*RecoveredC
 		return nil, fmt.Errorf("zigbee: invalid chip count %d", numChips)
 	}
 	pairs := numChips / 2
-	// The late sample of the final Q chip reaches one past its peak.
-	need := (pairs-1)*SamplesPerPulse + QOffsetSamples + SamplesPerPulse/2 + 2
-	if len(waveform) < need {
-		return nil, fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
-	}
-
-	const peak = SamplesPerPulse / 2
 	out := &RecoveredChips{
 		Soft:   make([]float64, numChips),
 		Timing: make([]float64, pairs),
 	}
+	if err := c.RecoverInto(out.Soft, out.Timing, waveform); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecoverInto is Recover writing the loop output into caller-provided
+// buffers (usually arena carves) without allocating: soft receives
+// len(soft) chips and timing the per-pair estimates, so len(timing) must
+// be len(soft)/2. The produced values are bitwise identical to Recover's.
+func (c ClockRecovery) RecoverInto(soft, timing []float64, waveform []complex128) error {
+	if c.Mu <= 0 || c.Mu > 1 {
+		return fmt.Errorf("zigbee: clock recovery gain %v outside (0, 1]", c.Mu)
+	}
+	if c.MaxOffset <= 0 || c.MaxOffset >= SamplesPerPulse/2 {
+		return fmt.Errorf("zigbee: max offset %v outside (0, %d)", c.MaxOffset, SamplesPerPulse/2)
+	}
+	numChips := len(soft)
+	if numChips <= 0 || numChips%2 != 0 {
+		return fmt.Errorf("zigbee: invalid chip count %d", numChips)
+	}
+	pairs := numChips / 2
+	if len(timing) != pairs {
+		return fmt.Errorf("zigbee: timing buffer has %d entries, want %d", len(timing), pairs)
+	}
+	// The late sample of the final Q chip reaches one past its peak.
+	need := (pairs-1)*SamplesPerPulse + QOffsetSamples + SamplesPerPulse/2 + 2
+	if len(waveform) < need {
+		return fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
+	}
+
+	const peak = SamplesPerPulse / 2
 	tau := 0.0
 	for k := 0; k < pairs; k++ {
 		iCenter := float64(k*SamplesPerPulse+peak) + tau
 		qCenter := float64(k*SamplesPerPulse+QOffsetSamples+peak) + tau
 		iv := interpReal(waveform, iCenter)
 		qv := interpImag(waveform, qCenter)
-		out.Soft[2*k] = iv
-		out.Soft[2*k+1] = qv
-		out.Timing[k] = tau
+		soft[2*k] = iv
+		soft[2*k+1] = qv
+		timing[k] = tau
 
 		// Early–late error from both arms: positive when sampling early.
 		eI := (interpReal(waveform, iCenter+1) - interpReal(waveform, iCenter-1)) * sign(iv)
@@ -84,7 +109,7 @@ func (c ClockRecovery) Recover(waveform []complex128, numChips int) (*RecoveredC
 			tau = -c.MaxOffset
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // TimingJitter returns the standard deviation of the timing track — a

@@ -76,12 +76,27 @@ func Demodulate(waveform []complex128, numChips int) ([]float64, error) {
 	if numChips <= 0 || numChips%2 != 0 {
 		return nil, fmt.Errorf("zigbee: invalid chip count %d", numChips)
 	}
+	soft := make([]float64, numChips)
+	if err := DemodulateInto(soft, waveform); err != nil {
+		return nil, err
+	}
+	return soft, nil
+}
+
+// DemodulateInto is Demodulate writing len(dst) soft chips into dst
+// (usually a reused scratch or arena carve) so hot paths demodulate
+// without allocating. The produced values are bitwise identical to
+// Demodulate's.
+func DemodulateInto(dst []float64, waveform []complex128) error {
+	numChips := len(dst)
+	if numChips <= 0 || numChips%2 != 0 {
+		return fmt.Errorf("zigbee: invalid chip count %d", numChips)
+	}
 	pairs := numChips / 2
 	need := pairs*SamplesPerPulse + QOffsetSamples
 	if len(waveform) < need {
-		return nil, fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
+		return fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
 	}
-	soft := make([]float64, numChips)
 	for k := 0; k < pairs; k++ {
 		iStart := k * SamplesPerPulse
 		qStart := iStart + QOffsetSamples
@@ -90,10 +105,10 @@ func Demodulate(waveform []complex128, numChips int) ([]float64, error) {
 			iAcc += real(waveform[iStart+m]) * halfSine[m]
 			qAcc += imag(waveform[qStart+m]) * halfSine[m]
 		}
-		soft[2*k] = iAcc / pulseEnergy
-		soft[2*k+1] = qAcc / pulseEnergy
+		dst[2*k] = iAcc / pulseEnergy
+		dst[2*k+1] = qAcc / pulseEnergy
 	}
-	return soft, nil
+	return nil
 }
 
 // PeakChips samples each half-sine pulse once at its center instead of
@@ -106,19 +121,33 @@ func PeakChips(waveform []complex128, numChips int) ([]float64, error) {
 	if numChips <= 0 || numChips%2 != 0 {
 		return nil, fmt.Errorf("zigbee: invalid chip count %d", numChips)
 	}
+	out := make([]float64, numChips)
+	if err := PeakChipsInto(out, waveform); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PeakChipsInto is PeakChips writing len(dst) chip-center samples into
+// dst without allocating. The produced values are bitwise identical to
+// PeakChips'.
+func PeakChipsInto(dst []float64, waveform []complex128) error {
+	numChips := len(dst)
+	if numChips <= 0 || numChips%2 != 0 {
+		return fmt.Errorf("zigbee: invalid chip count %d", numChips)
+	}
 	pairs := numChips / 2
 	need := pairs*SamplesPerPulse + QOffsetSamples
 	if len(waveform) < need {
-		return nil, fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
+		return fmt.Errorf("zigbee: waveform has %d samples, need %d for %d chips", len(waveform), need, numChips)
 	}
 	const peak = SamplesPerPulse / 2
-	out := make([]float64, numChips)
 	for k := 0; k < pairs; k++ {
 		iStart := k * SamplesPerPulse
-		out[2*k] = real(waveform[iStart+peak])
-		out[2*k+1] = imag(waveform[iStart+QOffsetSamples+peak])
+		dst[2*k] = real(waveform[iStart+peak])
+		dst[2*k+1] = imag(waveform[iStart+QOffsetSamples+peak])
 	}
-	return out, nil
+	return nil
 }
 
 // DiscriminatorChips extracts one real value per chip from the FM
@@ -137,22 +166,46 @@ func DiscriminatorChips(waveform []complex128, numChips int) ([]float64, error) 
 	if numChips <= 0 {
 		return nil, fmt.Errorf("zigbee: invalid chip count %d", numChips)
 	}
-	freq := InstantaneousFrequency(waveform)
-	if len(freq) < numChips*SamplesPerChip {
-		return nil, fmt.Errorf("zigbee: waveform yields %d frequency samples, need %d for %d chips",
-			len(freq), numChips*SamplesPerChip, numChips)
+	out := make([]float64, numChips)
+	if err := DiscriminatorChipsInto(out, waveform); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiscriminatorChipsInto is DiscriminatorChips writing len(dst) values
+// into dst without allocating: the phase increments are evaluated only at
+// the chip-rate sample points instead of materializing the whole
+// InstantaneousFrequency stream, which produces bitwise-identical values
+// (each output depends only on one sample pair).
+func DiscriminatorChipsInto(dst []float64, waveform []complex128) error {
+	numChips := len(dst)
+	if numChips <= 0 {
+		return fmt.Errorf("zigbee: invalid chip count %d", numChips)
+	}
+	yields := len(waveform) - 1
+	if yields < 0 {
+		yields = 0
+	}
+	if yields < numChips*SamplesPerChip {
+		return fmt.Errorf("zigbee: waveform yields %d frequency samples, need %d for %d chips",
+			yields, numChips*SamplesPerChip, numChips)
 	}
 	const nominal = math.Pi / 4 // |Δphase| per sample for clean MSK
-	out := make([]float64, numChips)
 	for k := 0; k < numChips; k++ {
 		// One sample per chip: the phase increment fully inside chip period
 		// k (the second increment straddles the chip boundary). This is
 		// what a chip-rate clock-recovery loop hands downstream; averaging
 		// both increments would add ~3 dB of smoothing a real chain does
-		// not have.
-		out[k] = freq[k*SamplesPerChip] / nominal
+		// not have. freq[i−1] = arg(x[i]·conj(x[i−1])), evaluated here at
+		// i = k·SamplesPerChip+1 only.
+		a := waveform[k*SamplesPerChip+1]
+		b := waveform[k*SamplesPerChip]
+		re := real(a)*real(b) + imag(a)*imag(b)
+		im := imag(a)*real(b) - real(a)*imag(b)
+		dst[k] = math.Atan2(im, re) / nominal
 	}
-	return out, nil
+	return nil
 }
 
 // HardChips slices soft chip values at zero.

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"time"
 
+	"hideseek/internal/bits"
 	"hideseek/internal/dsp"
 )
 
@@ -44,6 +45,13 @@ type ReceiverConfig struct {
 	// direct remains available as the reference implementation and is the
 	// global default under the slowsync build tag.
 	DirectSync bool
+	// DirectDespread forces per-symbol direct correlation against all 16
+	// chip sequences instead of the batched FFT despreader
+	// (dsp.CorrelatorBank). The two paths make identical symbol decisions
+	// (the bank confirms borderline windows with an exact scan); direct
+	// remains available as the reference implementation and is the global
+	// default under the slowsync build tag.
+	DirectDespread bool
 }
 
 // Receiver demodulates baseband waveforms back into frames and exposes the
@@ -52,14 +60,37 @@ type ReceiverConfig struct {
 // A Receiver reuses internal correlation and derotation scratch buffers
 // across calls and is therefore NOT safe for concurrent use; give each
 // worker goroutine its own via Clone, which shares the immutable sync
-// reference and correlation plan but owns fresh scratch (the runner
+// reference and correlation plans but owns fresh scratch (the runner
 // package's per-worker scratch hook exists for exactly this).
+//
+// Reception lifetime: Receive returns an owned Reception the caller may
+// keep indefinitely. ReceiveAll and DecodeAt return receptions backed by
+// a receiver-owned frame arena — every slice field (and the Reception
+// struct itself) stays valid only until the receiver's next Receive,
+// ReceiveAll, DecodeAt, or FrameSpan call; callers that keep one longer
+// must take a Reception.Copy. All of one ReceiveAll call's receptions
+// are simultaneously valid.
 type Receiver struct {
-	cfg     ReceiverConfig
-	syncRef []complex128    // modulated SHR used for preamble correlation
-	sync    *dsp.Correlator // overlap-save (or direct) preamble correlation plan
-	corr    []float64       // Synchronize scratch: correlation lags
-	avail   []complex128    // decodeFrom scratch: derotated samples
+	cfg       ReceiverConfig
+	syncRef   []complex128        // modulated SHR used for preamble correlation
+	refEnergy float64             // Σ|syncRef|², cached for the noise estimate
+	sync      *dsp.Correlator     // overlap-save (or direct) preamble correlation plan
+	bank      *dsp.CorrelatorBank // batched (or direct) chip-sequence despread plan
+	welch     *dsp.Welch          // out-of-band SNR PSD plan
+
+	corr  []float64    // Synchronize scratch: correlation lags
+	avail []complex128 // decodeFrom scratch: derotated samples
+	psd   []float64    // oobSNR scratch
+	// Despread scratch, reused by header and frame decodes.
+	chips    []float64  // header demod output (soft or discriminator)
+	pm       []float64  // ±1 chip windows fed to the bank (hard mode)
+	hardBits []bits.Bit // hard decisions for distance reporting
+	best     []int      // bank argmax output
+	syms     []byte     // despread symbols before byte packing
+	hdrRes   []DespreadResult
+	hdrBytes []byte // packed header bytes
+
+	arena frameArena // backing store for returned Receptions
 }
 
 // NewReceiver builds a receiver, applying config defaults.
@@ -96,16 +127,42 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
 	}
-	return &Receiver{cfg: cfg, syncRef: ref, sync: cor}, nil
+	code := make([][]float64, len(chipPM))
+	for s := range chipPM {
+		code[s] = chipPM[s][:]
+	}
+	bank, err := dsp.NewCorrelatorBank(code, dsp.CorrelatorBankConfig{UseDirect: cfg.DirectDespread})
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
+	}
+	welch, err := dsp.NewWelch(oobSegment, dsp.Hann)
+	if err != nil {
+		return nil, fmt.Errorf("zigbee: receiver init: %w", err)
+	}
+	return &Receiver{
+		cfg:       cfg,
+		syncRef:   ref,
+		refEnergy: dsp.Energy(ref),
+		sync:      cor,
+		bank:      bank,
+		welch:     welch,
+	}, nil
 }
 
 // Clone returns a receiver with the same configuration that shares the
-// immutable sync reference and precomputed correlation plan but owns
-// fresh scratch buffers, so the clone is safe to use from another
-// goroutine. Cloning skips the SHR re-modulation and FFT precompute that
-// NewReceiver pays.
+// immutable sync reference and precomputed correlation/despread/PSD plans
+// but owns fresh scratch buffers, so the clone is safe to use from
+// another goroutine. Cloning skips the SHR re-modulation and FFT
+// precompute that NewReceiver pays.
 func (rx *Receiver) Clone() *Receiver {
-	return &Receiver{cfg: rx.cfg, syncRef: rx.syncRef, sync: rx.sync.Clone()}
+	return &Receiver{
+		cfg:       rx.cfg,
+		syncRef:   rx.syncRef,
+		refEnergy: rx.refEnergy,
+		sync:      rx.sync.Clone(),
+		bank:      rx.bank.Clone(),
+		welch:     rx.welch.Clone(),
+	}
 }
 
 // SyncThreshold reports the receiver's effective preamble sync threshold
@@ -127,6 +184,9 @@ func (rx *Receiver) CloneWithSyncThreshold(t float64) (*Receiver, error) {
 }
 
 // Reception captures everything the receiver extracted from one waveform.
+//
+// Receptions from ReceiveAll and DecodeAt are views into receiver-owned
+// scratch — see the Receiver lifetime note and Reception.Copy.
 type Reception struct {
 	// PSDU is the decoded MAC-layer payload (nil if decoding failed).
 	PSDU []byte
@@ -169,6 +229,9 @@ type Reception struct {
 	SymbolErrors int
 }
 
+// oobSegment is the Welch segment length of the out-of-band SNR estimate.
+const oobSegment = 256
+
 // OutOfBandSNREstimate infers the SNR by measuring the noise floor in the
 // 1.2–1.9 MHz guard bands (both signs) where the 2 MHz O-QPSK signal has
 // almost no energy: for white noise every Welch PSD bin reads the total
@@ -176,14 +239,32 @@ type Reception struct {
 // saturates near ~17 dB (residual signal sidelobes set a floor), which is
 // harmless for threshold indexing.
 func OutOfBandSNREstimate(waveform []complex128) (float64, error) {
-	const segment = 256
-	if len(waveform) < segment {
+	if len(waveform) < oobSegment {
 		return 0, fmt.Errorf("zigbee: waveform too short for a PSD estimate")
 	}
-	psd, err := dsp.WelchPSD(waveform, segment, dsp.Hann)
+	psd, err := dsp.WelchPSD(waveform, oobSegment, dsp.Hann)
 	if err != nil {
 		return 0, fmt.Errorf("zigbee: out-of-band estimate: %w", err)
 	}
+	return oobFromPSD(psd)
+}
+
+// oobSNR is OutOfBandSNREstimate through the receiver's reusable Welch
+// plan and PSD scratch — identical values, no allocation.
+func (rx *Receiver) oobSNR(waveform []complex128) (float64, error) {
+	if len(waveform) < oobSegment {
+		return 0, fmt.Errorf("zigbee: waveform too short for a PSD estimate")
+	}
+	psd := ensureFloats(&rx.psd, rx.welch.Bins())
+	if err := rx.welch.PSDInto(psd, waveform); err != nil {
+		return 0, fmt.Errorf("zigbee: out-of-band estimate: %w", err)
+	}
+	return oobFromPSD(psd)
+}
+
+// oobFromPSD is the guard-band read-out shared by the allocating and
+// plan-based out-of-band estimators.
+func oobFromPSD(psd []float64) (float64, error) {
 	var noise, total float64
 	noiseBins := 0
 	for k, p := range psd {
@@ -255,11 +336,20 @@ func (rx *Receiver) Synchronize(waveform []complex128) (int, float64, error) {
 // the local maximum within the following symbol period. Use it when a
 // capture may hold several frames; Synchronize picks the global best.
 func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error) {
-	corr := rx.correlate(waveform)
-	if corr == nil {
+	lags := len(waveform) - len(rx.syncRef) + 1
+	if lags < 1 {
 		return 0, 0, fmt.Errorf("zigbee: waveform shorter than sync reference (%d < %d)", len(waveform), len(rx.syncRef))
 	}
-	for i, v := range corr {
+	// Lazy prefix scan: a first-crossing search on a long capture usually
+	// decides within the first frame, so only the inspected prefix of the
+	// correlation is ever computed (values bitwise identical to the full
+	// computation — see dsp.CorrelationScan).
+	corr := ensureFloats(&rx.corr, lags)
+	var scan dsp.CorrelationScan
+	rx.sync.ScanInto(&scan, corr, waveform)
+	for i := 0; i < lags; i++ {
+		scan.ComputeThrough(i)
+		v := corr[i]
 		if v < rx.cfg.SyncThreshold-syncGuard {
 			continue
 		}
@@ -270,8 +360,13 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 		}
 		// Partial-overlap correlation crosses the threshold well before the
 		// true start; the peak lies within one reference length.
+		end := i + len(rx.syncRef)
+		if end > lags-1 {
+			end = lags - 1
+		}
+		scan.ComputeThrough(end)
 		best, bestV := i, v
-		for j := i + 1; j < len(corr) && j <= i+len(rx.syncRef); j++ {
+		for j := i + 1; j <= end; j++ {
 			if corr[j] > bestV {
 				best, bestV = j, corr[j]
 			}
@@ -288,18 +383,26 @@ func (rx *Receiver) SynchronizeFirst(waveform []complex128) (int, float64, error
 
 // Receive synchronizes, demodulates, despreads, and parses one frame from
 // the waveform. A Reception is returned even on decode failure (with as
-// much diagnostic state as was extracted) alongside the error.
+// much diagnostic state as was extracted) alongside the error. Unlike
+// ReceiveAll/DecodeAt, the returned Reception is owned by the caller and
+// stays valid across later receiver calls.
 func (rx *Receiver) Receive(waveform []complex128) (*Reception, error) {
 	start, peak, err := rx.Synchronize(waveform)
 	if err != nil {
 		return &Reception{SyncPeak: peak}, err
 	}
-	return rx.decodeFrom(waveform, start, peak)
+	rx.arena.reset()
+	rec, err := rx.decodeFrom(waveform, start, peak)
+	return rec.Copy(), err
 }
 
-// decodeFrom runs the post-synchronization receive pipeline.
+// decodeFrom runs the post-synchronization receive pipeline. The returned
+// Reception is carved from the receiver's frame arena; entry points reset
+// the arena and decide whether to hand out the view or a copy.
 func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (*Reception, error) {
-	rec := &Reception{StartSample: start, SyncPeak: peak}
+	rec, rc := rx.arena.newFrame()
+	rec.StartSample = start
+	rec.SyncPeak = peak
 
 	// Carrier phase recovery: the complex preamble correlation's argument
 	// is the channel's constant phase rotation; remove it so the I/Q arms
@@ -315,9 +418,8 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 	// Noise estimation from the preamble residual: project the received
 	// SHR onto the reference (complex gain g), subtract, and measure what
 	// is left. SNR = |g|²·P_ref / P_residual.
-	refEnergy := dsp.Energy(rx.syncRef)
-	if refEnergy > 0 {
-		g := acc / complex(refEnergy, 0)
+	if rx.refEnergy > 0 {
+		g := acc / complex(rx.refEnergy, 0)
 		var resid float64
 		for i, r := range rx.syncRef {
 			d := waveform[start+i] - g*r
@@ -325,13 +427,13 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 		}
 		n := float64(len(rx.syncRef))
 		rec.NoisePowerEstimate = resid / n
-		sigPower := (real(g)*real(g) + imag(g)*imag(g)) * refEnergy / n
+		sigPower := (real(g)*real(g) + imag(g)*imag(g)) * rx.refEnergy / n
 		if rec.NoisePowerEstimate > 0 {
 			rec.SNREstimateDB = dsp.DB(sigPower / rec.NoisePowerEstimate)
 		} else {
 			rec.SNREstimateDB = 60 // effectively noiseless
 		}
-		if oob, err := OutOfBandSNREstimate(waveform[start:]); err == nil && oob > rec.SNREstimateDB {
+		if oob, err := rx.oobSNR(waveform[start:]); err == nil && oob > rec.SNREstimateDB {
 			rec.SNREstimateDB = oob
 		}
 	}
@@ -339,17 +441,14 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 	// Demodulate SHR+PHR first to learn the PSDU length.
 	hdrSymbols := (PreambleBytes + 2) * SymbolsPerByte // preamble+SFD+PHR
 	hdrChips := hdrSymbols * ChipsPerSymbol
-	if cap(rx.avail) < len(waveform)-start {
-		rx.avail = make([]complex128, len(waveform)-start)
-	}
-	avail := rx.avail[:len(waveform)-start]
+	avail := ensureComplexes(&rx.avail, len(waveform)-start)
 	for i := range avail {
 		avail[i] = waveform[start+i] * derot
 	}
 	if maxChipsIn(len(avail)) < hdrChips {
 		return rec, fmt.Errorf("zigbee: header demodulation: waveform too short")
 	}
-	hdrBytes, _, symErrs, err := rx.decodeChips(avail, hdrChips)
+	hdrBytes, symErrs, err := rx.decodeHeader(avail)
 	if err != nil {
 		return rec, fmt.Errorf("zigbee: header decode: %w", err)
 	}
@@ -360,35 +459,60 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 
 	totalSymbols := hdrSymbols + psduLen*SymbolsPerByte
 	totalChips := totalSymbols * ChipsPerSymbol
-	soft, err := Demodulate(avail, totalChips)
-	if err != nil {
+	soft := rx.arena.floats(totalChips)
+	if err := DemodulateInto(soft, avail); err != nil {
 		return rec, fmt.Errorf("zigbee: frame demodulation: %w", err)
 	}
 	rec.SoftChips = soft
-	peaks, err := PeakChips(avail, totalChips)
-	if err != nil {
+	peaks := rx.arena.floats(totalChips)
+	if err := PeakChipsInto(peaks, avail); err != nil {
 		return rec, fmt.Errorf("zigbee: peak sampling: %w", err)
 	}
 	rec.PeakChips = peaks
-	recovered, err := DefaultClockRecovery().Recover(avail, totalChips)
-	if err != nil {
+	rcSoft := rx.arena.floats(totalChips)
+	rcTiming := rx.arena.floats(totalChips / 2)
+	if err := DefaultClockRecovery().RecoverInto(rcSoft, rcTiming, avail); err != nil {
 		return rec, fmt.Errorf("zigbee: clock recovery: %w", err)
 	}
-	rec.RecoveredChips = recovered
-	disc, err := DiscriminatorChips(avail, totalChips)
-	if err != nil {
+	rc.Soft, rc.Timing = rcSoft, rcTiming
+	rec.RecoveredChips = rc
+	disc := rx.arena.floats(totalChips)
+	if err := DiscriminatorChipsInto(disc, avail); err != nil {
 		return rec, fmt.Errorf("zigbee: discriminator: %w", err)
 	}
 	rec.DiscriminatorChips = disc
 
-	allBytes, results, symErrs, err := rx.decodeChips(avail, totalChips)
+	// Despread the whole frame in one batched pass over the chip streams
+	// demodulated above (bitwise identical to re-demodulating: the
+	// matched filter and discriminator are deterministic).
+	results := rx.arena.results(totalSymbols)
+	switch rx.cfg.Mode {
+	case HardThreshold:
+		err = rx.despreadHardInto(results, soft)
+	case SoftCorrelation:
+		err = rx.despreadSoftInto(results, soft)
+	case FMDiscriminator:
+		err = rx.despreadFMInto(results, disc)
+	}
 	if err != nil {
 		return rec, fmt.Errorf("zigbee: frame decode: %w", err)
 	}
+	syms := ensureBytes(&rx.syms, totalSymbols)
+	errs := 0
+	for i, r := range results {
+		syms[i] = r.Symbol
+		if r.Dropped {
+			errs++
+		}
+	}
+	allBytes := rx.arena.byteBuf(totalSymbols / 2)
+	if err := SymbolsToBytesInto(allBytes, syms); err != nil {
+		return rec, fmt.Errorf("zigbee: frame decode: %w", err)
+	}
 	rec.Results = results
-	rec.SymbolErrors = symErrs
-	if symErrs > 0 {
-		return rec, fmt.Errorf("zigbee: %d symbol windows dropped", symErrs)
+	rec.SymbolErrors = errs
+	if errs > 0 {
+		return rec, fmt.Errorf("zigbee: %d symbol windows dropped", errs)
 	}
 	psdu, err := ParsePPDU(allBytes)
 	if err != nil {
@@ -403,19 +527,25 @@ func (rx *Receiver) decodeFrom(waveform []complex128, start int, peak float64) (
 // several transmissions yields them all (in order). Decode failures after
 // a successful sync advance past the bad sync point rather than aborting.
 // maxFrames bounds the output (0 = no bound).
+//
+// The returned receptions (and the slice holding them) are views into
+// receiver-owned scratch, all simultaneously valid until the receiver's
+// next Receive/ReceiveAll/DecodeAt/FrameSpan call; use Reception.Copy to
+// keep one longer.
 func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Reception, error) {
-	var out []*Reception
+	rx.arena.reset()
+	out := rx.arena.outs
 	offset := 0
 	for {
 		if maxFrames > 0 && len(out) >= maxFrames {
-			return out, nil
+			break
 		}
 		if offset >= len(waveform) || len(waveform)-offset < len(rx.syncRef) {
-			return out, nil
+			break
 		}
 		start, peak, err := rx.SynchronizeFirst(waveform[offset:])
 		if err != nil {
-			return out, nil // no further preambles
+			break // no further preambles
 		}
 		rec, err := rx.decodeFrom(waveform[offset:], start, peak)
 		if err != nil {
@@ -429,52 +559,157 @@ func (rx *Receiver) ReceiveAll(waveform []complex128, maxFrames int) ([]*Recepti
 		frameSamples := (len(rec.SoftChips) / 2) * SamplesPerPulse
 		offset = rec.StartSample + frameSamples
 	}
+	rx.arena.outs = out
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
-// decodeChips demodulates numChips from the phase-corrected waveform and
-// despreads them using the configured mode.
-func (rx *Receiver) decodeChips(avail []complex128, numChips int) ([]byte, []DespreadResult, int, error) {
-	defer obsDespread.Since(time.Now())
-	var (
-		results []DespreadResult
-		err     error
-	)
+// decodeHeader demodulates and despreads the SHR+PHR from phase-corrected
+// samples into receiver scratch, returning the packed header bytes (valid
+// until the next decode) and the dropped-symbol count.
+func (rx *Receiver) decodeHeader(avail []complex128) ([]byte, int, error) {
+	hdrSymbols := (PreambleBytes + 2) * SymbolsPerByte
+	hdrChips := hdrSymbols * ChipsPerSymbol
+	results := ensureResults(&rx.hdrRes, hdrSymbols)
+	var err error
 	switch rx.cfg.Mode {
-	case HardThreshold:
-		soft, dErr := Demodulate(avail, numChips)
-		if dErr != nil {
-			return nil, nil, 0, dErr
+	case HardThreshold, SoftCorrelation:
+		soft := ensureFloats(&rx.chips, hdrChips)
+		if err := DemodulateInto(soft, avail); err != nil {
+			return nil, 0, err
 		}
-		results, err = DespreadHard(HardChips(soft), rx.cfg.HammingThreshold)
-	case SoftCorrelation:
-		soft, dErr := Demodulate(avail, numChips)
-		if dErr != nil {
-			return nil, nil, 0, dErr
+		if rx.cfg.Mode == HardThreshold {
+			err = rx.despreadHardInto(results, soft)
+		} else {
+			err = rx.despreadSoftInto(results, soft)
 		}
-		results, err = DespreadSoft(soft)
 	case FMDiscriminator:
-		disc, dErr := DiscriminatorChips(avail, numChips)
-		if dErr != nil {
-			return nil, nil, 0, dErr
+		disc := ensureFloats(&rx.chips, hdrChips)
+		if err := DiscriminatorChipsInto(disc, avail); err != nil {
+			return nil, 0, err
 		}
-		results, err = DespreadDiscriminator(disc, rx.cfg.HammingThreshold)
+		err = rx.despreadFMInto(results, disc)
 	}
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
-	symbols := make([]byte, len(results))
+	syms := ensureBytes(&rx.syms, hdrSymbols)
 	errs := 0
 	for i, r := range results {
-		symbols[i] = r.Symbol
+		syms[i] = r.Symbol
 		if r.Dropped {
 			errs++
 		}
 	}
-	data, err := SymbolsToBytes(symbols)
-	if err != nil {
-		return nil, results, errs, err
+	hdrBytes := ensureBytes(&rx.hdrBytes, hdrSymbols/2)
+	if err := SymbolsToBytesInto(hdrBytes, syms); err != nil {
+		return nil, 0, err
 	}
-	return data, results, errs, nil
+	return hdrBytes, errs, nil
+}
+
+// despreadHardInto despreads soft chips with the hard-decision rule into
+// res, one result per 32-chip window, matching DespreadHard(HardChips(
+// soft), threshold) decision-for-decision: the bank's argmax over ±1
+// correlations is the argmin Hamming distance (corr = 32−2d exactly, so
+// strict-inequality first-wins order carries over), and distances are
+// recomputed with exact integer counts.
+func (rx *Receiver) despreadHardInto(res []DespreadResult, soft []float64) error {
+	defer obsDespread.Since(time.Now())
+	if len(soft)%ChipsPerSymbol != 0 {
+		return fmt.Errorf("zigbee: chip count %d not a multiple of %d", len(soft), ChipsPerSymbol)
+	}
+	n := len(soft) / ChipsPerSymbol
+	hard := ensureBits(&rx.hardBits, len(soft))
+	pm := ensureFloats(&rx.pm, len(soft))
+	for i, v := range soft {
+		if v >= 0 {
+			hard[i], pm[i] = 1, 1
+		} else {
+			hard[i], pm[i] = 0, -1
+		}
+	}
+	best := ensureInts(&rx.best, n)
+	rx.bank.BestInto(best, pm)
+	for w := 0; w < n; w++ {
+		s := byte(best[w])
+		d, err := bits.HammingDistance(hard[w*ChipsPerSymbol:(w+1)*ChipsPerSymbol], chipTable[s][:])
+		if err != nil {
+			return fmt.Errorf("zigbee: despread: %w", err)
+		}
+		res[w] = DespreadResult{Symbol: s, Distance: d, Dropped: d > rx.cfg.HammingThreshold}
+	}
+	return nil
+}
+
+// despreadSoftInto despreads soft chips by maximum ±1 correlation into
+// res, matching DespreadSoft decision-for-decision (the bank's direct
+// reference scan reproduces DespreadSoft's add/subtract accumulation
+// order bit-for-bit, and the FFT path defers to it within the guard).
+func (rx *Receiver) despreadSoftInto(res []DespreadResult, soft []float64) error {
+	defer obsDespread.Since(time.Now())
+	if len(soft)%ChipsPerSymbol != 0 {
+		return fmt.Errorf("zigbee: soft chip count %d not a multiple of %d", len(soft), ChipsPerSymbol)
+	}
+	n := len(soft) / ChipsPerSymbol
+	best := ensureInts(&rx.best, n)
+	rx.bank.BestInto(best, soft)
+	hard := ensureBits(&rx.hardBits, ChipsPerSymbol)
+	for w := 0; w < n; w++ {
+		s := byte(best[w])
+		window := soft[w*ChipsPerSymbol : (w+1)*ChipsPerSymbol]
+		for i, v := range window {
+			if v >= 0 {
+				hard[i] = 1
+			} else {
+				hard[i] = 0
+			}
+		}
+		// Report the hard Hamming distance too so both receiver models
+		// expose comparable diagnostics.
+		d, err := bits.HammingDistance(hard, chipTable[s][:])
+		if err != nil {
+			return fmt.Errorf("zigbee: soft despread: %w", err)
+		}
+		res[w] = DespreadResult{Symbol: s, Distance: d}
+	}
+	return nil
+}
+
+// despreadFMInto despreads discriminator chips against the precomputed
+// differential patterns into res, identical to DespreadDiscriminator.
+// The differential codebook is not a cyclic family (the masked boundary
+// chip breaks the shift structure), so this stays a direct scan.
+func (rx *Receiver) despreadFMInto(res []DespreadResult, disc []float64) error {
+	defer obsDespread.Since(time.Now())
+	if len(disc)%ChipsPerSymbol != 0 {
+		return fmt.Errorf("zigbee: discriminator chip count %d not a multiple of %d", len(disc), ChipsPerSymbol)
+	}
+	hard := ensureBits(&rx.hardBits, ChipsPerSymbol-1)
+	for w := 0; w*ChipsPerSymbol < len(disc); w++ {
+		window := disc[w*ChipsPerSymbol : (w+1)*ChipsPerSymbol]
+		for k := 1; k < ChipsPerSymbol; k++ {
+			if window[k] >= 0 {
+				hard[k-1] = 1
+			} else {
+				hard[k-1] = 0
+			}
+		}
+		best, bestDist := byte(0), ChipsPerSymbol+1
+		for s := byte(0); s < 16; s++ {
+			d, err := bits.HammingDistance(hard, differentialTable[s][:])
+			if err != nil {
+				return fmt.Errorf("zigbee: discriminator despread: %w", err)
+			}
+			if d < bestDist {
+				best, bestDist = s, d
+			}
+		}
+		res[w] = DespreadResult{Symbol: best, Distance: bestDist, Dropped: bestDist > rx.cfg.HammingThreshold}
+	}
+	return nil
 }
 
 // maxChipsIn returns how many whole chips fit in n samples, accounting for
@@ -485,4 +720,49 @@ func maxChipsIn(n int) int {
 		return 0
 	}
 	return pairs * 2
+}
+
+// Scratch sizing helpers: grow-only reslicing so steady-state reuse never
+// allocates. The returned slices may hold stale values; callers fully
+// overwrite them.
+func ensureFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func ensureComplexes(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	return (*buf)[:n]
+}
+
+func ensureBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	return (*buf)[:n]
+}
+
+func ensureInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+func ensureBits(buf *[]bits.Bit, n int) []bits.Bit {
+	if cap(*buf) < n {
+		*buf = make([]bits.Bit, n)
+	}
+	return (*buf)[:n]
+}
+
+func ensureResults(buf *[]DespreadResult, n int) []DespreadResult {
+	if cap(*buf) < n {
+		*buf = make([]DespreadResult, n)
+	}
+	return (*buf)[:n]
 }

@@ -52,11 +52,11 @@ func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
 	}
 	derot := cmplx.Rect(1, -cmplx.Phase(acc))
 	need := hdrChips/2*SamplesPerPulse + QOffsetSamples
-	hdr := make([]complex128, need)
+	hdr := ensureComplexes(&rx.avail, need)
 	for i := range hdr {
 		hdr[i] = avail[i] * derot
 	}
-	hdrBytes, _, symErrs, err := rx.decodeChips(hdr, hdrChips)
+	hdrBytes, symErrs, err := rx.decodeHeader(hdr)
 	if err != nil {
 		return 0, fmt.Errorf("zigbee: header decode: %w", err)
 	}
@@ -83,9 +83,14 @@ func (rx *Receiver) FrameSpan(waveform []complex128, start int) (int, error) {
 // identical to what Receive produces for the same samples; only
 // SNREstimateDB may differ when the waveform is a tighter slice than the
 // original capture (its out-of-band leg integrates the whole remainder).
+//
+// The returned Reception is a view into receiver-owned scratch, valid
+// until the receiver's next Receive/ReceiveAll/DecodeAt/FrameSpan call;
+// use Reception.Copy to keep it longer.
 func (rx *Receiver) DecodeAt(waveform []complex128, start int, syncPeak float64) (*Reception, error) {
 	if start < 0 || start+len(rx.syncRef) > len(waveform) {
 		return nil, fmt.Errorf("zigbee: frame start %d outside waveform of %d samples", start, len(waveform))
 	}
+	rx.arena.reset()
 	return rx.decodeFrom(waveform, start, syncPeak)
 }

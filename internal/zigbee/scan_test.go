@@ -44,9 +44,12 @@ func TestFrameSpanMatchesReceiveAll(t *testing.T) {
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("ReceiveAll: %d frames, err %v", len(recs), err)
 	}
+	// ReceiveAll receptions are scratch-backed; snapshot before the
+	// DecodeAt below reuses the receiver's arena.
+	batch := recs[0].Copy()
 	// ReceiveAll advances past a frame by len(SoftChips)/2·SamplesPerPulse;
 	// FrameSpan must report exactly that.
-	want := len(recs[0].SoftChips) / 2 * SamplesPerPulse
+	want := len(batch.SoftChips) / 2 * SamplesPerPulse
 	if span != want {
 		t.Errorf("FrameSpan %d, want ReceiveAll advance %d", span, want)
 	}
@@ -66,7 +69,6 @@ func TestFrameSpanMatchesReceiveAll(t *testing.T) {
 	if rec.SyncPeak != peak {
 		t.Errorf("DecodeAt sync peak %v, want recorded %v", rec.SyncPeak, peak)
 	}
-	batch := recs[0]
 	if len(rec.DiscriminatorChips) != len(batch.DiscriminatorChips) {
 		t.Fatalf("chip count %d, want %d", len(rec.DiscriminatorChips), len(batch.DiscriminatorChips))
 	}

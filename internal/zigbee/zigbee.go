@@ -69,19 +69,31 @@ func BytesToSymbols(data []byte) []byte {
 // SymbolsToBytes packs 4-bit symbols back into octets. The symbol count
 // must be even and every symbol < 16.
 func SymbolsToBytes(symbols []byte) ([]byte, error) {
-	if len(symbols)%2 != 0 {
-		return nil, fmt.Errorf("zigbee: odd symbol count %d", len(symbols))
-	}
 	out := make([]byte, len(symbols)/2)
-	for i, s := range symbols {
-		if s > 0x0F {
-			return nil, fmt.Errorf("zigbee: symbol %#x at index %d exceeds 4 bits", s, i)
-		}
-		if i%2 == 0 {
-			out[i/2] = s
-		} else {
-			out[i/2] |= s << 4
-		}
+	if err := SymbolsToBytesInto(out, symbols); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SymbolsToBytesInto is SymbolsToBytes packing into dst (which must hold
+// exactly len(symbols)/2 bytes) without allocating.
+func SymbolsToBytesInto(dst []byte, symbols []byte) error {
+	if len(symbols)%2 != 0 {
+		return fmt.Errorf("zigbee: odd symbol count %d", len(symbols))
+	}
+	if len(dst) != len(symbols)/2 {
+		return fmt.Errorf("zigbee: byte buffer has %d entries, want %d", len(dst), len(symbols)/2)
+	}
+	for i, s := range symbols {
+		if s > 0x0F {
+			return fmt.Errorf("zigbee: symbol %#x at index %d exceeds 4 bits", s, i)
+		}
+		if i%2 == 0 {
+			dst[i/2] = s
+		} else {
+			dst[i/2] |= s << 4
+		}
+	}
+	return nil
 }
