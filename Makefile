@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-check soak soak-smoke experiments manifest-smoke stream-smoke lora-smoke obs-smoke calib-smoke examples clean
+.PHONY: all build vet test race bench bench-json bench-check bench-compare soak soak-smoke experiments manifest-smoke stream-smoke lora-smoke obs-smoke calib-smoke alert-smoke examples clean
 
 all: build vet test
 
@@ -34,6 +34,19 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchreport -check BENCH_sync.json
 	$(GO) run ./cmd/benchreport -check BENCH_stream.json
+
+# Perf regression gate: re-run the sync-path benchmarks into a throwaway
+# report and compare against the committed BENCH_sync.json baseline —
+# fail on >25% ns/op slowdown or any allocs/op increase on the
+# steady-state hot paths. Runs BEFORE bench-json in CI (bench-json
+# overwrites the committed baseline in the working tree).
+bench-compare:
+	$(GO) run ./cmd/benchreport -out .bench-compare.json -benchtime 100ms -count 3 \
+		-baseline BENCH_sync.json \
+		-gate 'StreamScan|DecodeAt|DetectorAnalyze' \
+		-bench 'Synchronize|ReceiveAll|Correlator|StreamScan|DecodeAt|Despread|DetectorAnalyze' \
+		./internal/dsp ./internal/zigbee ./internal/stream ./internal/emulation
+	rm -f .bench-compare.json
 
 # Fleet soak: stampede the sharded, admission-controlled fleet with
 # 256/1k/4k/10k concurrent replay sessions and aggregate frames/s, p99
@@ -88,6 +101,14 @@ obs-smoke:
 # and assert the drift counters / threshold gauge / admin endpoints.
 calib-smoke:
 	$(GO) test ./cmd/hideseekd -run TestCalibSmoke -count=1
+
+# Smoke-test the SLO alert engine end to end: boot hideseekd with a
+# tight latency rule, drive load until the rule transitions
+# pending→firing on /v1/alerts, assert lint-clean ALERTS series on
+# /metrics, stop the load, watch the rule resolve, and check the
+# shutdown manifest records the fired alert.
+alert-smoke:
+	$(GO) test ./cmd/hideseekd -run TestAlertSmoke -count=1
 
 examples:
 	$(GO) run ./examples/quickstart

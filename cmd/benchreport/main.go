@@ -8,10 +8,19 @@
 //
 //	benchreport -out BENCH_sync.json -bench 'Synchronize|ReceiveAll' -benchtime 100ms ./internal/...
 //	benchreport -check BENCH_sync.json
+//	benchreport -baseline BENCH_sync.json -out /tmp/new.json ./internal/...
+//	benchreport -baseline BENCH_sync.json -compare /tmp/new.json
 //
 // -check validates an existing report against the schema (strict
 // decode + obs.BenchReport.Validate), the same contract manifestcheck
 // applies to run manifests.
+//
+// -baseline turns the run into a regression gate: after the fresh
+// report is written it is compared against the committed baseline, and
+// the run fails when any gated benchmark (-gate regexp, default all)
+// slows down by more than -tolerance (default 25%) ns/op or allocates
+// more per op at all. -compare skips running and gates an existing
+// report file against the baseline instead.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 
@@ -45,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchtime = fs.String("benchtime", "100ms", "per-benchmark budget passed to -benchtime")
 		count     = fs.Int("count", 1, "benchmark repetitions passed to -count")
 		check     = fs.String("check", "", "validate an existing report instead of running benchmarks")
+		baseline  = fs.String("baseline", "", "committed report to gate regressions against (enables compare after the run)")
+		compare   = fs.String("compare", "", "existing report to gate against -baseline instead of running benchmarks")
+		gate      = fs.String("gate", "", "regexp of benchmark names the regression gate covers (empty = every baseline benchmark)")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown before the gate fails (allocs/op allows none)")
 		goBin     = fs.String("go", "go", "go tool to invoke")
 	)
 	fs.Usage = func() {
@@ -68,12 +82,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		var err error
+		if gateRe, err = regexp.Compile(*gate); err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
+	}
+
+	if *compare != "" {
+		if *baseline == "" {
+			return fmt.Errorf("-compare requires -baseline")
+		}
+		old, err := loadReport(*baseline)
+		if err != nil {
+			return err
+		}
+		fresh, err := loadReport(*compare)
+		if err != nil {
+			return err
+		}
+		return compareReports(stdout, *baseline, old, *compare, fresh, gateRe, *tolerance)
+	}
+
 	pkgs := fs.Args()
 	if len(pkgs) == 0 {
 		pkgs = []string{"./internal/dsp", "./internal/zigbee", "./internal/stream"}
 	}
 	cmdArgs := append([]string{
-		"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		// -p 1 serializes the per-package test binaries: with several
+		// packages in one invocation go test runs them concurrently,
+		// and parallel benchmark binaries contend for CPU and inflate
+		// ns/op — fatal for a report used as a regression baseline.
+		"test", "-p", "1", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-json",
 	}, pkgs...)
 	cmd := exec.Command(*goBin, cmdArgs...)
@@ -97,6 +138,79 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s: wrote %d benchmarks\n", *out, len(report.Benchmarks))
+	if *baseline != "" {
+		old, err := loadReport(*baseline)
+		if err != nil {
+			return err
+		}
+		return compareReports(stdout, *baseline, old, *out, report, gateRe, *tolerance)
+	}
+	return nil
+}
+
+// loadReport reads and validates a report file.
+func loadReport(path string) (*obs.BenchReport, error) {
+	r, err := obs.ReadBenchReport(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// compareReports is the regression gate: every baseline benchmark the
+// gate regexp covers must exist in the fresh report, run within
+// tolerance of the baseline ns/op, and allocate no more per op. It
+// prints the full comparison table either way and returns an error
+// listing every violation.
+func compareReports(stdout io.Writer, oldPath string, old *obs.BenchReport, newPath string, fresh *obs.BenchReport, gate *regexp.Regexp, tolerance float64) error {
+	index := make(map[string]obs.BenchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		index[b.Package+"."+b.Name] = b
+	}
+	fmt.Fprintf(stdout, "comparing %s (new) against %s (baseline), tolerance %.0f%% ns/op, 0 allocs/op\n",
+		newPath, oldPath, tolerance*100)
+	var violations []string
+	gated := 0
+	for _, ob := range old.Benchmarks {
+		if gate != nil && !gate.MatchString(ob.Name) {
+			continue
+		}
+		gated++
+		key := ob.Package + "." + ob.Name
+		nb, ok := index[key]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from the new run", key))
+			fmt.Fprintf(stdout, "  %-40s MISSING (baseline %.0f ns/op)\n", key, ob.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = nb.NsPerOp/ob.NsPerOp - 1
+		}
+		status := "ok"
+		if ob.NsPerOp > 0 && delta > tolerance {
+			status = "SLOWER"
+			violations = append(violations, fmt.Sprintf("%s: ns/op %.0f → %.0f (%+.1f%%, tolerance %.0f%%)",
+				key, ob.NsPerOp, nb.NsPerOp, delta*100, tolerance*100))
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			status = "ALLOCS"
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %.1f → %.1f (any increase fails)",
+				key, ob.AllocsPerOp, nb.AllocsPerOp))
+		}
+		fmt.Fprintf(stdout, "  %-40s %10.0f → %10.0f ns/op (%+6.1f%%)  %5.1f → %5.1f allocs/op  %s\n",
+			key, ob.NsPerOp, nb.NsPerOp, delta*100, ob.AllocsPerOp, nb.AllocsPerOp, status)
+	}
+	if gated == 0 {
+		return fmt.Errorf("regression gate matched no baseline benchmarks")
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench regression gate failed (%d):\n  %s", len(violations), strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(stdout, "gate passed: %d benchmark(s) within tolerance\n", gated)
 	return nil
 }
 

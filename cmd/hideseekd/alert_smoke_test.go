@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hideseek/internal/obs"
+)
+
+// TestAlertSmoke is the end-to-end SLO check behind `make alert-smoke`:
+// boot the daemon with an impossibly tight latency rule, drive classify
+// load until the rule walks inactive→pending→firing on /v1/alerts,
+// verify the firing state renders as lint-clean ALERTS series on
+// /metrics and the heavy-hitter table attributes the traffic, then stop
+// the load, watch the rule resolve, and check the shutdown manifest
+// records that the alert fired.
+func TestAlertSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hideseekd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// 1µs p99 over a 1s window (one 10s histogram slot): any real verdict
+	// breaches, and the window drains within a slot of the load stopping.
+	// A short pending hold exercises the two-phase escalation; a short
+	// resolve hold keeps the recovery leg fast.
+	rulesPath := filepath.Join(dir, "slo.rules")
+	rules := "smoke_latency: p99(stream.verdict_ns) < 1us over 1s for 300ms resolve 500ms severity page\n"
+	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	manifestPath := filepath.Join(dir, "manifest.json")
+	proc := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-workers", "2", "-deadline", "10s",
+		"-slo-rules", rulesPath, "-slo-every", "100ms",
+		"-manifest", manifestPath)
+	stderr, err := proc.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Process.Kill()
+
+	addrs := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "hideseekd: listening on http://"); ok {
+				select {
+				case addrs <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	var httpAddr string
+	select {
+	case httpAddr = <-addrs:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not report its listen address")
+	}
+
+	capture, _ := testCapture(t, 99)
+	classify := func() {
+		t.Helper()
+		resp, err := http.Post(fmt.Sprintf("http://%s/v1/classify", httpAddr),
+			"application/octet-stream", bytes.NewReader(capture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify: %s", resp.Status)
+		}
+	}
+	getAlerts := func() alertsResponse {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/alerts", httpAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ar alertsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatal(err)
+		}
+		return ar
+	}
+	ruleState := func(ar alertsResponse) string {
+		for _, r := range ar.Rules {
+			if r.Name == "smoke_latency" {
+				return r.State
+			}
+		}
+		t.Fatalf("/v1/alerts lacks smoke_latency: %+v", ar.Rules)
+		return ""
+	}
+
+	if ar := getAlerts(); !ar.Enabled {
+		t.Fatal("/v1/alerts reports the engine disabled")
+	}
+
+	// Drive load until the rule fires. Each classify observes verdict
+	// latencies far above 1µs, so the dual windows confirm within a few
+	// 100ms evaluation ticks plus the 300ms pending hold.
+	deadline := time.Now().Add(30 * time.Second)
+	var state string
+	for {
+		classify()
+		if state = ruleState(getAlerts()); state == "firing" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rule never fired; state %q", state)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The escalation must have passed through pending (the For hold).
+	ar := getAlerts()
+	saw := map[string]bool{}
+	for _, tr := range ar.History {
+		if tr.Rule == "smoke_latency" {
+			saw[tr.To] = true
+		}
+	}
+	if !saw["pending"] || !saw["firing"] {
+		t.Errorf("history %v lacks pending→firing arc", ar.History)
+	}
+
+	// Firing renders as lint-clean ALERTS plus the budget gauge.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	metrics := buf.String()
+	if err := obs.LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("/metrics fails lint while firing: %v\n%s", err, metrics)
+	}
+	for _, want := range []string{
+		`ALERTS{alertname="smoke_latency",severity="page",state="firing"} 1`,
+		`hideseek_slo_budget_remaining{rule="smoke_latency"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q while firing", want)
+		}
+	}
+
+	// The heavy-hitter table attributes the classify traffic.
+	resp, err = http.Get(fmt.Sprintf("http://%s/v1/top?k=5", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		Frames    []obs.TopKEntry `json:"frames"`
+		LatencyNS []obs.TopKEntry `json:"latency_ns"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&top)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Frames) == 0 || top.Frames[0].Count <= 0 {
+		t.Errorf("/v1/top frames table empty under load: %+v", top)
+	}
+	if len(top.LatencyNS) == 0 {
+		t.Errorf("/v1/top latency table empty under load: %+v", top)
+	}
+
+	// Stop the load: the 1s window drains when its histogram slot ages
+	// out (≤10s), then the resolve hold runs. Rules evaluate every 100ms.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if state = ruleState(getAlerts()); state == "resolved" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rule never resolved; state %q", state)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Shutdown: the manifest records the rule and that it fired.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	m, err := obs.ReadManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("shutdown manifest invalid: %v", err)
+	}
+	var rec *obs.AlertSample
+	for i := range m.Alerts {
+		if m.Alerts[i].Name == "smoke_latency" {
+			rec = &m.Alerts[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("manifest lacks smoke_latency alert: %+v", m.Alerts)
+	}
+	if rec.FiredTotal < 1 {
+		t.Errorf("manifest alert fired_total = %d, want >= 1", rec.FiredTotal)
+	}
+	if rec.State != "resolved" {
+		t.Errorf("manifest alert state %q, want resolved", rec.State)
+	}
+}

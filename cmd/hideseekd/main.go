@@ -44,6 +44,26 @@
 //	GET  /v1/traces     recent per-frame span traces as NDJSON (?n=max)
 //	GET  /v1/calib      online-calibration status per session class
 //	PUT  /v1/calib      operator threshold override / clear / re-arm warmup
+//	GET  /v1/alerts     SLO rule states (inactive/pending/firing/resolved)
+//	                    plus the transition history ring
+//	GET  /v1/top        fleet-wide heavy-hitter session keys by frames,
+//	                    drops, sheds, and summed verdict latency (?k=max)
+//
+// The daemon evaluates SLO rules continuously (-slo, on by default):
+// built-in objectives for verdict latency, drop ratio, shed burn rate,
+// calibration drift, and GC pause tail, or a custom rules file via
+// -slo-rules (one rule per line, see internal/obs/alert). Rule states
+// surface on /v1/alerts, as ALERTS{alertname,severity,state} plus
+// hideseek_slo_budget_remaining{rule} on /metrics, and in the shutdown
+// manifest. A runtime profiler goroutine feeds go.sched_latency_ns and
+// go.gc_pause_ns histograms from runtime/metrics so runtime health is
+// alertable like any stream stage.
+//
+// With -debug-addr the daemon serves net/http/pprof on a SEPARATE mux
+// (never on the service listener); bind it to loopback. Capture a CPU
+// profile with:
+//
+//	go tool pprof "http://127.0.0.1:6060/debug/pprof/profile?seconds=10"
 //
 // With -tcp the daemon also accepts raw TCP connections carrying cf32
 // bytes (an SDR pipe, netcat) and answers with NDJSON verdicts on the
@@ -66,6 +86,8 @@
 //	          [-threshold q] [-real] [-sync t] [-deadline d] [-manifest out.json]
 //	          [-traces n] [-tracefile out.ndjson]
 //	          [-calib] [-calib-warmup n] [-calib-drift-every d]
+//	          [-slo] [-slo-rules file] [-slo-every d] [-topk n]
+//	          [-debug-addr host:port]
 package main
 
 import (
@@ -79,6 +101,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -90,6 +113,7 @@ import (
 	"hideseek/internal/calib"
 	"hideseek/internal/iq"
 	"hideseek/internal/obs"
+	"hideseek/internal/obs/alert"
 	"hideseek/internal/phy"
 	"hideseek/internal/stream"
 
@@ -127,8 +151,27 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	calibOn := fs.Bool("calib", false, "online calibration: fit per-class detection thresholds from labeled warmup traffic, monitor drift (/v1/calib)")
 	calibWarmup := fs.Int("calib-warmup", 0, "labeled samples per class before the boundary fits (0 = calibration default)")
 	calibDriftEvery := fs.Duration("calib-drift-every", 0, "drift-evaluation throttle (0 = calibration default)")
+	sloOn := fs.Bool("slo", true, "evaluate SLO rules continuously; states on /v1/alerts, ALERTS series on /metrics")
+	sloRules := fs.String("slo-rules", "", "SLO rules file, one rule per line (empty = built-in defaults; see internal/obs/alert)")
+	sloEvery := fs.Duration("slo-every", 0, "SLO evaluation period (0 = 1s)")
+	topK := fs.Int("topk", 0, "per-shard heavy-hitter sketch capacity for /v1/top (0 = 128)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this SEPARATE listener (empty = disabled; bind loopback, e.g. 127.0.0.1:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var sloRuleSet []alert.Rule
+	if *sloRules != "" {
+		if !*sloOn {
+			return fmt.Errorf("-slo-rules requires -slo")
+		}
+		src, err := os.ReadFile(*sloRules)
+		if err != nil {
+			return err
+		}
+		if sloRuleSet, err = alert.ParseRules(string(src)); err != nil {
+			return fmt.Errorf("-slo-rules %s: %w", *sloRules, err)
+		}
 	}
 
 	var tracer *obs.Tracer
@@ -203,23 +246,79 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		},
 		Shards:    *shards,
 		Admission: stream.AdmissionConfig{Enabled: *admission},
+		TopK:      *topK,
 	})
 	if err != nil {
 		closeTracer()
 		return err
 	}
 
+	// The runtime profiler always runs: go.sched_latency_ns and
+	// go.gc_pause_ns are first-class histograms whether or not SLO rules
+	// read them.
+	profiler := obs.StartRuntimeProfiler(nil, 0)
+
+	var alerts *alert.Engine
+	if *sloOn {
+		alerts, err = alert.New(alert.Config{Rules: sloRuleSet, Every: *sloEvery})
+		if err != nil {
+			profiler.Stop()
+			fleet.Close()
+			closeTracer()
+			return err
+		}
+		alerts.Start()
+	}
+
 	d := newDaemon(fleet, *deadline)
 	d.tracer = tracer
+	d.alerts = alerts
+
+	// stopTelemetry halts the background evaluators: the SLO engine first
+	// (no rule evaluates against a half-drained registry), then the
+	// profiler, whose Stop runs a final drain so the manifest's runtime
+	// histograms include the last tick.
+	stopTelemetry := func() {
+		alerts.Stop()
+		profiler.Stop()
+	}
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	httpLn, err := net.Listen("tcp", *addr)
 	if err != nil {
+		stopTelemetry()
 		fleet.Close()
 		closeTracer()
 		return err
+	}
+
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener so profiling handlers are
+		// never reachable through the service address.
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			httpLn.Close()
+			stopTelemetry()
+			fleet.Close()
+			closeTracer()
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		dbgMux := http.NewServeMux()
+		dbgMux.HandleFunc("/debug/pprof/", pprof.Index)
+		dbgMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbgMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbgMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbgMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(logw, "hideseekd: pprof on http://%s/debug/pprof/\n", debugLn.Addr())
+		go http.Serve(debugLn, dbgMux)
+	}
+	closeDebug := func() {
+		if debugLn != nil {
+			debugLn.Close()
+		}
 	}
 	fmt.Fprintf(logw, "hideseekd: serving protocols %v on %d shard(s), admission control %v\n",
 		fleet.Protocols(), fleet.Shards(), fleet.AdmissionEnabled())
@@ -237,6 +336,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		tcpLn, err = net.Listen("tcp", *tcpAddr)
 		if err != nil {
 			httpLn.Close()
+			closeDebug()
+			stopTelemetry()
 			fleet.Close()
 			closeTracer()
 			return err
@@ -254,6 +355,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			tcpLn.Close()
 			conns.Wait()
 		}
+		closeDebug()
+		stopTelemetry()
 		fleet.Close()
 		closeTracer()
 		return err
@@ -273,6 +376,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	}
 	// All sessions have drained; now the pools can stop and the trace sink
 	// can flush — no frame will finish a trace after this point.
+	closeDebug()
+	stopTelemetry()
 	fleet.Close()
 	closeTracer()
 
@@ -281,7 +386,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		m.Kind = obs.KindService
 		m.Protocols = fleet.Protocols()
 		m.WallMS = float64(time.Since(d.start).Microseconds()) / 1000
-		m.Snapshot = obs.Snap()
+		m.Snapshot = d.snap()
 		if err := m.Validate(); err != nil {
 			return fmt.Errorf("shutdown manifest invalid: %w", err)
 		}
@@ -296,9 +401,21 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 // daemon binds the shard fleet to the protocol handlers.
 type daemon struct {
 	fleet    *stream.Fleet
-	tracer   *obs.Tracer // nil when tracing is off
+	tracer   *obs.Tracer   // nil when tracing is off
+	alerts   *alert.Engine // nil when -slo is off
 	deadline time.Duration
 	start    time.Time
+}
+
+// snap is the daemon's snapshot: the registry snapshot plus the SLO
+// rule states, so /metrics, /v1/obs, and the shutdown manifest all see
+// the same alert view.
+func (d *daemon) snap() obs.Snapshot {
+	s := obs.Snap()
+	if d.alerts != nil {
+		s.Alerts = d.alerts.Samples()
+	}
+	return s
 }
 
 func newDaemon(f *stream.Fleet, deadline time.Duration) *daemon {
@@ -312,6 +429,8 @@ func (d *daemon) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/obs", d.handleObs)
 	mux.HandleFunc("/v1/traces", d.handleTraces)
 	mux.HandleFunc("/v1/calib", d.handleCalib)
+	mux.HandleFunc("/v1/alerts", d.handleAlerts)
+	mux.HandleFunc("/v1/top", d.handleTop)
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealth)
 	return mux
@@ -530,14 +649,50 @@ func (d *daemon) handleObs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(obs.Snap())
+	json.NewEncoder(w).Encode(d.snap())
 }
 
 // handleMetrics is the Prometheus scrape endpoint: the same snapshot
 // /v1/obs serves, rendered in the text exposition format.
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.PrometheusContentType)
-	obs.WritePrometheus(w, obs.Snap())
+	obs.WritePrometheus(w, d.snap())
+}
+
+// alertsResponse is the GET /v1/alerts reply.
+type alertsResponse struct {
+	Enabled bool               `json:"enabled"`
+	Rules   []alert.RuleStatus `json:"rules,omitempty"`
+	History []alert.Transition `json:"history,omitempty"`
+}
+
+// handleAlerts reports every SLO rule's state machine position and the
+// recent transition history.
+func (d *daemon) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	resp := alertsResponse{Enabled: d.alerts != nil}
+	if d.alerts != nil {
+		st := d.alerts.Status()
+		resp.Rules = st.Rules
+		resp.History = st.History
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTop reports the fleet-wide heavy-hitter session keys (?k bounds
+// entries per dimension; default 10).
+func (d *daemon) handleTop(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if s := r.URL.Query().Get("k"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		k = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.fleet.Top(k))
 }
 
 // handleTraces streams the most recent completed span traces as NDJSON

@@ -60,8 +60,12 @@ func check(path string) (string, error) {
 			return "", err
 		}
 		if m.Kind == obs.KindService {
-			return fmt.Sprintf("ok: %s — %s service, protocols %v, %.0f ms wall, %d counters, %d timers",
-				path, m.Command, m.Protocols, m.WallMS, len(m.Counters), len(m.Timers)), nil
+			summary := fmt.Sprintf("ok: %s — %s service, protocols %v, %.0f ms wall, %d counters, %d timers",
+				path, m.Command, m.Protocols, m.WallMS, len(m.Counters), len(m.Timers))
+			if s := alertSummary(m.Alerts); s != "" {
+				summary += ", alerts: " + s
+			}
+			return summary, nil
 		}
 		return fmt.Sprintf("ok: %s — %s, %d experiments, %d trials, %d timers",
 			path, m.Command, len(m.Experiments), m.TrialsTotal, len(m.Timers)), nil
@@ -79,6 +83,30 @@ func check(path string) (string, error) {
 		return "", fmt.Errorf("%s: unknown schema %q (want %q or %q)",
 			path, schema, obs.ManifestSchema, obs.BenchReportSchema)
 	}
+}
+
+// alertSummary renders a service manifest's SLO rule states, calling
+// out every rule that fired during the run ("" when no alert engine
+// ran).
+func alertSummary(alerts []obs.AlertSample) string {
+	if len(alerts) == 0 {
+		return ""
+	}
+	fired := 0
+	var firedNames string
+	for _, a := range alerts {
+		if a.FiredTotal > 0 {
+			if fired > 0 {
+				firedNames += " "
+			}
+			firedNames += fmt.Sprintf("%s(%s,fired=%d)", a.Name, a.State, a.FiredTotal)
+			fired++
+		}
+	}
+	if fired == 0 {
+		return fmt.Sprintf("%d rules, none fired", len(alerts))
+	}
+	return fmt.Sprintf("%d rules, %d fired: %s", len(alerts), fired, firedNames)
 }
 
 // sniffSchema extracts just the "schema" field to dispatch on; full

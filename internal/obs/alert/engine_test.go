@@ -1,0 +1,402 @@
+package alert
+
+import (
+	"testing"
+	"time"
+
+	"hideseek/internal/obs"
+)
+
+// fakeEval drives the state machine deterministically: the test sets
+// value/has per window between steps.
+type fakeEval struct {
+	fast, slow float64
+	fastHas    bool
+	slowHas    bool
+}
+
+func (f *fakeEval) eval(_ *Expr, window time.Duration, _ time.Time) (float64, bool) {
+	if window > time.Minute { // the derived slow window in these tests
+		return f.slow, f.slowHas
+	}
+	return f.fast, f.fastHas
+}
+
+// testEngine builds an engine around one rule with a fake clock and
+// evaluator; step(now) is driven manually, never via Start.
+func testEngine(t *testing.T, line string) (*Engine, *fakeEval, *compiledRule) {
+	t.Helper()
+	rule, err := ParseRule(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Registry: obs.NewRegistry(), Rules: []Rule{rule}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeEval{}
+	e.evalFn = f.eval
+	return e, f, e.rules[0]
+}
+
+// TestLifecycle walks one rule through the full
+// inactive→pending→firing→resolved arc.
+func TestLifecycle(t *testing.T) {
+	// Fast window 1m → slow window 2m; bound 100; margin 0.1 means
+	// healthy-for-recovery demands < 90.
+	e, f, cr := testEngine(t, "lat: p99(h) < 100 over 1m for 3s resolve 5s")
+	now := time.Unix(1000, 0)
+	tick := func(d time.Duration) { now = now.Add(d); e.step(now) }
+
+	f.fast, f.fastHas, f.slow, f.slowHas = 50, true, 50, true
+	tick(time.Second)
+	if cr.state != StateInactive {
+		t.Fatalf("healthy start: state %v", cr.state)
+	}
+
+	// Breach both windows: pending, holding For before firing.
+	f.fast, f.slow = 150, 150
+	tick(time.Second)
+	if cr.state != StatePending {
+		t.Fatalf("after breach: state %v, want pending", cr.state)
+	}
+	tick(time.Second) // 1s into hold
+	if cr.state != StatePending {
+		t.Fatalf("mid-hold: state %v, want pending", cr.state)
+	}
+	tick(2 * time.Second) // 3s into hold: fire
+	if cr.state != StateFiring || cr.firedTotal != 1 {
+		t.Fatalf("after hold: state %v fired %d, want firing/1", cr.state, cr.firedTotal)
+	}
+
+	// Margin-healthy (below 90) continuously for the resolve hold.
+	f.fast, f.slow = 80, 80
+	tick(time.Second)
+	if cr.state != StateFiring {
+		t.Fatalf("recovery start: state %v, want still firing", cr.state)
+	}
+	tick(5 * time.Second)
+	if cr.state != StateResolved {
+		t.Fatalf("after resolve hold: state %v, want resolved", cr.state)
+	}
+
+	// Resolved re-arms: a fresh breach goes back through pending.
+	f.fast, f.slow = 150, 150
+	tick(time.Second)
+	if cr.state != StatePending {
+		t.Fatalf("re-breach after resolve: state %v, want pending", cr.state)
+	}
+
+	// History recorded every transition in order.
+	var arc []string
+	for _, tr := range e.History() {
+		arc = append(arc, tr.To)
+	}
+	want := []string{"pending", "firing", "resolved", "pending"}
+	if len(arc) != len(want) {
+		t.Fatalf("history %v, want %v", arc, want)
+	}
+	for i := range want {
+		if arc[i] != want[i] {
+			t.Fatalf("history %v, want %v", arc, want)
+		}
+	}
+}
+
+// TestFlapSuppression: a breach that clears during the pending hold
+// returns to inactive without ever firing.
+func TestFlapSuppression(t *testing.T) {
+	e, f, cr := testEngine(t, "lat: p99(h) < 100 over 1m for 10s")
+	now := time.Unix(1000, 0)
+	tick := func(d time.Duration) { now = now.Add(d); e.step(now) }
+
+	f.fast, f.fastHas, f.slow, f.slowHas = 150, true, 150, true
+	tick(time.Second)
+	if cr.state != StatePending {
+		t.Fatalf("state %v, want pending", cr.state)
+	}
+	f.fast, f.slow = 50, 50
+	tick(time.Second)
+	if cr.state != StateInactive || cr.firedTotal != 0 {
+		t.Fatalf("blip survived: state %v fired %d", cr.state, cr.firedTotal)
+	}
+}
+
+// TestForZeroFiresImmediately: with no hold, a confirmed breach fires
+// on the same step, recording both transitions.
+func TestForZeroFiresImmediately(t *testing.T) {
+	e, f, cr := testEngine(t, "drift: increase(c) == 0 over 1m")
+	f.fast, f.fastHas, f.slow, f.slowHas = 3, true, 3, true
+	e.step(time.Unix(1000, 1))
+	if cr.state != StateFiring || cr.firedTotal != 1 {
+		t.Fatalf("state %v fired %d, want firing/1", cr.state, cr.firedTotal)
+	}
+	if h := e.History(); len(h) != 2 || h[0].To != "pending" || h[1].To != "firing" {
+		t.Fatalf("history %+v", h)
+	}
+}
+
+// TestDualWindowBurnRate: a fast-window spike without slow-window
+// confirmation must not leave inactive — and vice versa.
+func TestDualWindowBurnRate(t *testing.T) {
+	e, f, cr := testEngine(t, "lat: p99(h) < 100 over 1m")
+	now := time.Unix(1000, 0)
+
+	f.fast, f.fastHas, f.slow, f.slowHas = 500, true, 50, true // spike, slow still healthy
+	e.step(now)
+	if cr.state != StateInactive {
+		t.Fatalf("fast-only spike: state %v, want inactive", cr.state)
+	}
+	f.fast, f.slow = 50, 500 // stale slow breach, fast recovered
+	e.step(now.Add(time.Second))
+	if cr.state != StateInactive {
+		t.Fatalf("slow-only breach: state %v, want inactive", cr.state)
+	}
+	f.fast, f.slow = 500, 500 // both: breach
+	e.step(now.Add(2 * time.Second))
+	if cr.state != StateFiring {
+		t.Fatalf("dual breach: state %v, want firing", cr.state)
+	}
+}
+
+// TestNoDataIsHealthy: an empty window can neither breach nor block
+// recovery.
+func TestNoDataIsHealthy(t *testing.T) {
+	e, f, cr := testEngine(t, "lat: p99(h) < 100 over 1m resolve 2s")
+	now := time.Unix(1000, 0)
+	tick := func(d time.Duration) { now = now.Add(d); e.step(now) }
+
+	f.fast, f.fastHas, f.slow, f.slowHas = 999, false, 999, false
+	tick(time.Second)
+	if cr.state != StateInactive {
+		t.Fatalf("no data: state %v, want inactive", cr.state)
+	}
+
+	// Fire, then drain the windows: emptiness counts as calm.
+	f.fastHas, f.slowHas = true, true
+	f.fast, f.slow = 500, 500
+	tick(time.Second)
+	if cr.state != StateFiring {
+		t.Fatalf("state %v, want firing", cr.state)
+	}
+	f.fastHas, f.slowHas = false, false
+	tick(time.Second)
+	tick(2 * time.Second)
+	if cr.state != StateResolved {
+		t.Fatalf("drained windows: state %v, want resolved", cr.state)
+	}
+}
+
+// TestResolveHysteresis: while firing, sitting just inside the bound
+// (healthy but without margin headroom) never resolves, and any
+// non-calm step restarts the recovery clock.
+func TestResolveHysteresis(t *testing.T) {
+	e, f, cr := testEngine(t, "lat: p99(h) < 100 over 1m resolve 5s margin 0.1")
+	now := time.Unix(1000, 0)
+	tick := func(d time.Duration) { now = now.Add(d); e.step(now) }
+
+	f.fast, f.fastHas, f.slow, f.slowHas = 500, true, 500, true
+	tick(time.Second)
+	if cr.state != StateFiring {
+		t.Fatalf("state %v, want firing", cr.state)
+	}
+
+	// 95 is < 100 (inside the bound) but not < 90 (margin-healthy):
+	// oscillating at the bound must not resolve.
+	f.fast, f.slow = 95, 95
+	tick(time.Second)
+	tick(10 * time.Second)
+	if cr.state != StateFiring {
+		t.Fatalf("at-bound value resolved the rule: state %v", cr.state)
+	}
+
+	// Margin-healthy for 4s, one wobble, then 4s more: the wobble must
+	// restart the hold, so still firing; only a full 5s streak resolves.
+	f.fast, f.slow = 80, 80
+	tick(time.Second)
+	tick(3 * time.Second) // 3s continuous calm (clock started at first calm step)
+	f.fast = 95           // wobble
+	tick(time.Second)
+	f.fast = 80
+	tick(time.Second) // calm clock restarts here
+	tick(4 * time.Second)
+	if cr.state != StateFiring {
+		t.Fatalf("wobble did not restart recovery clock: state %v", cr.state)
+	}
+	tick(time.Second) // 5s continuous
+	if cr.state != StateResolved {
+		t.Fatalf("state %v, want resolved after full hold", cr.state)
+	}
+}
+
+// TestCounterRateAndIncrease exercises the production evaluator's
+// counter rings end to end with a fake clock.
+func TestCounterRateAndIncrease(t *testing.T) {
+	reg := obs.NewRegistry()
+	rules, err := ParseRules(`
+shed: rate(test.shed) < 1 over 10s
+drift: increase(test.drift) == 0 over 10s
+ratio: rate(test.drop) / rate(test.total) < 0.5 over 10s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Registry: reg, Rules: rules, Every: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*compiledRule{}
+	for _, cr := range e.rules {
+		byName[cr.Name] = cr
+	}
+	now := time.Unix(2000, 0)
+	tick := func() { now = now.Add(time.Second); e.step(now) }
+
+	// No traffic at all: the ratio rule has zero denominator and must be
+	// vacuously healthy, not firing on 0/0.
+	tick()
+	tick()
+	if st := byName["ratio"].state; st != StateInactive {
+		t.Fatalf("zero-traffic ratio state %v", st)
+	}
+
+	// 2 sheds/s sustained for > the slow window (20s): shed fires.
+	for i := 0; i < 25; i++ {
+		reg.Counter("test.shed").Add(2)
+		reg.Counter("test.total").Add(10)
+		reg.Counter("test.drop").Add(1) // ratio 0.1: healthy
+		tick()
+	}
+	if st := byName["shed"].state; st != StateFiring {
+		t.Fatalf("shed state %v, want firing (rate ≈ 2/s > 1/s)", st)
+	}
+	if v := byName["shed"].lastValue; v < 1.5 || v > 2.5 {
+		t.Errorf("shed rate = %g, want ≈ 2", v)
+	}
+	if st := byName["ratio"].state; st != StateInactive {
+		t.Fatalf("ratio state %v, want inactive (0.1 < 0.5)", st)
+	}
+	if st := byName["drift"].state; st != StateInactive {
+		t.Fatalf("drift state %v, want inactive (no drift events)", st)
+	}
+
+	// One drift event breaches == 0 on the next evaluation.
+	reg.Counter("test.drift").Inc()
+	tick()
+	if st := byName["drift"].state; st != StateFiring {
+		t.Fatalf("drift state %v, want firing after increase", st)
+	}
+}
+
+// TestSamplesAndBudget pins the manifest/exposition view.
+func TestSamplesAndBudget(t *testing.T) {
+	e, f, _ := testEngine(t, "lat: p99(h) < 100 over 1m")
+	f.fast, f.fastHas, f.slow, f.slowHas = 25, true, 25, true
+	e.step(time.Unix(1000, 0))
+	s := e.Samples()
+	if len(s) != 1 || s[0].Name != "lat" || s[0].State != "inactive" {
+		t.Fatalf("samples %+v", s)
+	}
+	if s[0].Value != 25 || s[0].Bound != 100 {
+		t.Errorf("value/bound = %g/%g", s[0].Value, s[0].Bound)
+	}
+	// 25 of a 100 budget spent: 75% remaining.
+	if s[0].BudgetRemaining != 0.75 {
+		t.Errorf("budget = %g, want 0.75", s[0].BudgetRemaining)
+	}
+	if s[0].SinceUnixMS != 0 {
+		t.Errorf("never-transitioned rule reports since = %d", s[0].SinceUnixMS)
+	}
+
+	f.fast, f.slow = 250, 250 // past the bound: budget exhausted
+	e.step(time.Unix(1001, 0))
+	s = e.Samples()
+	if s[0].BudgetRemaining != 0 {
+		t.Errorf("over-bound budget = %g, want 0", s[0].BudgetRemaining)
+	}
+	if s[0].State != "firing" || s[0].FiredTotal != 1 {
+		t.Errorf("state/fired = %s/%d", s[0].State, s[0].FiredTotal)
+	}
+	if s[0].SinceUnixMS == 0 {
+		t.Error("firing rule reports no since timestamp")
+	}
+}
+
+// TestStatusView checks the /v1/alerts payload carries the compiled
+// objective alongside the sample.
+func TestStatusView(t *testing.T) {
+	e, _, _ := testEngine(t, "lat: p99(stream.verdict_ns) < 250ms over 1m")
+	st := e.Status()
+	if len(st.Rules) != 1 {
+		t.Fatalf("rules %+v", st.Rules)
+	}
+	r := st.Rules[0]
+	if r.Expr != "p99(stream.verdict_ns)" || r.Op != "<" || r.Window != "1m0s" || r.Slow != "2m0s" {
+		t.Errorf("status rule %+v", r)
+	}
+}
+
+// TestEngineStartStop: the background evaluator starts, steps, and
+// stops cleanly; Stop is idempotent and nil-safe.
+func TestEngineStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	rules, err := ParseRules("r: rate(test.c) < 1000 over 10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Registry: reg, Rules: rules, Every: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	e.Start() // double-start is a no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.mu.Lock()
+		n := e.rings["test.c"].n
+		e.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evaluator never sampled the counter ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	e.Stop()
+	var nilEngine *Engine
+	nilEngine.Stop()
+}
+
+// TestDuplicateRuleRejected: New refuses two rules with one name.
+func TestDuplicateRuleRejected(t *testing.T) {
+	r, err := ParseRule("a: p99(h) < 1 over 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Registry: obs.NewRegistry(), Rules: []Rule{r, r}}); err == nil {
+		t.Fatal("duplicate rule accepted")
+	}
+}
+
+// TestHistoryRingTrims: the transition log is bounded.
+func TestHistoryRingTrims(t *testing.T) {
+	e, f, _ := testEngine(t, "lat: p99(h) < 100 over 1m resolve 1s margin 0")
+	now := time.Unix(1000, 0)
+	f.fastHas, f.slowHas = true, true
+	e.histCap = 8
+	for i := 0; i < 20; i++ { // each loop: fire + resolve = 3 transitions
+		f.fast, f.slow = 500, 500
+		now = now.Add(time.Second)
+		e.step(now)
+		f.fast, f.slow = 10, 10
+		now = now.Add(2 * time.Second)
+		e.step(now)
+		now = now.Add(2 * time.Second)
+		e.step(now)
+	}
+	if h := e.History(); len(h) > 8 {
+		t.Fatalf("history grew to %d, cap 8", len(h))
+	}
+}

@@ -1,0 +1,322 @@
+// Package alert is the declarative SLO layer over obs: rules written as
+// one-line objectives ("p99(stream.verdict_ns) < 250ms over 60s") are
+// compiled into multi-window burn-rate checks against the registry's
+// rolling histograms and counters, and a background engine drives each
+// rule through an inactive→pending→firing→resolved state machine with
+// hold-down hysteresis (the same escalate-fast / recover-slow shape as
+// the stream admission tiers).
+//
+// Rule grammar, one rule per line ('#' comments and blank lines are
+// ignored in rules files):
+//
+//	<name>: <expr> <op> <bound> over <dur> [for <dur>] [resolve <dur>] [margin <frac>] [severity <word>]
+//
+//	<expr>  := p50(<hist>) | p95(<hist>) | p99(<hist>)
+//	         | rate(<counter>) | increase(<counter>)
+//	         | rate(<counter>) / rate(<counter>)
+//	<op>    := < | <= | > | >= | ==       (states the HEALTHY objective)
+//	<bound> := float (1e-3) or Go duration (250ms → nanoseconds)
+//
+// The objective is what health looks like; a breach is its negation.
+// `over` sets the fast evaluation window; the engine derives a slow
+// window (2× fast, capped at the ring's 2-minute reach) and only
+// breaches when BOTH windows violate the objective — the multi-window
+// burn-rate trick that keeps a 10 s blip from paging while a sustained
+// burn still fires within one fast window. `for` is the pending
+// hold-down before firing, `resolve` the continuous-healthy hold before
+// a firing rule resolves, and `margin` the recovery hysteresis (default
+// 10%: a `<` rule must sit below 0.9×bound to count as healthy while
+// resolving, so a value oscillating at the bound cannot flap).
+package alert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is a comparison stating the healthy objective.
+type Op string
+
+const (
+	OpLT Op = "<"
+	OpLE Op = "<="
+	OpGT Op = ">"
+	OpGE Op = ">="
+	OpEQ Op = "=="
+)
+
+// ExprKind discriminates the compiled expression forms.
+type ExprKind int
+
+const (
+	// KindQuantile reads a quantile of a windowed histogram.
+	KindQuantile ExprKind = iota
+	// KindRate reads a counter's per-second rate over the window.
+	KindRate
+	// KindRatio divides two counter rates over the window.
+	KindRatio
+	// KindIncrease reads a counter's absolute increase over the window.
+	KindIncrease
+)
+
+// Expr is a compiled rule expression.
+type Expr struct {
+	Kind     ExprKind
+	Quantile float64 // KindQuantile: 0.50, 0.95, or 0.99
+	Hist     string  // KindQuantile: histogram instrument name
+	Counter  string  // KindRate/KindIncrease: counter name; KindRatio: numerator
+	Denom    string  // KindRatio: denominator counter name
+	src      string  // canonical text, for display
+}
+
+// String returns the canonical expression text.
+func (e Expr) String() string { return e.src }
+
+// Rule is one parsed SLO objective.
+type Rule struct {
+	Name     string
+	Severity string
+	Expr     Expr
+	Op       Op
+	Bound    float64
+	// Window is the fast evaluation window (`over`). The engine derives
+	// the slow window as 2× Window capped at the histogram ring reach.
+	Window time.Duration
+	// For is how long a breach must persist before pending escalates to
+	// firing (0: fire on the step the breach is confirmed).
+	For time.Duration
+	// ResolveHold is how long both windows must stay margin-healthy,
+	// continuously, before a firing rule resolves.
+	ResolveHold time.Duration
+	// Margin is the recovery hysteresis fraction in [0, 1).
+	Margin float64
+}
+
+// Rule-field defaults applied by the parser.
+const (
+	DefaultSeverity    = "page"
+	DefaultResolveHold = 30 * time.Second
+	DefaultMargin      = 0.1
+)
+
+// validRuleName constrains names to label-value-safe characters (also
+// enforced by obs's exposition backstop).
+func validRuleName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_', r == '.', r == ':', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validInstrument accepts dotted obs instrument names.
+func validInstrument(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseRule parses one rule line.
+func ParseRule(line string) (Rule, error) {
+	r := Rule{Severity: DefaultSeverity, ResolveHold: DefaultResolveHold, Margin: DefaultMargin}
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return r, fmt.Errorf("alert: rule %q: missing name (want \"<name>: <expr> ...\")", line)
+	}
+	r.Name = strings.TrimSpace(line[:colon])
+	if !validRuleName(r.Name) {
+		return r, fmt.Errorf("alert: invalid rule name %q", r.Name)
+	}
+	fields := strings.Fields(line[colon+1:])
+
+	// Locate the comparison operator; everything before it is the
+	// expression (joined without spaces, so "rate(a) / rate(b)" works).
+	opIdx := -1
+	for i, f := range fields {
+		switch Op(f) {
+		case OpLT, OpLE, OpGT, OpGE, OpEQ:
+			opIdx = i
+		}
+		if opIdx >= 0 {
+			break
+		}
+	}
+	if opIdx < 1 || opIdx+1 >= len(fields) {
+		return r, fmt.Errorf("alert: rule %q: want \"<expr> <op> <bound>\"", r.Name)
+	}
+	r.Op = Op(fields[opIdx])
+	var err error
+	if r.Expr, err = parseExpr(strings.Join(fields[:opIdx], "")); err != nil {
+		return r, fmt.Errorf("alert: rule %q: %w", r.Name, err)
+	}
+	if r.Bound, err = parseBound(fields[opIdx+1]); err != nil {
+		return r, fmt.Errorf("alert: rule %q: %w", r.Name, err)
+	}
+
+	// Trailing keyword/value pairs.
+	rest := fields[opIdx+2:]
+	if len(rest)%2 != 0 {
+		return r, fmt.Errorf("alert: rule %q: dangling keyword %q", r.Name, rest[len(rest)-1])
+	}
+	sawOver := false
+	for i := 0; i < len(rest); i += 2 {
+		key, val := rest[i], rest[i+1]
+		switch key {
+		case "over":
+			if r.Window, err = time.ParseDuration(val); err != nil || r.Window <= 0 {
+				return r, fmt.Errorf("alert: rule %q: bad window %q", r.Name, val)
+			}
+			sawOver = true
+		case "for":
+			if r.For, err = time.ParseDuration(val); err != nil || r.For < 0 {
+				return r, fmt.Errorf("alert: rule %q: bad for duration %q", r.Name, val)
+			}
+		case "resolve":
+			if r.ResolveHold, err = time.ParseDuration(val); err != nil || r.ResolveHold < 0 {
+				return r, fmt.Errorf("alert: rule %q: bad resolve duration %q", r.Name, val)
+			}
+		case "margin":
+			if r.Margin, err = strconv.ParseFloat(val, 64); err != nil || r.Margin < 0 || r.Margin >= 1 {
+				return r, fmt.Errorf("alert: rule %q: bad margin %q (want [0,1))", r.Name, val)
+			}
+		case "severity":
+			if !validRuleName(val) {
+				return r, fmt.Errorf("alert: rule %q: bad severity %q", r.Name, val)
+			}
+			r.Severity = val
+		default:
+			return r, fmt.Errorf("alert: rule %q: unknown keyword %q", r.Name, key)
+		}
+	}
+	if !sawOver {
+		return r, fmt.Errorf("alert: rule %q: missing \"over <dur>\"", r.Name)
+	}
+	return r, nil
+}
+
+// parseExpr compiles the space-stripped expression text.
+func parseExpr(s string) (Expr, error) {
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		n, err := parseCall(num)
+		if err != nil {
+			return Expr{}, err
+		}
+		d, err := parseCall(den)
+		if err != nil {
+			return Expr{}, err
+		}
+		if n.Kind != KindRate || d.Kind != KindRate {
+			return Expr{}, fmt.Errorf("ratio operands must both be rate(...), got %q", s)
+		}
+		return Expr{Kind: KindRatio, Counter: n.Counter, Denom: d.Counter,
+			src: n.src + " / " + d.src}, nil
+	}
+	return parseCall(s)
+}
+
+// parseCall compiles a single fn(arg) term.
+func parseCall(s string) (Expr, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Expr{}, fmt.Errorf("malformed expression %q (want fn(instrument))", s)
+	}
+	fn, arg := s[:open], s[open+1:len(s)-1]
+	if !validInstrument(arg) {
+		return Expr{}, fmt.Errorf("invalid instrument name %q", arg)
+	}
+	src := fn + "(" + arg + ")"
+	switch fn {
+	case "p50":
+		return Expr{Kind: KindQuantile, Quantile: 0.50, Hist: arg, src: src}, nil
+	case "p95":
+		return Expr{Kind: KindQuantile, Quantile: 0.95, Hist: arg, src: src}, nil
+	case "p99":
+		return Expr{Kind: KindQuantile, Quantile: 0.99, Hist: arg, src: src}, nil
+	case "rate":
+		return Expr{Kind: KindRate, Counter: arg, src: src}, nil
+	case "increase":
+		return Expr{Kind: KindIncrease, Counter: arg, src: src}, nil
+	}
+	return Expr{}, fmt.Errorf("unknown function %q (want p50/p95/p99/rate/increase)", fn)
+}
+
+// parseBound accepts a float ("1e-3", "0") or a Go duration ("250ms"),
+// durations converting to nanoseconds to match the *_ns histogram
+// convention.
+func parseBound(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("negative bound %q", s)
+		}
+		return float64(d.Nanoseconds()), nil
+	}
+	return 0, fmt.Errorf("bad bound %q (want float or duration)", s)
+}
+
+// ParseRules parses a rules file body: one rule per line, '#' comments
+// and blank lines ignored. Duplicate rule names are rejected.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	seen := map[string]int{}
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if first, dup := seen[r.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate rule %q (first on line %d)", i+1, r.Name, first)
+		}
+		seen[r.Name] = i + 1
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("alert: no rules found")
+	}
+	return rules, nil
+}
+
+// DefaultRules are the built-in objectives hideseekd applies when no
+// rules file is given: verdict latency, drop ratio, shed burn rate,
+// calibration drift, and GC pause tail.
+func DefaultRules() []Rule {
+	rules, err := ParseRules(defaultRulesSrc)
+	if err != nil {
+		panic("alert: default rules: " + err.Error()) // compile-time-style invariant
+	}
+	return rules
+}
+
+const defaultRulesSrc = `
+# hideseekd built-in SLOs. Bounds follow the instrument's unit
+# (histograms are nanoseconds; rates are per second over the window).
+verdict_latency: p99(stream.verdict_ns) < 250ms over 60s for 10s severity page
+drop_ratio: rate(stream.dropped_frames) / rate(stream.frames) < 1e-3 over 60s for 10s severity page
+shed_burn: rate(stream.shed_sessions) < 1 over 60s for 10s severity ticket
+calib_drift: increase(stream.calib_drift) == 0 over 60s severity ticket
+gc_pause: p99(go.gc_pause_ns) < 10ms over 60s for 30s severity ticket
+`

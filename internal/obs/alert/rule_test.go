@@ -1,0 +1,150 @@
+package alert
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseRuleFull exercises every keyword on one line.
+func TestParseRuleFull(t *testing.T) {
+	r, err := ParseRule("lat: p99(stream.verdict_ns) < 250ms over 60s for 10s resolve 20s margin 0.2 severity ticket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "lat" || r.Severity != "ticket" {
+		t.Errorf("name/severity = %q/%q", r.Name, r.Severity)
+	}
+	if r.Expr.Kind != KindQuantile || r.Expr.Quantile != 0.99 || r.Expr.Hist != "stream.verdict_ns" {
+		t.Errorf("expr = %+v", r.Expr)
+	}
+	if r.Op != OpLT {
+		t.Errorf("op = %q", r.Op)
+	}
+	// Duration bounds convert to nanoseconds (the *_ns convention).
+	if want := float64(250 * time.Millisecond); r.Bound != want {
+		t.Errorf("bound = %g, want %g", r.Bound, want)
+	}
+	if r.Window != 60*time.Second || r.For != 10*time.Second || r.ResolveHold != 20*time.Second {
+		t.Errorf("windows = %v/%v/%v", r.Window, r.For, r.ResolveHold)
+	}
+	if r.Margin != 0.2 {
+		t.Errorf("margin = %g", r.Margin)
+	}
+	if got := r.Expr.String(); got != "p99(stream.verdict_ns)" {
+		t.Errorf("expr string = %q", got)
+	}
+}
+
+// TestParseRuleDefaults checks the fields a minimal rule inherits.
+func TestParseRuleDefaults(t *testing.T) {
+	r, err := ParseRule("drift: increase(stream.calib_drift) == 0 over 60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Severity != DefaultSeverity {
+		t.Errorf("severity = %q, want %q", r.Severity, DefaultSeverity)
+	}
+	if r.For != 0 {
+		t.Errorf("for = %v, want 0 (fire immediately)", r.For)
+	}
+	if r.ResolveHold != DefaultResolveHold {
+		t.Errorf("resolve = %v, want %v", r.ResolveHold, DefaultResolveHold)
+	}
+	if r.Margin != DefaultMargin {
+		t.Errorf("margin = %g, want %g", r.Margin, DefaultMargin)
+	}
+	if r.Expr.Kind != KindIncrease || r.Bound != 0 || r.Op != OpEQ {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+// TestParseRuleRatio checks the two-counter burn-ratio form.
+func TestParseRuleRatio(t *testing.T) {
+	r, err := ParseRule("drops: rate(stream.dropped_frames) / rate(stream.frames) < 1e-3 over 60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Expr.Kind != KindRatio || r.Expr.Counter != "stream.dropped_frames" || r.Expr.Denom != "stream.frames" {
+		t.Errorf("expr = %+v", r.Expr)
+	}
+	if r.Bound != 1e-3 {
+		t.Errorf("bound = %g", r.Bound)
+	}
+	if got := r.Expr.String(); got != "rate(stream.dropped_frames) / rate(stream.frames)" {
+		t.Errorf("expr string = %q", got)
+	}
+}
+
+// TestParseRuleRejects pins the parser's error surface: each line is
+// wrong in exactly one way.
+func TestParseRuleRejects(t *testing.T) {
+	bad := []struct{ line, why string }{
+		{"p99(h) < 1 over 1s", "missing name"},
+		{"a b: p99(h) < 1 over 1s", "space in name"},
+		{`bad"name: p99(h) < 1 over 1s`, "label-unsafe name"},
+		{"r: p99(h) < 1", "missing over"},
+		{"r: p99(h) 1 over 1s", "missing op"},
+		{"r: p42(h) < 1 over 1s", "unknown quantile fn"},
+		{"r: max(h) < 1 over 1s", "unknown function"},
+		{"r: p99(h) < nope over 1s", "unparseable bound"},
+		{"r: p99(h) < -5ms over 1s", "negative duration bound"},
+		{"r: p99(h) < 1 over 1s for", "dangling keyword"},
+		{"r: p99(h) < 1 over 0s", "zero window"},
+		{"r: p99(h) < 1 over 1s margin 1.5", "margin out of range"},
+		{"r: p99(h) < 1 over 1s for -1s", "negative for"},
+		{"r: p99(h) < 1 over 1s bogus 3", "unknown keyword"},
+		{"r: increase(a) / rate(b) < 1 over 1s", "ratio operand not rate"},
+		{"r: rate(a,b) < 1 over 1s", "comma in instrument"},
+	}
+	for _, tc := range bad {
+		if _, err := ParseRule(tc.line); err == nil {
+			t.Errorf("ParseRule(%q) accepted; want error (%s)", tc.line, tc.why)
+		}
+	}
+}
+
+// TestParseRulesFile checks comments, blanks, and duplicate rejection.
+func TestParseRulesFile(t *testing.T) {
+	rules, err := ParseRules(`
+# tail latency
+lat: p99(h) < 250ms over 60s
+
+shed: rate(c) < 1 over 30s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Name != "lat" || rules[1].Name != "shed" {
+		t.Fatalf("rules = %+v", rules)
+	}
+
+	if _, err := ParseRules("a: p99(h) < 1 over 1s\na: p99(h) < 2 over 1s"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names: err = %v", err)
+	}
+	if _, err := ParseRules("# only comments\n\n"); err == nil {
+		t.Error("comment-only file accepted; want no-rules error")
+	}
+}
+
+// TestDefaultRules ensures the built-in set stays parseable and covers
+// the instruments hideseekd actually emits.
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules()
+	if len(rules) < 4 {
+		t.Fatalf("%d default rules, want at least 4", len(rules))
+	}
+	names := map[string]bool{}
+	for _, r := range rules {
+		names[r.Name] = true
+		if r.Window <= 0 {
+			t.Errorf("rule %q has no window", r.Name)
+		}
+	}
+	for _, want := range []string{"verdict_latency", "drop_ratio", "shed_burn", "calib_drift"} {
+		if !names[want] {
+			t.Errorf("default rules lack %q (have %v)", want, names)
+		}
+	}
+}

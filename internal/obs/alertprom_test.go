@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// alertSnap renders a snapshot carrying the given alert samples.
+func alertSnap(t *testing.T, alerts []AlertSample) string {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("test.frames").Add(1)
+	s := r.Snap()
+	s.Alerts = alerts
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestAlertsExposition: pending/firing rules render as ALERTS series,
+// every valid rule renders a budget gauge, and the whole document
+// passes the in-repo linter (the uppercase family name is legal).
+func TestAlertsExposition(t *testing.T) {
+	out := alertSnap(t, []AlertSample{
+		{Name: "verdict_latency", Severity: "page", State: "firing", BudgetRemaining: 0},
+		{Name: "drop_ratio", Severity: "page", State: "pending", BudgetRemaining: 0.1},
+		{Name: "shed_burn", Severity: "ticket", State: "inactive", BudgetRemaining: 1},
+		{Name: "calib_drift", Severity: "ticket", State: "resolved", BudgetRemaining: 1},
+	})
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE ALERTS gauge",
+		`ALERTS{alertname="verdict_latency",severity="page",state="firing"} 1`,
+		`ALERTS{alertname="drop_ratio",severity="page",state="pending"} 1`,
+		"# TYPE hideseek_slo_budget_remaining gauge",
+		`hideseek_slo_budget_remaining{rule="verdict_latency"} 0`,
+		`hideseek_slo_budget_remaining{rule="shed_burn"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q\n%s", want, out)
+		}
+	}
+	// Quiet states expose no ALERTS series — only the budget gauge.
+	for _, reject := range []string{
+		`state="inactive"`,
+		`state="resolved"`,
+	} {
+		if strings.Contains(out, reject) {
+			t.Errorf("exposition leaks %q\n%s", reject, out)
+		}
+	}
+}
+
+// TestAlertsExpositionQuiet: all-quiet rules emit no ALERTS family at
+// all (Prometheus convention: absence means nothing is wrong).
+func TestAlertsExpositionQuiet(t *testing.T) {
+	out := alertSnap(t, []AlertSample{
+		{Name: "a", Severity: "page", State: "inactive", BudgetRemaining: 1},
+	})
+	if strings.Contains(out, "ALERTS{") {
+		t.Errorf("quiet rules still render ALERTS:\n%s", out)
+	}
+	if !strings.Contains(out, `hideseek_slo_budget_remaining{rule="a"} 1`) {
+		t.Errorf("quiet rule lost its budget gauge:\n%s", out)
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+// TestAlertsExpositionSkipsUnsafeNames: a rule name that would corrupt
+// the label syntax is dropped from the exposition, not emitted broken.
+func TestAlertsExpositionSkipsUnsafeNames(t *testing.T) {
+	out := alertSnap(t, []AlertSample{
+		{Name: `bad"name`, Severity: "page", State: "firing"},
+		{Name: "bad,name", Severity: "page", State: "firing"},
+		{Name: "good", Severity: "page", State: "firing"},
+	})
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "bad") {
+		t.Errorf("unsafe rule name leaked into exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `ALERTS{alertname="good"`) {
+		t.Errorf("valid rule dropped alongside invalid ones:\n%s", out)
+	}
+}
+
+// TestManifestValidatesAlerts: the manifest schema rejects malformed
+// alert samples a buggy writer could produce.
+func TestManifestValidatesAlerts(t *testing.T) {
+	base := func() *Manifest {
+		m := NewManifest("test", 1, 1)
+		m.Kind = KindService
+		m.Protocols = []string{"zigbee"}
+		m.Timers = map[string]TimerStats{"a": {}, "b": {}, "c": {}}
+		return m
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base manifest invalid: %v", err)
+	}
+
+	ok := base()
+	ok.Alerts = []AlertSample{{Name: "lat", Severity: "page", State: "firing", FiredTotal: 2}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid alerts rejected: %v", err)
+	}
+
+	cases := []struct {
+		why    string
+		alerts []AlertSample
+	}{
+		{"invalid name", []AlertSample{{Name: "bad name", State: "firing"}}},
+		{"empty name", []AlertSample{{Name: "", State: "firing"}}},
+		{"unknown state", []AlertSample{{Name: "a", State: "exploded"}}},
+		{"negative fired_total", []AlertSample{{Name: "a", State: "inactive", FiredTotal: -1}}},
+		{"duplicate rule", []AlertSample{{Name: "a", State: "firing"}, {Name: "a", State: "firing"}}},
+	}
+	for _, tc := range cases {
+		m := base()
+		m.Alerts = tc.alerts
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.why, tc.alerts)
+		}
+	}
+}

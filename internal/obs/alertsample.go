@@ -1,0 +1,46 @@
+package obs
+
+// AlertSample is one SLO rule's externally visible state, as produced by
+// the alert engine (internal/obs/alert) and carried on snapshots so the
+// /metrics exposition and the run manifest see the same view. It lives
+// in obs — not the alert package — so Snapshot does not import its own
+// consumer.
+type AlertSample struct {
+	Name     string `json:"name"`
+	Severity string `json:"severity"`
+	// State is one of inactive, pending, firing, resolved.
+	State string `json:"state"`
+	// Value is the rule expression's last fast-window evaluation; Bound
+	// is the objective it is compared against.
+	Value float64 `json:"value"`
+	Bound float64 `json:"bound"`
+	// BudgetRemaining is the fraction of error budget left in [0, 1]:
+	// 1 when the expression is at rest, 0 at or past the bound.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// FiredTotal counts pending→firing transitions since boot, so a
+	// shutdown manifest still records alerts that fired and resolved.
+	FiredTotal int64 `json:"fired_total"`
+	// SinceUnixMS is when the rule entered its current state (0 for a
+	// rule that has never left inactive).
+	SinceUnixMS int64 `json:"since_unix_ms,omitempty"`
+}
+
+// validAlertName reports whether a rule name is safe to carry as a
+// Prometheus label value without escaping: it must not contain the
+// quote, comma, equals, or backslash characters the exposition grammar
+// reserves. The alert rule parser enforces a stricter charset; this is
+// the emission-side backstop.
+func validAlertName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_', r == '.', r == ':', r == '-', r == '/':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -68,7 +68,16 @@ func bucketLower(b int) float64 {
 }
 
 // Observe records one value. Negative and NaN values are clamped to 0.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of v in one shard critical section —
+// the bulk form the runtime profiler uses to replay a runtime/metrics
+// bucket delta (count of events at one representative value) without n
+// lock acquisitions. n == 0 is a no-op.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
@@ -83,11 +92,19 @@ func (h *Histogram) Observe(v float64) {
 	if s.n == 0 || v > s.max {
 		s.max = v
 	}
-	s.n++
-	s.sum += v
-	s.counts[bucketOf(v)]++
+	s.n += n
+	s.sum += v * float64(n)
+	s.counts[bucketOf(v)] += clampUint32(n)
 	s.mu.Unlock()
-	h.win.observe(v, time.Now())
+	h.win.observeN(v, n, time.Now())
+}
+
+// clampUint32 saturates a bulk count at the bucket counter's width.
+func clampUint32(n uint64) uint32 {
+	if n > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(n)
 }
 
 // BucketCount is one cumulative Prometheus-style bucket: Count

@@ -122,6 +122,24 @@ func (m *Manifest) Validate() error {
 	if len(m.Timers) < 3 {
 		return fmt.Errorf("obs: manifest has %d stage timers, want at least 3", len(m.Timers))
 	}
+	seenAlert := make(map[string]bool, len(m.Alerts))
+	for _, a := range m.Alerts {
+		if !validAlertName(a.Name) {
+			return fmt.Errorf("obs: manifest alert with invalid name %q", a.Name)
+		}
+		if seenAlert[a.Name] {
+			return fmt.Errorf("obs: manifest lists alert %q twice", a.Name)
+		}
+		seenAlert[a.Name] = true
+		switch a.State {
+		case "inactive", "pending", "firing", "resolved":
+		default:
+			return fmt.Errorf("obs: manifest alert %q has unknown state %q", a.Name, a.State)
+		}
+		if a.FiredTotal < 0 {
+			return fmt.Errorf("obs: manifest alert %q has negative fired_total", a.Name)
+		}
+	}
 	return nil
 }
 

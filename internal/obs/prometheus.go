@@ -146,8 +146,47 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		p.printf("# TYPE %s gauge\n", fam)
 		p.sample(fam, "", s.Gauges[name])
 	}
+	writeAlertsProm(p, s.Alerts)
 	writeRuntimeProm(p, s.Runtime)
 	return p.err
+}
+
+// writeAlertsProm renders the SLO rule states in the Prometheus alerting
+// convention: an ALERTS{alertname,severity,state} series per rule that
+// is pending or firing, plus a hideseek_slo_budget_remaining{rule} gauge
+// for every rule so dashboards can plot budget before anything fires.
+// Rules whose names would break the label grammar are skipped.
+func writeAlertsProm(p *promWriter, alerts []AlertSample) {
+	if len(alerts) == 0 {
+		return
+	}
+	active := false
+	for _, a := range alerts {
+		if validAlertName(a.Name) && (a.State == "pending" || a.State == "firing") {
+			active = true
+			break
+		}
+	}
+	if active {
+		p.printf("# TYPE ALERTS gauge\n")
+		for _, a := range alerts {
+			if !validAlertName(a.Name) || (a.State != "pending" && a.State != "firing") {
+				continue
+			}
+			p.sample("ALERTS", fmt.Sprintf("alertname=%q,severity=%q,state=%q", a.Name, a.Severity, a.State), 1)
+		}
+	}
+	wrote := false
+	for _, a := range alerts {
+		if !validAlertName(a.Name) {
+			continue
+		}
+		if !wrote {
+			p.printf("# TYPE hideseek_slo_budget_remaining gauge\n")
+			wrote = true
+		}
+		p.sample("hideseek_slo_budget_remaining", fmt.Sprintf("rule=%q", a.Name), a.BudgetRemaining)
+	}
 }
 
 func promWindowLabel(d time.Duration) string {
@@ -165,7 +204,8 @@ func writeRuntimeProm(p *promWriter, r RuntimeStats) {
 		{"hideseek_go_heap_alloc_bytes", "gauge", float64(r.HeapAllocBytes)},
 		{"hideseek_go_heap_sys_bytes", "gauge", float64(r.HeapSysBytes)},
 		{"hideseek_go_gc_cycles_total", "counter", float64(r.NumGC)},
-		{"hideseek_go_gc_pause_seconds_total", "counter", r.GCPauseTotalMS / 1e3},
+		{"hideseek_go_gc_pause_p50_seconds", "gauge", r.GCPauseP50US / 1e6},
+		{"hideseek_go_gc_pause_p99_seconds", "gauge", r.GCPauseP99US / 1e6},
 	}
 	for _, g := range gauges {
 		p.printf("# TYPE %s %s\n", g.name, g.typ)

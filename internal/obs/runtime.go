@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"math"
 	"runtime"
 	"runtime/debug"
+	"runtime/metrics"
 	"sync"
 	"time"
 )
@@ -10,14 +12,21 @@ import (
 // RuntimeStats are the Go runtime gauges a scrape or liveness probe
 // reports: scheduler load, heap pressure, and GC cost. Collected on
 // demand (ReadMemStats is microseconds), never on the hot path.
+//
+// GC pauses are quantiles of the runtime/metrics /gc/pauses:seconds
+// distribution (every pause since process start), not MemStats'
+// 256-entry PauseNs ring: the ring silently wraps on long-lived daemons
+// and a monotone pause total hides tail pauses behind the mean.
 type RuntimeStats struct {
 	Goroutines     int     `json:"goroutines"`
 	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
 	HeapSysBytes   uint64  `json:"heap_sys_bytes"`
 	NumGC          uint32  `json:"num_gc"`
-	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
-	LastGCPauseUS  float64 `json:"last_gc_pause_us"`
+	GCPauseP50US   float64 `json:"gc_pause_p50_us"`
+	GCPauseP99US   float64 `json:"gc_pause_p99_us"`
 }
+
+const gcPausesMetric = "/gc/pauses:seconds"
 
 // ReadRuntime collects the current runtime gauges.
 func ReadRuntime() RuntimeStats {
@@ -28,12 +37,56 @@ func ReadRuntime() RuntimeStats {
 		HeapAllocBytes: ms.HeapAlloc,
 		HeapSysBytes:   ms.HeapSys,
 		NumGC:          ms.NumGC,
-		GCPauseTotalMS: float64(ms.PauseTotalNs) / float64(time.Millisecond),
 	}
-	if ms.NumGC > 0 {
-		st.LastGCPauseUS = float64(ms.PauseNs[(ms.NumGC+255)%256]) / float64(time.Microsecond)
+	samples := []metrics.Sample{{Name: gcPausesMetric}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[0].Value.Float64Histogram()
+		toUS := float64(time.Second) / float64(time.Microsecond)
+		st.GCPauseP50US = float64HistQuantile(h, 0.50) * toUS
+		st.GCPauseP99US = float64HistQuantile(h, 0.99) * toUS
 	}
 	return st
+}
+
+// float64HistQuantile estimates the q-quantile of a runtime/metrics
+// histogram by walking its cumulative counts and interpolating inside
+// the landing bucket. Unbounded edge buckets (±Inf boundaries) fall
+// back to their finite neighbor. Returns 0 for an empty histogram.
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	// Unreached unless rounding pushed rank past the last bucket.
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
 }
 
 // BuildStats identifies the running binary: Go version plus the VCS

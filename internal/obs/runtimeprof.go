@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime profiler: a background sampler that turns the Go runtime's
+// cumulative event distributions into first-class obs Histograms, so
+// scheduler latency and GC pauses get the same rolling windows,
+// Prometheus exposition, and SLO alerting as every application metric.
+//
+// runtime/metrics distributions are cumulative since process start; the
+// sampler keeps the previous bucket counts and replays only the deltas
+// each tick, observing each new event at its bucket's midpoint (in
+// nanoseconds, matching the repo's *_ns histogram convention) via
+// ObserveN — one lock acquisition per non-empty bucket, regardless of
+// how many events landed in it.
+
+// Instrument names the profiler maintains.
+const (
+	SchedLatencyHist = "go.sched_latency_ns"
+	GCPauseHist      = "go.gc_pause_ns"
+)
+
+// profiled metrics and their destination histograms.
+var runtimeProfMetrics = []struct {
+	metric string
+	hist   string
+}{
+	{"/sched/latencies:seconds", SchedLatencyHist},
+	{gcPausesMetric, GCPauseHist},
+}
+
+// RuntimeProfiler owns the sampler goroutine. Create with
+// StartRuntimeProfiler; Stop is idempotent and waits for the goroutine
+// to exit.
+type RuntimeProfiler struct {
+	reg     *Registry
+	every   time.Duration
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+
+	samples []metrics.Sample
+	prev    [][]uint64 // previous cumulative counts, per metric
+}
+
+// StartRuntimeProfiler begins sampling the runtime distributions into
+// reg every interval (default 1s when every <= 0). The first tick
+// establishes the baseline — events from before the profiler started
+// are not replayed, so a daemon's histograms describe its monitored
+// lifetime only.
+func StartRuntimeProfiler(reg *Registry, every time.Duration) *RuntimeProfiler {
+	if reg == nil {
+		reg = std
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	p := &RuntimeProfiler{
+		reg:   reg,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		prev:  make([][]uint64, len(runtimeProfMetrics)),
+	}
+	p.samples = make([]metrics.Sample, len(runtimeProfMetrics))
+	for i, m := range runtimeProfMetrics {
+		p.samples[i].Name = m.metric
+	}
+	p.baseline()
+	go p.loop()
+	return p
+}
+
+func (p *RuntimeProfiler) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			p.tick() // final drain so Stop-then-snapshot sees everything
+			return
+		case <-t.C:
+			p.tick()
+		}
+	}
+}
+
+// Stop halts the sampler after one final drain and waits for it.
+func (p *RuntimeProfiler) Stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	close(p.stop)
+	<-p.done
+}
+
+// baseline records the current cumulative counts without observing, so
+// the first tick replays only post-start events.
+func (p *RuntimeProfiler) baseline() {
+	metrics.Read(p.samples)
+	for i := range p.samples {
+		if p.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		h := p.samples[i].Value.Float64Histogram()
+		p.prev[i] = append([]uint64(nil), h.Counts...)
+	}
+}
+
+// tick reads the distributions and replays each bucket's new events.
+func (p *RuntimeProfiler) tick() {
+	metrics.Read(p.samples)
+	for i, m := range runtimeProfMetrics {
+		if p.samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		h := p.samples[i].Value.Float64Histogram()
+		dst := p.reg.Histogram(m.hist)
+		prev := p.prev[i]
+		if len(prev) != len(h.Counts) {
+			// Bucket layout changed (or first read): re-baseline.
+			p.prev[i] = append(prev[:0], h.Counts...)
+			continue
+		}
+		for b, c := range h.Counts {
+			delta := c - prev[b]
+			if delta == 0 {
+				continue
+			}
+			dst.ObserveN(bucketMidpointNS(h.Buckets, b), delta)
+			prev[b] = c
+		}
+	}
+}
+
+// bucketMidpointNS picks the representative value (in nanoseconds) for
+// a runtime/metrics bucket whose boundaries are in seconds. Unbounded
+// edge buckets collapse to their finite boundary.
+func bucketMidpointNS(buckets []float64, b int) float64 {
+	lo, hi := buckets[b], buckets[b+1]
+	var v float64
+	switch {
+	case math.IsInf(lo, -1):
+		v = hi
+	case math.IsInf(hi, 1):
+		v = lo
+	default:
+		v = (lo + hi) / 2
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v * float64(time.Second) / float64(time.Nanosecond)
+}

@@ -28,6 +28,11 @@ type Snapshot struct {
 	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Runtime is the Go runtime state at snapshot time.
 	Runtime RuntimeStats `json:"runtime"`
+	// Alerts carries the SLO rule states when an alert engine is
+	// running. Snap() does not populate it — the engine is layered above
+	// the registry — so daemons attach engine.Samples() before writing
+	// the snapshot out (see hideseekd).
+	Alerts []AlertSample `json:"alerts,omitempty"`
 }
 
 // Snap captures a snapshot of the registry.

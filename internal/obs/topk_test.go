@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTopKExact: with capacity for every distinct key the sketch is an
+// exact counter — no error bounds, true counts, deterministic order.
+func TestTopKExact(t *testing.T) {
+	k := NewTopK(8)
+	k.Add("a", 3)
+	k.Add("b", 1)
+	k.Add("a", 2)
+	k.Add("c", 4)
+	got := k.Top(0)
+	want := []TopKEntry{{Key: "a", Count: 5}, {Key: "c", Count: 4}, {Key: "b", Count: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("top = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("top[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// k smaller than stored keys truncates.
+	if got := k.Top(2); len(got) != 2 || got[0].Key != "a" {
+		t.Fatalf("top(2) = %+v", got)
+	}
+	// Ties order by key for stable output.
+	k2 := NewTopK(4)
+	k2.Add("z", 1)
+	k2.Add("m", 1)
+	if got := k2.Top(0); got[0].Key != "m" || got[1].Key != "z" {
+		t.Fatalf("tie order %+v", got)
+	}
+}
+
+// TestTopKIgnoresBadInput: nil receiver and non-positive weights are
+// no-ops, and NewTopK clamps a degenerate capacity.
+func TestTopKIgnoresBadInput(t *testing.T) {
+	var nilK *TopK
+	nilK.Add("x", 1) // must not panic
+	k := NewTopK(0)  // clamps to 1
+	k.Add("x", 0)
+	k.Add("x", -5)
+	if got := k.Top(0); len(got) != 0 {
+		t.Fatalf("non-positive weights counted: %+v", got)
+	}
+}
+
+// TestTopKHeavyHitters: space-saving guarantees. A stream with a few
+// heavy keys and a long cold tail, capacity far below the distinct
+// count: the heavies must survive, every estimate must over- (never
+// under-) count, and Count-Err is a valid lower bound.
+func TestTopKHeavyHitters(t *testing.T) {
+	const capacity = 16
+	k := NewTopK(capacity)
+	truth := map[string]float64{}
+	add := func(key string, w float64) {
+		k.Add(key, w)
+		truth[key] += w
+	}
+	// Interleave heavies with the tail so evictions happen throughout.
+	for i := 0; i < 400; i++ {
+		add("hot-a", 5)
+		add("hot-b", 3)
+		if i%4 == 0 {
+			add("warm", 4)
+		}
+		add(fmt.Sprintf("cold-%d", i), 1)
+	}
+	var total float64
+	for _, v := range truth {
+		total += v
+	}
+
+	got := k.Top(0)
+	if len(got) > capacity {
+		t.Fatalf("sketch holds %d entries, capacity %d", len(got), capacity)
+	}
+	byKey := map[string]TopKEntry{}
+	for _, e := range got {
+		byKey[e.Key] = e
+	}
+	// Any key with true share > total/capacity is guaranteed present.
+	for _, heavy := range []string{"hot-a", "hot-b", "warm"} {
+		e, ok := byKey[heavy]
+		if !ok {
+			t.Fatalf("heavy hitter %q (true %g, threshold %g) evicted", heavy, truth[heavy], total/capacity)
+		}
+		if e.Count < truth[heavy] {
+			t.Errorf("%q: estimate %g under-counts true %g", heavy, e.Count, truth[heavy])
+		}
+		if e.Count-e.Err > truth[heavy] {
+			t.Errorf("%q: lower bound %g exceeds true %g", heavy, e.Count-e.Err, truth[heavy])
+		}
+	}
+	// The over-count invariant holds for every entry, not just heavies.
+	for _, e := range got {
+		if e.Count < truth[e.Key] {
+			t.Errorf("%q: estimate %g < true %g", e.Key, e.Count, truth[e.Key])
+		}
+	}
+	// The heavies dominate the ranking.
+	if got[0].Key != "hot-a" {
+		t.Errorf("top entry %+v, want hot-a", got[0])
+	}
+}
+
+// TestTopKMerge: merging shard sketches keeps the over-count invariant
+// and sums both counts and error bounds.
+func TestTopKMerge(t *testing.T) {
+	a := NewTopK(8)
+	b := NewTopK(8)
+	a.Add("x", 10)
+	a.Add("y", 2)
+	b.Add("x", 5)
+	b.Add("z", 7)
+	m := NewTopK(8)
+	m.Merge(a.Top(0))
+	m.Merge(b.Top(0))
+	got := m.Top(0)
+	byKey := map[string]TopKEntry{}
+	for _, e := range got {
+		byKey[e.Key] = e
+	}
+	if e := byKey["x"]; e.Count != 15 {
+		t.Errorf("merged x = %+v, want count 15", e)
+	}
+	if e := byKey["z"]; e.Count != 7 {
+		t.Errorf("merged z = %+v", e)
+	}
+	if got[0].Key != "x" {
+		t.Errorf("merged top %+v, want x first", got[0])
+	}
+}
+
+// TestTopKConcurrent hammers Add/Top/Merge from many goroutines; run
+// with -race this is the locking contract for the per-shard sketches.
+func TestTopKConcurrent(t *testing.T) {
+	k := NewTopK(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k.Add(fmt.Sprintf("key-%d", (g*31+i)%100), 1)
+				if i%64 == 0 {
+					k.Top(5)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m := NewTopK(32)
+		for i := 0; i < 200; i++ {
+			m.Merge(k.Top(0))
+		}
+	}()
+	wg.Wait()
+	var total float64
+	for _, e := range k.Top(0) {
+		total += e.Count
+	}
+	if total > 8*2000 {
+		t.Fatalf("sketch total %g exceeds stream weight %d", total, 8*2000)
+	}
+}

@@ -40,7 +40,11 @@ type histWindow struct {
 }
 
 // observe records v into the interval containing now.
-func (w *histWindow) observe(v float64, now time.Time) {
+func (w *histWindow) observe(v float64, now time.Time) { w.observeN(v, 1, now) }
+
+// observeN records n observations of v into the interval containing now
+// (the bulk form behind Histogram.ObserveN).
+func (w *histWindow) observeN(v float64, n uint64, now time.Time) {
 	epoch := now.UnixNano() / int64(windowSlotDur)
 	s := &w.slots[epoch%windowSlots]
 	w.mu.Lock()
@@ -53,9 +57,9 @@ func (w *histWindow) observe(v float64, now time.Time) {
 	if s.n == 0 || v > s.max {
 		s.max = v
 	}
-	s.n++
-	s.sum += v
-	s.counts[bucketOf(v)]++
+	s.n += n
+	s.sum += v * float64(n)
+	s.counts[bucketOf(v)] += clampUint32(n)
 	w.mu.Unlock()
 }
 

@@ -210,6 +210,14 @@ func (e *Engine) worker() {
 		obsQueueWaitUS.Observe(float64(wait.Microseconds()))
 		j.trace.AddSpanDur(traceStageQueue, j.enqueued, wait, nil)
 		v := e.processJob(rxs[j.pipe.idx], j, wait)
+		// End-to-end frame latency, the SLO engine's primary objective:
+		// everything from sync scan to defense verdict, queue wait
+		// included.
+		total := v.ScanNS + v.QueueNS + v.DecodeNS + v.DetectNS
+		obsVerdictNS.Observe(float64(total))
+		if e.shard != nil {
+			e.shard.topLatency.Add(j.sess.tenant, float64(total))
+		}
 		// The frame copy is dead once the verdict is built (payloads and
 		// features never alias it); recycle it through the arena.
 		putCF32(j.frame)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hideseek/internal/calib"
+	"hideseek/internal/obs"
 )
 
 // FleetConfig parameterizes a Fleet: the per-shard engine config, the
@@ -26,7 +27,16 @@ type FleetConfig struct {
 	// Admission configures tiered admission control (zero value =
 	// disabled: every session is accepted at full fidelity).
 	Admission AdmissionConfig
+	// TopK is the per-shard heavy-hitter sketch capacity: how many
+	// session keys each shard monitors for frame/drop/shed/latency
+	// attribution (default 128). Any key whose share of a shard's
+	// traffic exceeds 1/TopK is guaranteed to be reported.
+	TopK int
 }
+
+// defaultTopK is the per-shard sketch capacity when FleetConfig.TopK
+// is 0.
+const defaultTopK = 128
 
 // ShardStatus is one row of Fleet.ShardTable: a shard's identity, load,
 // and admission tier, as served by the daemon's /healthz.
@@ -53,6 +63,7 @@ type Fleet struct {
 	shards []*Engine
 	adm    []*admission
 	admCfg AdmissionConfig
+	topK   int           // per-shard sketch capacity (also caps merged reports)
 	rr     atomic.Uint64 // round-robin cursor for keyless sessions
 
 	// sample reads a shard's load for an admission decision; replaced by
@@ -91,10 +102,16 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		base.calibMgr = mgr
 	}
-	f := &Fleet{admCfg: cfg.Admission, now: time.Now}
+	if cfg.TopK == 0 {
+		cfg.TopK = defaultTopK
+	}
+	if cfg.TopK < 1 {
+		return nil, fmt.Errorf("stream: top-K capacity %d < 1", cfg.TopK)
+	}
+	f := &Fleet{admCfg: cfg.Admission, topK: cfg.TopK, now: time.Now}
 	for i := 0; i < cfg.Shards; i++ {
 		sc := base // per-shard copy; Pipelines slice (and prototypes) shared
-		sc.shard = newShardObs(i)
+		sc.shard = newShardObs(i, cfg.TopK)
 		e, err := NewEngine(sc)
 		if err != nil {
 			for _, prev := range f.shards {
@@ -145,6 +162,7 @@ func (f *Fleet) Process(ctx context.Context, src Source, emit func(Verdict), opt
 		case TierShed:
 			obsShed.Inc()
 			e.shard.shed.Inc()
+			e.shard.topShed.Add(tenantKey(so.key), 1)
 			return Stats{}, &ShedError{Shard: shard, QueueDepth: s.queueDepth, ScanP95NS: s.scanP95NS}
 		case TierDegrade:
 			obsDegradedSess.Inc()
@@ -208,6 +226,35 @@ func (f *Fleet) AdmissionEnabled() bool { return f.admCfg.Enabled }
 // Calibration returns the fleet-shared online-calibration manager (nil
 // when the stage is disabled).
 func (f *Fleet) Calibration() *calib.Manager { return f.shards[0].calib }
+
+// TopKTable is the fleet-wide heavy-hitter report: the top session keys
+// by frames scanned, frames dropped, sessions shed, and summed verdict
+// latency. Counts may overestimate by at most each entry's Err (the
+// space-saving bound); merged across shards, the bounds add.
+type TopKTable struct {
+	Frames    []obs.TopKEntry `json:"frames"`
+	Dropped   []obs.TopKEntry `json:"dropped,omitempty"`
+	Shed      []obs.TopKEntry `json:"shed,omitempty"`
+	LatencyNS []obs.TopKEntry `json:"latency_ns"`
+}
+
+// Top merges the per-shard sketches and returns up to k heavy hitters
+// per dimension (k <= 0: up to the sketch capacity).
+func (f *Fleet) Top(k int) TopKTable {
+	pick := func(sel func(*shardObs) *obs.TopK) []obs.TopKEntry {
+		m := obs.NewTopK(f.topK)
+		for _, e := range f.shards {
+			m.Merge(sel(e.shard).Top(0))
+		}
+		return m.Top(k)
+	}
+	return TopKTable{
+		Frames:    pick(func(so *shardObs) *obs.TopK { return so.topFrames }),
+		Dropped:   pick(func(so *shardObs) *obs.TopK { return so.topDropped }),
+		Shed:      pick(func(so *shardObs) *obs.TopK { return so.topShed }),
+		LatencyNS: pick(func(so *shardObs) *obs.TopK { return so.topLatency }),
+	}
+}
 
 // ShardTable returns a per-shard status snapshot (the daemon serves it
 // on /healthz). Tier is the shard's current admission tier; "accept"

@@ -26,6 +26,7 @@ var (
 	obsDetectNS     = obs.H("stream.detect_ns") // per-frame defense latency distribution
 	obsQueueDepth   = obs.H("stream.queue_depth")
 	obsQueueWaitUS  = obs.H("stream.queue_wait_us")
+	obsVerdictNS    = obs.H("stream.verdict_ns")        // end-to-end per-frame latency (scan+queue+decode+detect) — the SLO latency source
 	obsShed         = obs.C("stream.shed_sessions")     // sessions rejected at admission (shed tier)
 	obsDegradedSess = obs.C("stream.degraded_sessions") // sessions admitted under the degrade tier
 	obsCalibDrift   = obs.C("stream.calib_drift")       // drift events raised by the calibration stage
@@ -75,7 +76,11 @@ func newProtoObs(proto string) protoObs {
 // shardObs is the shard-labelled slice of the stream instruments a Fleet
 // wires into each shard engine ("stream.shard0.sessions", ...). The scan
 // latency histogram's windowed p95 is the admission controller's load
-// signal, so each shard keeps its own.
+// signal, so each shard keeps its own. The top-K sketches attribute the
+// shard's frames, drops, sheds, and verdict latency to session keys —
+// space-saving sketches, so per-key memory is bounded by the capacity
+// no matter how many tenants a shard serves. All four are nil on a
+// standalone Engine (obs.TopK methods are nil-safe).
 type shardObs struct {
 	index      int
 	sessions   *obs.Counter
@@ -83,9 +88,18 @@ type shardObs struct {
 	degraded   *obs.Counter
 	scanNS     *obs.Histogram
 	queueDepth *obs.Histogram
+
+	topFrames  *obs.TopK // frames scanned, by session key
+	topDropped *obs.TopK // frames dropped (eviction / closed engine)
+	topShed    *obs.TopK // sessions rejected at admission
+	topLatency *obs.TopK // summed verdict latency ns, by session key
 }
 
-func newShardObs(i int) *shardObs {
+// unkeyedTenant is the attribution bucket for sessions started without
+// WithSessionKey, so round-robin traffic still shows up in /v1/top.
+const unkeyedTenant = "(unkeyed)"
+
+func newShardObs(i, topK int) *shardObs {
 	pre := "stream.shard" + strconv.Itoa(i) + "."
 	return &shardObs{
 		index:      i,
@@ -94,5 +108,17 @@ func newShardObs(i int) *shardObs {
 		degraded:   obs.C(pre + "degraded_sessions"),
 		scanNS:     obs.H(pre + "scan_ns"),
 		queueDepth: obs.H(pre + "queue_depth"),
+		topFrames:  obs.NewTopK(topK),
+		topDropped: obs.NewTopK(topK),
+		topShed:    obs.NewTopK(topK),
+		topLatency: obs.NewTopK(topK),
 	}
+}
+
+// tenantKey normalizes a session key for sketch attribution.
+func tenantKey(key string) string {
+	if key == "" {
+		return unkeyedTenant
+	}
+	return key
 }

@@ -32,6 +32,7 @@ type Session struct {
 	tracer     *obs.Tracer // nil when tracing is off
 	maxPending int         // per-session in-flight bound (engine default or WithMaxPending)
 	degraded   bool        // admitted under the degrade tier; stamped on every Verdict
+	tenant     string      // normalized session key for heavy-hitter attribution
 
 	// Online-calibration binding; all zero when the stage is disabled or
 	// the pipeline detector lacks the phy.DetectTuner capability. cal is
@@ -84,6 +85,7 @@ func newSession(e *Engine, pipe *enginePipe, emit func(Verdict), so sessionOpts)
 		tracer:     e.cfg.Tracer,
 		maxPending: maxPending,
 		degraded:   so.degraded,
+		tenant:     tenantKey(so.key),
 		pending:    make(map[uint64]Verdict),
 		flushed:    make(chan struct{}),
 	}
@@ -336,6 +338,7 @@ func (s *Session) scan(eof bool) {
 		obsScanNS.Observe(float64(scanNS))
 		if s.e.shard != nil {
 			s.e.shard.scanNS.Observe(float64(scanNS))
+			s.e.shard.topFrames.Add(s.tenant, 1)
 		}
 		adv := relStart + span
 		if adv > s.win.size() {
@@ -368,6 +371,9 @@ func (s *Session) submit(j job) {
 	for _, ev := range evicted {
 		obsDropped.Inc()
 		ev.pipe.obs.dropped.Inc()
+		if ev.sess.e.shard != nil {
+			ev.sess.e.shard.topDropped.Add(ev.sess.tenant, 1)
+		}
 		ev.trace.AddSpan(traceStageQueue, ev.enqueued, errDroppedOldest)
 		putCF32(ev.frame)
 		ev.sess.deliver(Verdict{
@@ -380,6 +386,9 @@ func (s *Session) submit(j job) {
 		// Engine closed under us: keep the verdict stream complete.
 		obsDropped.Inc()
 		j.pipe.obs.dropped.Inc()
+		if s.e.shard != nil {
+			s.e.shard.topDropped.Add(s.tenant, 1)
+		}
 		j.trace.AddSpan(traceStageQueue, j.enqueued, errEngineClosed)
 		putCF32(j.frame)
 		s.deliver(Verdict{
